@@ -1,0 +1,158 @@
+package ceresz
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBundleRoundTrip(t *testing.T) {
+	bw := NewBundleWriter()
+	f1 := testField(32*40, 1)
+	f2 := testField(32*25+7, 2)
+	f3 := make([]float64, 500)
+	for i := range f3 {
+		f3[i] = math.Sin(float64(i) * 0.02)
+	}
+	if _, err := bw.AddField("temperature", Dims2(64, 20), f1, REL(1e-3), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bw.AddField("pressure", Dims1(32*25+7), f2, ABS(1e-2), Options{SZpHeader: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bw.AddField64("density", Dims1(500), f3, ABS(1e-9), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := bw.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	br, err := OpenBundle(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := br.Names(); len(got) != 3 || got[0] != "density" {
+		t.Fatalf("names %v", got)
+	}
+	fields := br.Fields()
+	if fields[0].Name != "temperature" || fields[0].Dims != Dims2(64, 20) || fields[0].Elem != Float32 {
+		t.Fatalf("field[0] %+v", fields[0])
+	}
+	if fields[2].Elem != Float64 {
+		t.Fatalf("field[2] %+v", fields[2])
+	}
+
+	got1, meta1, err := br.ReadField("temperature")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta1.Eps <= 0 {
+		t.Fatalf("meta %+v", meta1)
+	}
+	for i := range f1 {
+		if e := math.Abs(float64(got1[i]) - float64(f1[i])); e > meta1.Eps {
+			t.Fatalf("temperature error %g at %d", e, i)
+		}
+	}
+	got2, _, err := br.ReadField("pressure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f2 {
+		if e := math.Abs(float64(got2[i]) - float64(f2[i])); e > 1e-2 {
+			t.Fatalf("pressure error %g at %d", e, i)
+		}
+	}
+	got3, _, err := br.ReadField64("density")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f3 {
+		if e := math.Abs(got3[i] - f3[i]); e > 1e-9 {
+			t.Fatalf("density error %g at %d", e, i)
+		}
+	}
+}
+
+func TestBundleTypeMismatch(t *testing.T) {
+	bw := NewBundleWriter()
+	if _, err := bw.AddField("a", Dims1(64), testField(64, 3), ABS(1e-2), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := bw.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := OpenBundle(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := br.ReadField64("a"); err == nil {
+		t.Fatal("ReadField64 accepted a float32 member")
+	}
+	if _, _, err := br.ReadField("missing"); err == nil || !strings.Contains(err.Error(), "no field") {
+		t.Fatalf("missing field error: %v", err)
+	}
+}
+
+func TestBundleWriterValidation(t *testing.T) {
+	bw := NewBundleWriter()
+	if _, err := bw.AddField("", Dims1(32), testField(32, 4), ABS(1e-2), Options{}); err == nil {
+		t.Fatal("accepted empty name")
+	}
+	if _, err := bw.AddField("x", Dims1(33), testField(32, 4), ABS(1e-2), Options{}); err == nil {
+		t.Fatal("accepted dims mismatch")
+	}
+	if _, err := bw.AddField("x", Dims1(32), testField(32, 4), ABS(1e-2), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bw.AddField("x", Dims1(32), testField(32, 4), ABS(1e-2), Options{}); err == nil {
+		t.Fatal("accepted duplicate name")
+	}
+	if _, err := (&BundleWriter{names: map[string]bool{}}).Bytes(); err == nil {
+		t.Fatal("assembled an empty bundle")
+	}
+}
+
+func TestBundleCorrupt(t *testing.T) {
+	bw := NewBundleWriter()
+	if _, err := bw.AddField("a", Dims1(320), testField(320, 5), ABS(1e-2), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := bw.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"not a bundle":    []byte("nope"),
+		"short":           b[:6],
+		"truncated index": b[:12],
+		"truncated body":  b[:len(b)-10],
+	}
+	for name, bad := range cases {
+		if _, err := OpenBundle(bad); err == nil {
+			t.Fatalf("%s: accepted corrupt bundle", name)
+		}
+	}
+	// Version flip.
+	bad := append([]byte(nil), b...)
+	bad[4] = 9
+	if _, err := OpenBundle(bad); err == nil {
+		t.Fatal("accepted unknown version")
+	}
+}
+
+func TestBundleAddField64Validation(t *testing.T) {
+	bw := NewBundleWriter()
+	data := []float64{1, 2, 3, 4}
+	if _, err := bw.AddField64("", Dims1(4), data, ABS(1e-6), Options{}); err == nil {
+		t.Fatal("accepted empty name")
+	}
+	if _, err := bw.AddField64("x", Dims1(5), data, ABS(1e-6), Options{}); err == nil {
+		t.Fatal("accepted dims mismatch")
+	}
+	if _, err := bw.AddField64("x", Dims1(4), data, ABS(0), Options{}); err == nil {
+		t.Fatal("accepted zero bound")
+	}
+}

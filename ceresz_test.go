@@ -1,0 +1,167 @@
+package ceresz
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func testField(n int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]float32, n)
+	v := 0.0
+	for i := range data {
+		v += rng.NormFloat64() * 0.01
+		data[i] = float32(math.Sin(float64(i)*0.01)*2 + v)
+	}
+	return data
+}
+
+func TestPublicRoundTrip(t *testing.T) {
+	data := testField(10_000, 1)
+	comp, stats, err := Compress(nil, data, REL(1e-3), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Ratio() <= 1 {
+		t.Fatalf("ratio %.2f", stats.Ratio())
+	}
+	rec, err := Decompress(nil, comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if e := math.Abs(float64(rec[i]) - float64(data[i])); e > stats.Eps {
+			t.Fatalf("error %g > ε at %d", e, i)
+		}
+	}
+}
+
+func TestPublicParse(t *testing.T) {
+	data := testField(1000, 2)
+	comp, stats, err := Compress(nil, data, ABS(1e-2), Options{BlockLen: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := Parse(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Elements != 1000 || meta.BlockLen != 64 || meta.Eps != stats.Eps {
+		t.Fatalf("meta %+v", meta)
+	}
+	if _, err := Parse(comp[:10]); err == nil {
+		t.Fatal("parsed truncated stream")
+	}
+}
+
+func TestPublicSZpHeaderOption(t *testing.T) {
+	data := testField(2048, 3)
+	a, sa, err := Compress(nil, data, REL(1e-3), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, sb, err := Compress(nil, data, REL(1e-3), Options{SZpHeader: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.Ratio() <= sa.Ratio() {
+		t.Fatalf("SZp headers did not improve ratio: %.3f vs %.3f", sb.Ratio(), sa.Ratio())
+	}
+	ra, err := Decompress(nil, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Decompress(nil, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("header size changed the reconstruction at %d", i)
+		}
+	}
+}
+
+func TestPublicCompressWithEps(t *testing.T) {
+	data := testField(512, 4)
+	comp, stats, err := CompressWithEps(nil, data, 5e-3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Eps != 5e-3 {
+		t.Fatalf("eps %g", stats.Eps)
+	}
+	if _, _, err := CompressWithEps(nil, data, 0, Options{}); err == nil {
+		t.Fatal("accepted ε=0")
+	}
+	if _, err := Decompress(nil, comp); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulateMatchesHost(t *testing.T) {
+	data := testField(32*64, 5)
+	host, _, err := Compress(nil, data, REL(1e-3), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulateCompress(data, REL(1e-3), MeshConfig{Rows: 2, Cols: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Bytes, host) {
+		t.Fatal("simulated stream differs from host stream")
+	}
+	if res.Cycles <= 0 || res.Seconds <= 0 || res.ThroughputGBps <= 0 {
+		t.Fatalf("degenerate sim result %+v", res)
+	}
+
+	dres, err := SimulateDecompress(host, MeshConfig{Rows: 2, Cols: 4, PipelineLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Decompress(nil, host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dres.Data) != len(rec) {
+		t.Fatalf("lengths differ: %d vs %d", len(dres.Data), len(rec))
+	}
+	for i := range rec {
+		if dres.Data[i] != rec[i] {
+			t.Fatalf("simulated decompression differs at %d", i)
+		}
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	data := testField(320, 6)
+	if _, err := SimulateCompress(data, ABS(0), MeshConfig{Rows: 1, Cols: 1}); err == nil {
+		t.Fatal("accepted ε=0")
+	}
+	if _, err := SimulateCompress(data, REL(1e-3), MeshConfig{Rows: 0, Cols: 1}); err == nil {
+		t.Fatal("accepted zero-row mesh")
+	}
+	if _, err := SimulateDecompress([]byte("junk"), MeshConfig{Rows: 1, Cols: 1}); err == nil {
+		t.Fatal("accepted junk stream")
+	}
+	// Non-default block lengths are a host-only feature.
+	comp, _, err := Compress(nil, data, REL(1e-3), Options{BlockLen: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SimulateDecompress(comp, MeshConfig{Rows: 1, Cols: 1}); err == nil {
+		t.Fatal("simulated decompression accepted a 64-element-block stream")
+	}
+}
+
+func TestBoundConstructors(t *testing.T) {
+	if _, _, err := Compress(nil, testField(64, 7), REL(0), Options{}); err == nil {
+		t.Fatal("accepted REL(0)")
+	}
+	if _, _, err := Compress(nil, testField(64, 7), ABS(-1), Options{}); err == nil {
+		t.Fatal("accepted ABS(-1)")
+	}
+}

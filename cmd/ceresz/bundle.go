@@ -1,0 +1,111 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ceresz"
+	"ceresz/internal/sdrbench"
+)
+
+// runBundle implements -bundle (directory → archive) and -unbundle
+// (archive → directory).
+func runBundle(bundle bool, rel, abs float64, block int, szp bool, workers int, args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("bundle modes need input and output paths")
+	}
+	if bundle {
+		return bundleDir(args[0], args[1], rel, abs, block, szp, workers)
+	}
+	return unbundleTo(args[0], args[1])
+}
+
+func bundleDir(dir, out string, rel, abs float64, block int, szp bool, workers int) error {
+	fields, err := sdrbench.Scan(dir)
+	if err != nil {
+		return err
+	}
+	if len(fields) == 0 {
+		return fmt.Errorf("%s holds no field files", dir)
+	}
+	bound := ceresz.REL(rel)
+	if abs > 0 {
+		bound = ceresz.ABS(abs)
+	}
+	opts := ceresz.Options{BlockLen: block, SZpHeader: szp, Workers: workers}
+	bw := ceresz.NewBundleWriter()
+	var rawBytes int64
+	for _, f := range fields {
+		name := filepath.Base(f.Path)
+		if f.Float64 {
+			field, data, err := sdrbench.Load64(f.Path)
+			if err != nil {
+				return err
+			}
+			stats, err := bw.AddField64(name, field.Dims, data, bound, opts)
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			rawBytes += int64(8 * len(data))
+			fmt.Printf("%-40s %9d f64 elements, ε=%.3g\n", name, stats.Elements, stats.Eps)
+			continue
+		}
+		field, data, err := sdrbench.Load(f.Path)
+		if err != nil {
+			return err
+		}
+		stats, err := bw.AddField(name, field.Dims, data, bound, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		rawBytes += int64(4 * len(data))
+		fmt.Printf("%-40s %9d f32 elements, ε=%.3g\n", name, stats.Elements, stats.Eps)
+	}
+	b, err := bw.Bytes()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bundled %d fields: %d -> %d bytes (ratio %.3f)\n",
+		len(fields), rawBytes, len(b), float64(rawBytes)/float64(len(b)))
+	return nil
+}
+
+func unbundleTo(in, dir string) error {
+	b, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	br, err := ceresz.OpenBundle(b)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, f := range br.Fields() {
+		path := filepath.Join(dir, f.Name)
+		if f.Elem == ceresz.Float64 {
+			data, _, err := br.ReadField64(f.Name)
+			if err != nil {
+				return err
+			}
+			if err := sdrbench.WriteF64(path, data); err != nil {
+				return err
+			}
+		} else {
+			data, _, err := br.ReadField(f.Name)
+			if err != nil {
+				return err
+			}
+			if err := sdrbench.WriteF32(path, data); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("extracted %s (%d elements, ε=%.3g)\n", path, f.Dims.Len(), f.Eps)
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ceresz/internal/sdrbench"
+)
+
+func TestCLICompressDecompressRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.f32")
+	cz := filepath.Join(dir, "out.csz")
+	out := filepath.Join(dir, "out.f32")
+
+	data := make([]float32, 5000)
+	for i := range data {
+		data[i] = float32(math.Sin(float64(i) * 0.01))
+	}
+	if err := sdrbench.WriteF32(in, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(true, false, false, 1e-3, 0, 0, false, false, 1, []string{in, cz}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(false, true, false, 0, 0, 0, false, false, 1, []string{cz, out}); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := sdrbench.ReadF32(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec) != len(data) {
+		t.Fatalf("%d elements out", len(rec))
+	}
+	// REL 1e-3 over range 2 → ε = 2e-3.
+	for i := range data {
+		if e := math.Abs(float64(rec[i]) - float64(data[i])); e > 2.1e-3 {
+			t.Fatalf("error %g at %d", e, i)
+		}
+	}
+	// Info mode parses the stream.
+	if err := run(false, false, true, 0, 0, 0, false, false, 1, []string{cz}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIFloat64RoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.f64")
+	cz := filepath.Join(dir, "out.csz")
+	out := filepath.Join(dir, "out.f64")
+
+	data := make([]float64, 2000)
+	for i := range data {
+		data[i] = math.Cos(float64(i) * 0.02)
+	}
+	if err := sdrbench.WriteF64(in, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(true, false, false, 0, 1e-8, 0, false, true, 1, []string{in, cz}); err != nil {
+		t.Fatal(err)
+	}
+	// Decompression auto-detects float64.
+	if err := run(false, true, false, 0, 0, 0, false, false, 1, []string{cz, out}); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := sdrbench.ReadF64(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if e := math.Abs(rec[i] - data[i]); e > 1e-8 {
+			t.Fatalf("error %g at %d", e, i)
+		}
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(false, false, false, 1e-3, 0, 0, false, false, 1, nil); err == nil {
+		t.Fatal("accepted no mode")
+	}
+	if err := run(true, true, false, 1e-3, 0, 0, false, false, 1, nil); err == nil {
+		t.Fatal("accepted two modes")
+	}
+	if err := run(true, false, false, 1e-3, 0, 0, false, false, 1, []string{"only-one"}); err == nil {
+		t.Fatal("accepted missing output arg")
+	}
+	if err := run(true, false, false, 1e-3, 0, 0, false, false, 1, []string{filepath.Join(dir, "missing.f32"), "o"}); err == nil {
+		t.Fatal("accepted missing input")
+	}
+	// Odd-sized raw file.
+	bad := filepath.Join(dir, "bad.f32")
+	if err := os.WriteFile(bad, []byte{1, 2, 3}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(true, false, false, 1e-3, 0, 0, false, false, 1, []string{bad, filepath.Join(dir, "o.csz")}); err == nil {
+		t.Fatal("accepted 3-byte f32 input")
+	}
+	// -info on garbage.
+	if err := run(false, false, true, 0, 0, 0, false, false, 1, []string{bad}); err == nil {
+		t.Fatal("info accepted garbage")
+	}
+}
+
+func TestCLIBundleRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fieldsDir := filepath.Join(dir, "fields")
+	if err := os.MkdirAll(fieldsDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	a := make([]float32, 32*32)
+	for i := range a {
+		a[i] = float32(math.Sin(float64(i) * 0.05))
+	}
+	b64 := make([]float64, 300)
+	for i := range b64 {
+		b64[i] = math.Cos(float64(i) * 0.1)
+	}
+	if err := sdrbench.WriteF32(filepath.Join(fieldsDir, "a_32_32.f32"), a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sdrbench.WriteF64(filepath.Join(fieldsDir, "b_300.f64"), b64); err != nil {
+		t.Fatal(err)
+	}
+	archive := filepath.Join(dir, "out.cszb")
+	if err := runBundle(true, 1e-3, 0, 0, false, 1, []string{fieldsDir, archive}); err != nil {
+		t.Fatal(err)
+	}
+	outDir := filepath.Join(dir, "extract")
+	if err := runBundle(false, 0, 0, 0, false, 1, []string{archive, outDir}); err != nil {
+		t.Fatal(err)
+	}
+	gotA, err := sdrbench.ReadF32(filepath.Join(outDir, "a_32_32.f32"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if e := math.Abs(float64(gotA[i]) - float64(a[i])); e > 2.1e-3 { // REL 1e-3 × range 2
+			t.Fatalf("a error %g at %d", e, i)
+		}
+	}
+	gotB, err := sdrbench.ReadF64(filepath.Join(outDir, "b_300.f64"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b64 {
+		if e := math.Abs(gotB[i] - b64[i]); e > 2.1e-3 {
+			t.Fatalf("b error %g at %d", e, i)
+		}
+	}
+}
+
+func TestCLIBundleErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := runBundle(true, 1e-3, 0, 0, false, 1, []string{dir}); err == nil {
+		t.Fatal("accepted one arg")
+	}
+	if err := runBundle(true, 1e-3, 0, 0, false, 1, []string{dir, filepath.Join(dir, "o")}); err == nil {
+		t.Fatal("bundled an empty directory")
+	}
+	if err := runBundle(false, 0, 0, 0, false, 1, []string{filepath.Join(dir, "missing"), dir}); err == nil {
+		t.Fatal("unbundled a missing archive")
+	}
+}

@@ -1,0 +1,139 @@
+// Command cereszsim runs CereSZ compression on a simulated Cerebras mesh
+// and reports timing, per-PE utilization and the Algorithm 1 stage
+// distribution — an interactive explorer for the mapping design space.
+//
+// Usage:
+//
+//	cereszsim [-rows N] [-cols N] [-pl N] [-blocks N] [-rel λ] [-decompress]
+//
+// Example:
+//
+//	cereszsim -rows 4 -cols 12 -pl 3 -blocks 4096
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"ceresz/internal/core"
+	"ceresz/internal/mapping"
+	"ceresz/internal/quant"
+	"ceresz/internal/stages"
+	"ceresz/internal/wse"
+)
+
+func main() {
+	rows := flag.Int("rows", 2, "mesh rows")
+	cols := flag.Int("cols", 8, "mesh columns")
+	pl := flag.Int("pl", 1, "pipeline length")
+	blocks := flag.Int("blocks", 2048, "number of 32-element blocks to stream")
+	rel := flag.Float64("rel", 1e-3, "REL error bound")
+	decompress := flag.Bool("decompress", false, "simulate the decompression direction")
+	seed := flag.Int64("seed", 7, "data seed")
+	trace := flag.Int("trace", 0, "print the first N simulator events")
+	flag.Parse()
+
+	if err := run(*rows, *cols, *pl, *blocks, *rel, *decompress, *seed, *trace); err != nil {
+		fmt.Fprintln(os.Stderr, "cereszsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(rows, cols, pl, blocks int, rel float64, decompress bool, seed int64, trace int) error {
+	// Synthesize a smooth field with mild noise.
+	data := make([]float32, 32*blocks)
+	phase := float64(seed)
+	for i := range data {
+		x := float64(i) * 0.003
+		data[i] = float32(math.Sin(x+phase)*2 + 0.25*math.Sin(11*x) + 0.02*math.Sin(191*x))
+	}
+	minV, maxV := quant.Range(data)
+	eps, err := quant.REL(rel).Resolve(minV, maxV)
+	if err != nil {
+		return err
+	}
+	estWidth, err := stages.EstimateWidth(data, eps, 32, 20)
+	if err != nil {
+		return err
+	}
+
+	mesh := wse.Config{Rows: rows, Cols: cols}
+	var res *mapping.Result
+	var plan *mapping.Plan
+	if decompress {
+		comp, _, err := core.CompressWithEps(nil, data, eps, core.Options{})
+		if err != nil {
+			return err
+		}
+		chain, err := stages.NewDecompressChain(stages.Config{Eps: eps, EstWidth: int(estWidth)})
+		if err != nil {
+			return err
+		}
+		plan, err = mapping.NewPlan(chain, mapping.PlanConfig{Mesh: mesh, PipelineLen: pl})
+		if err != nil {
+			return err
+		}
+		res, err = plan.Decompress(comp)
+		if err != nil {
+			return err
+		}
+	} else {
+		chain, err := stages.NewCompressChain(stages.Config{Eps: eps, EstWidth: int(estWidth)})
+		if err != nil {
+			return err
+		}
+		plan, err = mapping.NewPlan(chain, mapping.PlanConfig{Mesh: mesh, PipelineLen: pl})
+		if err != nil {
+			return err
+		}
+		res, err = plan.Compress(data)
+		if err != nil {
+			return err
+		}
+	}
+
+	dir := "compression"
+	if decompress {
+		dir = "decompression"
+	}
+	fmt.Printf("%s of %d blocks (%d KB) on a %dx%d mesh, ε=%.3g (fl estimate %d)\n",
+		dir, blocks, 4*len(data)/1024, rows, cols, eps, estWidth)
+	fmt.Print(plan.Describe())
+	fmt.Printf("\nelapsed: %d cycles = %.3f ms at 850 MHz -> %.2f MB/s\n",
+		res.Cycles, res.Seconds*1e3, res.ThroughputGBps*1000)
+
+	s := res.Mesh.Summary()
+	fmt.Printf("active PEs %d; busiest %v at %d cycles; mean utilization %.1f%%; peak PE memory %d B\n",
+		s.ActivePEs, s.BusiestPE, s.BusiestCycles, 100*s.MeanUtilization, s.MemPeak)
+	fmt.Printf("cycle totals: compute %d, relay %d, send %d\n\n", s.TotalCompute, s.TotalRelay, s.TotalSend)
+	res.Mesh.WriteUtilization(os.Stdout, 0)
+	if trace > 0 && !decompress {
+		fmt.Print("\nfirst events of a small traced rerun:\n")
+		// The tracer must be attached before Run; re-simulate briefly with
+		// one attached, bounded by the requested entry count.
+		if err := traceRun(plan, blocks, trace); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// traceRun repeats a small slice of the simulation with a tracer attached
+// and prints the first n events.
+func traceRun(plan *mapping.Plan, blocks, n int) error {
+	if blocks > 64 {
+		blocks = 64
+	}
+	data := make([]float32, 32*blocks)
+	for i := range data {
+		data[i] = float32(math.Sin(float64(i) * 0.01))
+	}
+	tr, _, err := plan.CompressTraced(data, n)
+	if err != nil {
+		return err
+	}
+	tr.Write(os.Stdout)
+	return nil
+}

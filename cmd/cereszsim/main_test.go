@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestSimRunCompress(t *testing.T) {
+	if err := run(2, 6, 2, 128, 1e-3, false, 7, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimRunDecompress(t *testing.T) {
+	if err := run(1, 4, 1, 64, 1e-3, true, 7, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimRunBadConfig(t *testing.T) {
+	// Pipeline longer than columns is rejected by the planner.
+	if err := run(1, 2, 5, 32, 1e-3, false, 7, 0); err == nil {
+		t.Fatal("accepted pipeline longer than the mesh")
+	}
+	if err := run(1, 2, 1, 32, 0, false, 7, 0); err == nil {
+		t.Fatal("accepted zero bound")
+	}
+}

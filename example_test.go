@@ -1,0 +1,108 @@
+package ceresz_test
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"ceresz"
+)
+
+// ExampleCompress round-trips a field under a relative error bound.
+func ExampleCompress() {
+	data := make([]float32, 3200)
+	for i := range data {
+		data[i] = float32(math.Sin(float64(i) * 0.01))
+	}
+	comp, stats, err := ceresz.Compress(nil, data, ceresz.REL(1e-3), ceresz.Options{})
+	if err != nil {
+		panic(err)
+	}
+	rec, err := ceresz.Decompress(nil, comp)
+	if err != nil {
+		panic(err)
+	}
+	var maxErr float64
+	for i := range data {
+		if e := math.Abs(float64(rec[i]) - float64(data[i])); e > maxErr {
+			maxErr = e
+		}
+	}
+	fmt.Printf("blocks: %d, bound held: %v\n", stats.Blocks, maxErr <= stats.Eps)
+	// Output:
+	// blocks: 100, bound held: true
+}
+
+// ExampleStreamWriter frames independently-decodable chunks.
+func ExampleStreamWriter() {
+	var buf bytes.Buffer
+	sw := ceresz.NewStreamWriter(&buf, ceresz.ABS(1e-2), ceresz.Options{})
+	for c := 0; c < 3; c++ {
+		chunk := make([]float32, 640)
+		for i := range chunk {
+			chunk[i] = float32(c) + float32(math.Cos(float64(i)*0.05))
+		}
+		if _, err := sw.WriteChunk(chunk); err != nil {
+			panic(err)
+		}
+	}
+	sr := ceresz.NewStreamReader(bytes.NewReader(buf.Bytes()))
+	n := 0
+	for {
+		chunk, err := sr.Next()
+		if err != nil {
+			break
+		}
+		n += len(chunk)
+	}
+	fmt.Printf("decoded %d elements from %d chunks\n", n, sw.Chunks)
+	// Output:
+	// decoded 1920 elements from 3 chunks
+}
+
+// ExampleBundleWriter packs two fields into one indexed archive.
+func ExampleBundleWriter() {
+	temp := make([]float32, 32*32)
+	for i := range temp {
+		temp[i] = 280 + float32(math.Sin(float64(i)*0.02))
+	}
+	bw := ceresz.NewBundleWriter()
+	if _, err := bw.AddField("temperature", ceresz.Dims2(32, 32), temp, ceresz.REL(1e-3), ceresz.Options{}); err != nil {
+		panic(err)
+	}
+	b, err := bw.Bytes()
+	if err != nil {
+		panic(err)
+	}
+	br, err := ceresz.OpenBundle(b)
+	if err != nil {
+		panic(err)
+	}
+	data, field, err := br.ReadField("temperature")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: %dx%d, %d elements, %s\n",
+		field.Name, field.Dims.Nx, field.Dims.Ny, len(data), field.Elem)
+	// Output:
+	// temperature: 32x32, 1024 elements, float32
+}
+
+// ExampleSimulateCompress runs the compressor on a simulated CS-2 mesh.
+func ExampleSimulateCompress() {
+	data := make([]float32, 32*64)
+	for i := range data {
+		data[i] = float32(math.Sin(float64(i) * 0.03))
+	}
+	host, _, err := ceresz.Compress(nil, data, ceresz.REL(1e-3), ceresz.Options{})
+	if err != nil {
+		panic(err)
+	}
+	res, err := ceresz.SimulateCompress(data, ceresz.REL(1e-3), ceresz.MeshConfig{Rows: 2, Cols: 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("byte-identical to host: %v\n", bytes.Equal(res.Bytes, host))
+	// Output:
+	// byte-identical to host: true
+}

@@ -1,0 +1,44 @@
+// Quickstart: compress a float32 field with an error bound, decompress it,
+// and verify the bound — the minimal CereSZ round trip.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"ceresz"
+)
+
+func main() {
+	// A smooth synthetic signal, as scientific fields tend to be.
+	data := make([]float32, 100_000)
+	for i := range data {
+		x := float64(i) * 0.001
+		data[i] = float32(math.Sin(x) + 0.3*math.Sin(7*x) + 0.05*math.Cos(31*x))
+	}
+
+	// Compress within a value-range-relative bound of 1e-3: every element
+	// of the reconstruction will be within λ·(max−min) of the original.
+	comp, stats, err := ceresz.Compress(nil, data, ceresz.REL(1e-3), ceresz.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compressed %d floats: %d -> %d bytes (ratio %.2f)\n",
+		len(data), 4*len(data), len(comp), stats.Ratio())
+	fmt.Printf("resolved ε = %.3g; %d blocks, %d zero blocks, mean fixed length %.1f bits\n",
+		stats.Eps, stats.Blocks, stats.ZeroBlocks, stats.MeanWidth())
+
+	rec, err := ceresz.Decompress(nil, comp)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var maxErr float64
+	for i := range data {
+		if e := math.Abs(float64(rec[i]) - float64(data[i])); e > maxErr {
+			maxErr = e
+		}
+	}
+	fmt.Printf("max |error| = %.3g (bound %.3g) — %v\n", maxErr, stats.Eps, maxErr <= stats.Eps)
+}

@@ -1,0 +1,74 @@
+package ceresz
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// Fuzz targets for the container-adjacent formats: bundles and framed
+// streams must reject arbitrary bytes without panicking and round-trip
+// valid inputs.
+
+func FuzzOpenBundle(f *testing.F) {
+	bw := NewBundleWriter()
+	if _, err := bw.AddField("a", Dims1(64), testField(64, 1), ABS(1e-2), Options{}); err != nil {
+		f.Fatal(err)
+	}
+	if _, err := bw.AddField("b", Dims2(8, 8), testField(64, 2), REL(1e-3), Options{}); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := bw.Bytes()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("CSZB"))
+	mut := append([]byte(nil), valid...)
+	mut[9] ^= 0xFF
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		br, err := OpenBundle(b)
+		if err != nil {
+			return
+		}
+		for _, name := range br.Names() {
+			fields := br.Fields()
+			_ = fields
+			if data, field, err := br.ReadField(name); err == nil {
+				if field.Dims.Len() != len(data) {
+					t.Fatalf("field %q: dims say %d, decoded %d", name, field.Dims.Len(), len(data))
+				}
+			}
+			_, _, _ = br.ReadField64(name)
+		}
+	})
+}
+
+func FuzzStreamReader(f *testing.F) {
+	var buf bytes.Buffer
+	sw := NewStreamWriter(&buf, ABS(1e-2), Options{})
+	if _, err := sw.WriteChunk(testField(500, 3)); err != nil {
+		f.Fatal(err)
+	}
+	if _, err := sw.WriteChunk(testField(100, 4)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("CSZF\x00\x00\x00\x10short"))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		sr := NewStreamReader(bytes.NewReader(b))
+		for i := 0; i < 16; i++ {
+			if _, err := sr.Next(); err != nil {
+				if err == io.EOF {
+					return
+				}
+				return // rejection is fine
+			}
+		}
+	})
+}

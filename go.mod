@@ -1,0 +1,3 @@
+module ceresz
+
+go 1.22

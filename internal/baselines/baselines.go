@@ -1,0 +1,170 @@
+// Package baselines implements the four compressors the paper compares
+// against (§5.1.3):
+//
+//	SZp    — block-wise pre-quant + 1D Lorenzo + fixed-length encoding with
+//	         1-byte block headers, OpenMP-parallel on CPU. Algorithmically
+//	         it is internal/core with flenc.HeaderU8 (the paper makes the
+//	         same identification).
+//	cuSZp  — the same algorithm fused into a single GPU kernel; identical
+//	         streams and reconstructions, different device model.
+//	cuSZ   — pre-quant + N-D Lorenzo prediction + canonical Huffman over
+//	         1024 quantization bins with an outlier side channel.
+//	SZ3    — best-of-N-D Lorenzo prediction + Huffman + a general lossless
+//	         back end (flate here, zstd in the original), optimizing ratio
+//	         at the expense of throughput.
+//
+// Ratio and reconstruction quality come from actually running these
+// implementations; Figs. 11–12 throughput bars for the baselines come from
+// internal/devmodel (see that package's rationale).
+package baselines
+
+import (
+	"fmt"
+
+	"ceresz/internal/core"
+	"ceresz/internal/devmodel"
+	"ceresz/internal/flenc"
+	"ceresz/internal/lorenzo"
+	"ceresz/internal/quant"
+)
+
+// Compressed is the output of one baseline compression run.
+type Compressed struct {
+	// Compressor is the producing baseline's name.
+	Compressor string
+	// Bytes is the serialized stream.
+	Bytes []byte
+	// Elements is the original element count.
+	Elements int
+	// Dims is the original grid.
+	Dims lorenzo.Dims
+	// Eps is the absolute error bound used.
+	Eps float64
+	// ZeroBlockFrac is the fraction of all-zero blocks (fixed-length
+	// family only; 0 otherwise). Feeds the device model's fast-path term.
+	ZeroBlockFrac float64
+}
+
+// Ratio returns original bytes / compressed bytes.
+func (c *Compressed) Ratio() float64 {
+	if len(c.Bytes) == 0 {
+		return 0
+	}
+	return float64(4*c.Elements) / float64(len(c.Bytes))
+}
+
+// Compressor is an error-bounded lossy compressor baseline.
+type Compressor interface {
+	// Name returns the paper's name for the baseline.
+	Name() string
+	// Compress encodes data (with grid dims) under absolute bound eps.
+	Compress(data []float32, d lorenzo.Dims, eps float64) (*Compressed, error)
+	// Decompress reconstructs the data from a stream this baseline made.
+	Decompress(c *Compressed) ([]float32, error)
+}
+
+// SZp is the CPU fixed-length baseline (1-byte block headers).
+type SZp struct {
+	// Workers bounds host parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Name implements Compressor.
+func (SZp) Name() string { return "SZp" }
+
+// Compress implements Compressor.
+func (s SZp) Compress(data []float32, d lorenzo.Dims, eps float64) (*Compressed, error) {
+	if err := d.Validate(len(data)); err != nil {
+		return nil, err
+	}
+	out, stats, err := core.CompressWithEps(nil, data, eps, core.Options{
+		HeaderBytes: flenc.HeaderU8,
+		Workers:     s.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	zf := 0.0
+	if stats.Blocks > 0 {
+		zf = float64(stats.ZeroBlocks) / float64(stats.Blocks)
+	}
+	return &Compressed{
+		Compressor:    s.Name(),
+		Bytes:         out,
+		Elements:      len(data),
+		Dims:          d,
+		Eps:           eps,
+		ZeroBlockFrac: zf,
+	}, nil
+}
+
+// Decompress implements Compressor.
+func (s SZp) Decompress(c *Compressed) ([]float32, error) {
+	out, _, err := core.Decompress(nil, c.Bytes, s.Workers)
+	return out, err
+}
+
+// CuSZp is the GPU variant of SZp: same algorithm and stream, different
+// device. (The paper: "SZp has a similar compression algorithm and is
+// paralleled by OpenMP on CPU".)
+type CuSZp struct {
+	szp SZp
+}
+
+// Name implements Compressor.
+func (CuSZp) Name() string { return "cuSZp" }
+
+// Compress implements Compressor.
+func (c CuSZp) Compress(data []float32, d lorenzo.Dims, eps float64) (*Compressed, error) {
+	out, err := c.szp.Compress(data, d, eps)
+	if err != nil {
+		return nil, err
+	}
+	out.Compressor = c.Name()
+	return out, nil
+}
+
+// Decompress implements Compressor.
+func (c CuSZp) Decompress(comp *Compressed) ([]float32, error) {
+	return c.szp.Decompress(comp)
+}
+
+// Kernels returns the device-model kernels for a baseline name, used by
+// the figure harness to turn measured ratios into modeled throughput.
+func Kernels(name string) (compress, decompress devmodel.Kernel, err error) {
+	switch name {
+	case "SZp":
+		return devmodel.SZpCompress, devmodel.SZpDecompress, nil
+	case "cuSZp":
+		return devmodel.CuSZpCompress, devmodel.CuSZpDecompress, nil
+	case "cuSZ":
+		return devmodel.CuSZCompress, devmodel.CuSZDecompress, nil
+	case "FZ-GPU":
+		return devmodel.FZGPUCompress, devmodel.FZGPUDecompress, nil
+	case "cuSZx":
+		return devmodel.CuSZxCompress, devmodel.CuSZxDecompress, nil
+	case "SZ":
+		return devmodel.SZ3Compress, devmodel.SZ3Decompress, nil
+	default:
+		return devmodel.Kernel{}, devmodel.Kernel{}, fmt.Errorf("baselines: no device model for %q", name)
+	}
+}
+
+// Suite returns the paper's baseline set in presentation order.
+func Suite() []Compressor {
+	return []Compressor{SZp{}, CuSZp{}, CuSZ{}, SZ3{}}
+}
+
+// prequantize runs the shared pre-quantization step, failing when the data
+// cannot be represented in int32 codes at this bound.
+func prequantize(data []float32, eps float64) ([]int32, *quant.Quantizer, error) {
+	q, err := quant.NewQuantizer(eps)
+	if err != nil {
+		return nil, nil, err
+	}
+	codes := make([]int32, len(data))
+	if !q.Quantize(codes, data) {
+		return nil, nil, fmt.Errorf("baselines: data not quantizable at ε=%g (overflow or NaN)", eps)
+	}
+	return codes, q, nil
+}

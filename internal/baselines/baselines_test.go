@@ -1,0 +1,558 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ceresz/internal/core"
+	"ceresz/internal/datasets"
+	"ceresz/internal/devmodel"
+	"ceresz/internal/flenc"
+	"ceresz/internal/lorenzo"
+	"ceresz/internal/quant"
+)
+
+func field2D(t *testing.T) ([]float32, lorenzo.Dims) {
+	t.Helper()
+	d, err := datasets.ByName("CESM-ATM", datasets.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &d.Fields[2]
+	return f.Data(11), f.Dims
+}
+
+func field3D(t *testing.T) ([]float32, lorenzo.Dims) {
+	t.Helper()
+	d, err := datasets.ByName("NYX", datasets.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &d.Fields[3] // velocity_x
+	return f.Data(11), f.Dims
+}
+
+func epsFor(data []float32, rel float64) float64 {
+	minV, maxV := quant.Range(data)
+	eps, _ := quant.REL(rel).Resolve(minV, maxV)
+	return eps
+}
+
+func TestAllBaselinesRoundTripWithinBound(t *testing.T) {
+	data, dims := field3D(t)
+	eps := epsFor(data, 1e-3)
+	for _, c := range Suite() {
+		comp, err := c.Compress(data, dims, eps)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if comp.Elements != len(data) || comp.Eps != eps {
+			t.Fatalf("%s: bad metadata %+v", c.Name(), comp)
+		}
+		rec, err := c.Decompress(comp)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if len(rec) != len(data) {
+			t.Fatalf("%s: %d elements, want %d", c.Name(), len(rec), len(data))
+		}
+		for i := range data {
+			if e := math.Abs(float64(rec[i]) - float64(data[i])); e > eps*(1+1e-9) {
+				t.Fatalf("%s: error %g > ε at %d", c.Name(), e, i)
+			}
+		}
+		if comp.Ratio() <= 1 {
+			t.Fatalf("%s: ratio %.2f did not compress smooth data", c.Name(), comp.Ratio())
+		}
+	}
+}
+
+func TestSZpEqualsCoreU8(t *testing.T) {
+	data, dims := field2D(t)
+	eps := epsFor(data, 1e-3)
+	comp, err := SZp{}.Compress(data, dims, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _, err := core.CompressWithEps(nil, data, eps, core.Options{HeaderBytes: flenc.HeaderU8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp.Bytes) != len(ref) {
+		t.Fatalf("SZp stream %d bytes, core u8 stream %d", len(comp.Bytes), len(ref))
+	}
+	for i := range ref {
+		if comp.Bytes[i] != ref[i] {
+			t.Fatalf("SZp stream differs from core at byte %d", i)
+		}
+	}
+}
+
+func TestCuSZpIdenticalReconstructionToSZp(t *testing.T) {
+	// Fig. 15's point: same pre-quantization ⇒ same reconstruction.
+	data, dims := field3D(t)
+	eps := epsFor(data, 1e-4)
+	a, err := SZp{}.Compress(data, dims, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CuSZp{}.Compress(data, dims, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := SZp{}.Decompress(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := CuSZp{}.Decompress(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("reconstructions differ at %d", i)
+		}
+	}
+	if a.Ratio() != b.Ratio() {
+		t.Fatalf("SZp and cuSZp ratios differ: %g vs %g", a.Ratio(), b.Ratio())
+	}
+}
+
+func TestSZ3BeatsFixedLengthOnSmoothData(t *testing.T) {
+	// Table 5's headline: SZ has by far the highest ratio.
+	data, dims := field2D(t)
+	eps := epsFor(data, 1e-2)
+	szp, err := SZp{}.Compress(data, dims, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sz3, err := SZ3{}.Compress(data, dims, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz3.Ratio() <= szp.Ratio() {
+		t.Fatalf("SZ3 ratio %.2f not above SZp's %.2f", sz3.Ratio(), szp.Ratio())
+	}
+}
+
+func TestCuSZHandles1D2D3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	mk := func(n int) []float32 {
+		out := make([]float32, n)
+		v := 0.0
+		for i := range out {
+			v += rng.NormFloat64() * 0.01
+			out[i] = float32(math.Sin(float64(i)*0.05) + v)
+		}
+		return out
+	}
+	cases := []lorenzo.Dims{
+		lorenzo.Dims1(4096),
+		lorenzo.Dims2(64, 64),
+		lorenzo.Dims3(16, 16, 16),
+	}
+	for _, d := range cases {
+		data := mk(d.Len())
+		eps := epsFor(data, 1e-3)
+		comp, err := CuSZ{}.Compress(data, d, eps)
+		if err != nil {
+			t.Fatalf("dims %+v: %v", d, err)
+		}
+		rec, err := CuSZ{}.Decompress(comp)
+		if err != nil {
+			t.Fatalf("dims %+v: %v", d, err)
+		}
+		for i := range data {
+			if e := math.Abs(float64(rec[i]) - float64(data[i])); e > boundWithUlp(eps, data[i]) {
+				t.Fatalf("dims %+v: error %g at %d", d, e, i)
+			}
+		}
+	}
+}
+
+func TestOutlierPath(t *testing.T) {
+	// Data with occasional huge jumps forces residuals outside the
+	// [-512,512) bins — the escape/outlier channel must round-trip them.
+	data := make([]float32, 2048)
+	rng := rand.New(rand.NewSource(9))
+	v := 0.0
+	for i := range data {
+		v += rng.NormFloat64() * 0.001
+		if i%97 == 0 {
+			v += 50 // large jump ⇒ residual ≫ bin range
+		}
+		data[i] = float32(v)
+	}
+	eps := 1e-3
+	comp, err := CuSZ{}.Compress(data, lorenzo.Dims1(len(data)), eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := CuSZ{}.Decompress(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if e := math.Abs(float64(rec[i]) - float64(data[i])); e > boundWithUlp(eps, data[i]) {
+			t.Fatalf("outlier path error %g at %d", e, i)
+		}
+	}
+}
+
+// boundWithUlp is ε plus half a float32 ulp of v: the baselines (like the
+// real cuSZ/SZ3 codes) reconstruct into float32 without core's strict
+// verbatim fallback, so the final rounding can add up to ulp(v)/2.
+func boundWithUlp(eps float64, v float32) float64 {
+	return eps*(1+1e-9) + math.Abs(float64(v))*6e-8
+}
+
+func TestUnquantizableRejected(t *testing.T) {
+	data := []float32{float32(math.NaN()), 1, 2, 3}
+	for _, c := range []Compressor{CuSZ{}, SZ3{}} {
+		if _, err := c.Compress(data, lorenzo.Dims1(4), 1e-3); err == nil {
+			t.Fatalf("%s accepted NaN input", c.Name())
+		}
+	}
+}
+
+func TestDecompressWrongStream(t *testing.T) {
+	data, dims := field2D(t)
+	eps := epsFor(data, 1e-2)
+	sz3c, err := SZ3{}.Compress(data, dims, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (CuSZ{}).Decompress(sz3c); err == nil {
+		t.Fatal("cuSZ decoded an SZ3 stream")
+	}
+	cuszc, err := CuSZ{}.Compress(data, dims, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (SZ3{}).Decompress(cuszc); err == nil {
+		t.Fatal("SZ3 decoded a cuSZ stream")
+	}
+}
+
+func TestKernelsRegistry(t *testing.T) {
+	for _, c := range Suite() {
+		comp, dec, err := Kernels(c.Name())
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		tc, err := comp.ThroughputGBps(10, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		td, err := dec.ThroughputGBps(10, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc <= 0 || td <= 0 {
+			t.Fatalf("%s: non-positive modeled throughput", c.Name())
+		}
+	}
+	if _, _, err := Kernels("nope"); err == nil {
+		t.Fatal("accepted unknown baseline")
+	}
+}
+
+func TestModeledThroughputOrdering(t *testing.T) {
+	// The paper's Fig. 11 ordering at matched ratios:
+	// cuSZp > cuSZ > SZp > SZ.
+	ratio, zf := 8.0, 0.1
+	get := func(k devmodel.Kernel) float64 {
+		v, err := k.ThroughputGBps(ratio, zf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	cuszp := get(devmodel.CuSZpCompress)
+	cusz := get(devmodel.CuSZCompress)
+	szp := get(devmodel.SZpCompress)
+	sz := get(devmodel.SZ3Compress)
+	if !(cuszp > cusz && cusz > szp && szp > sz) {
+		t.Fatalf("ordering broken: cuSZp=%.1f cuSZ=%.1f SZp=%.1f SZ=%.1f", cuszp, cusz, szp, sz)
+	}
+	// Calibration anchor: cuSZp lands in the ~80–120 GB/s band so that
+	// CereSZ's ~457 GB/s average is ~4–5× faster (§5.2).
+	if cuszp < 80 || cuszp > 130 {
+		t.Fatalf("cuSZp modeled at %.1f GB/s, outside the calibration band", cuszp)
+	}
+	// SZ3 must sit below 1 GB/s (paper §5.3: "routinely less than 1 GB/s").
+	if sz >= 1 {
+		t.Fatalf("SZ modeled at %.2f GB/s, want <1", sz)
+	}
+}
+
+func TestZeroFracSpeedsUpFixedLengthFamily(t *testing.T) {
+	lo, err := devmodel.CuSZpCompress.ThroughputGBps(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := devmodel.CuSZpCompress.ThroughputGBps(10, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi <= lo {
+		t.Fatalf("zero blocks did not speed up the model: %g vs %g", lo, hi)
+	}
+	if _, err := devmodel.CuSZpCompress.ThroughputGBps(10, 1.5); err == nil {
+		t.Fatal("accepted zeroFrac > 1")
+	}
+	if _, err := devmodel.CuSZpCompress.ThroughputGBps(0, 0); err == nil {
+		t.Fatal("accepted zero ratio")
+	}
+}
+
+func TestFZGPURoundTrip(t *testing.T) {
+	data, dims := field3D(t)
+	for _, rel := range []float64{1e-2, 1e-3, 1e-4} {
+		eps := epsFor(data, rel)
+		comp, err := FZGPU{}.Compress(data, dims, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := FZGPU{}.Decompress(comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range data {
+			if e := math.Abs(float64(rec[i]) - float64(data[i])); e > boundWithUlp(eps, data[i]) {
+				t.Fatalf("rel %g: error %g at %d", rel, e, i)
+			}
+		}
+		if comp.Ratio() <= 1 {
+			t.Fatalf("rel %g: ratio %.2f", rel, comp.Ratio())
+		}
+		if comp.ZeroBlockFrac < 0 || comp.ZeroBlockFrac > 1 {
+			t.Fatalf("zero word fraction %g", comp.ZeroBlockFrac)
+		}
+	}
+}
+
+func TestFZGPUNonMultipleChunk(t *testing.T) {
+	// Lengths that are not multiples of the 1024-code shuffle chunk (and
+	// not of 32 either) must round-trip exactly.
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 31, 1023, 1025, 4097} {
+		data := make([]float32, n)
+		v := 0.0
+		for i := range data {
+			v += rng.NormFloat64() * 0.01
+			data[i] = float32(v)
+		}
+		eps := 1e-3
+		comp, err := FZGPU{}.Compress(data, lorenzo.Dims1(n), eps)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		rec, err := FZGPU{}.Decompress(comp)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := range data {
+			if e := math.Abs(float64(rec[i]) - float64(data[i])); e > boundWithUlp(eps, data[i]) {
+				t.Fatalf("n=%d: error %g at %d", n, e, i)
+			}
+		}
+	}
+}
+
+func TestFZGPUIdenticalReconstructionToFamily(t *testing.T) {
+	// Same pre-quantization ⇒ same reconstruction as SZp/cuSZp (§5.4).
+	data, dims := field2D(t)
+	eps := epsFor(data, 1e-3)
+	fz, err := FZGPU{}.Compress(data, dims, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	szp, err := SZp{}.Compress(data, dims, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := FZGPU{}.Decompress(fz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SZp{}.Decompress(szp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("family reconstructions differ at %d", i)
+		}
+	}
+}
+
+func TestExtendedSuite(t *testing.T) {
+	ext := ExtendedSuite()
+	if len(ext) != len(Suite())+2 {
+		t.Fatalf("extended suite has %d compressors", len(ext))
+	}
+	names := map[string]bool{}
+	for _, c := range ext {
+		names[c.Name()] = true
+		if _, _, err := Kernels(c.Name()); err != nil {
+			t.Fatalf("%s has no device model: %v", c.Name(), err)
+		}
+	}
+	if !names["FZ-GPU"] || !names["cuSZx"] {
+		t.Fatalf("extended suite missing extras: %v", names)
+	}
+}
+
+func TestFZGPUCorruptStream(t *testing.T) {
+	data, dims := field2D(t)
+	comp, err := FZGPU{}.Compress(data, dims, epsFor(data, 1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{3, 31, 40, len(comp.Bytes) - 7} {
+		bad := *comp
+		bad.Bytes = comp.Bytes[:cut]
+		if _, err := (FZGPU{}).Decompress(&bad); err == nil {
+			t.Fatalf("accepted truncation at %d", cut)
+		}
+	}
+}
+
+func TestFZGPUKernelOrdering(t *testing.T) {
+	// FZ-GPU sits between cuSZ and cuSZp in the modeled throughput order
+	// (as in its own paper's A100 numbers).
+	get := func(k devmodel.Kernel) float64 {
+		v, err := k.ThroughputGBps(8, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if !(get(devmodel.CuSZpCompress) > get(devmodel.FZGPUCompress) &&
+		get(devmodel.FZGPUCompress) > get(devmodel.CuSZCompress)) {
+		t.Fatalf("ordering: cuSZp %.1f, FZ-GPU %.1f, cuSZ %.1f",
+			get(devmodel.CuSZpCompress), get(devmodel.FZGPUCompress), get(devmodel.CuSZCompress))
+	}
+	if _, _, err := Kernels("FZ-GPU"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCuSZxRoundTrip(t *testing.T) {
+	data, dims := field3D(t)
+	for _, rel := range []float64{1e-2, 1e-4} {
+		eps := epsFor(data, rel)
+		comp, err := CuSZx{}.Compress(data, dims, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := CuSZx{}.Decompress(comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range data {
+			if e := math.Abs(float64(rec[i]) - float64(data[i])); e > eps {
+				t.Fatalf("rel %g: error %g at %d (strict bound expected)", rel, e, i)
+			}
+		}
+		if comp.Ratio() <= 1 {
+			t.Fatalf("rel %g: ratio %.2f", rel, comp.Ratio())
+		}
+	}
+}
+
+func TestCuSZxConstantBlocks(t *testing.T) {
+	// A constant-offset field collapses to one float per 128 elements.
+	data := make([]float32, 128*20)
+	for i := range data {
+		data[i] = 42.5
+	}
+	comp, err := CuSZx{}.Compress(data, lorenzo.Dims1(len(data)), 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.ZeroBlockFrac != 1 {
+		t.Fatalf("constant fraction %g, want 1", comp.ZeroBlockFrac)
+	}
+	// 32 header + 20 × (1 flag + 4 bytes).
+	if len(comp.Bytes) != 32+20*5 {
+		t.Fatalf("constant stream %d bytes", len(comp.Bytes))
+	}
+	rec, err := CuSZx{}.Decompress(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range rec {
+		if v != 42.5 {
+			t.Fatalf("rec[%d] = %g", i, v)
+		}
+	}
+}
+
+func TestCuSZxBeatsSZpOnOffsetData(t *testing.T) {
+	// Large offset + small variation: SZp pays bits for the absolute first
+	// element of every block; cuSZx centers it away — the "constant block
+	// design" advantage the paper's §6.1 credits.
+	rng := rand.New(rand.NewSource(11))
+	data := make([]float32, 128*64)
+	for i := range data {
+		data[i] = 1e4 + float32(rng.NormFloat64())*0.01
+	}
+	eps := 5e-3
+	x, err := CuSZx{}.Compress(data, lorenzo.Dims1(len(data)), eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := SZp{}.Compress(data, lorenzo.Dims1(len(data)), eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Ratio() <= p.Ratio() {
+		t.Fatalf("cuSZx ratio %.2f not above SZp %.2f on offset data", x.Ratio(), p.Ratio())
+	}
+}
+
+func TestCuSZxNonFiniteVerbatim(t *testing.T) {
+	data := make([]float32, 200)
+	for i := range data {
+		data[i] = float32(i)
+	}
+	data[7] = float32(math.NaN())
+	data[150] = float32(math.Inf(-1))
+	comp, err := CuSZx{}.Compress(data, lorenzo.Dims1(len(data)), 1e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := CuSZx{}.Decompress(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(float64(rec[7])) || !math.IsInf(float64(rec[150]), -1) {
+		t.Fatal("non-finite values not preserved")
+	}
+	for i := range data {
+		if i == 7 || i == 150 {
+			continue
+		}
+		if e := math.Abs(float64(rec[i]) - float64(data[i])); e > 1e-2 {
+			t.Fatalf("error %g at %d", e, i)
+		}
+	}
+}
+
+func TestCuSZxCorrupt(t *testing.T) {
+	data, dims := field2D(t)
+	comp, err := CuSZx{}.Compress(data, dims, epsFor(data, 1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{3, 31, 33, len(comp.Bytes) - 2} {
+		bad := *comp
+		bad.Bytes = comp.Bytes[:cut]
+		if _, err := (CuSZx{}).Decompress(&bad); err == nil {
+			t.Fatalf("accepted truncation at %d", cut)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package baselines
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"ceresz/internal/huffman"
+)
+
+// The Huffman baselines map prediction residuals onto cuSZ-style
+// quantization-bin symbols: residuals in [-binRange, binRange) use
+// symbol r+binRange; everything else escapes to symbol escapeSym with the
+// raw code appended to an outlier list (in stream order).
+const (
+	binRange  = 512
+	escapeSym = 2 * binRange
+)
+
+// encodeResiduals serializes residual codes as:
+//
+//	u32 outlierCount, outliers (i32 each, in stream order),
+//	u32 codebook size K, K × (u32 symbol, u8 length),
+//	u64 payload bit count, payload bytes.
+func encodeResiduals(residuals []int32) ([]byte, error) {
+	symbols := make([]uint32, len(residuals))
+	var outliers []int32
+	for i, r := range residuals {
+		if r >= -binRange && r < binRange {
+			symbols[i] = uint32(r + binRange)
+		} else {
+			symbols[i] = escapeSym
+			outliers = append(outliers, r)
+		}
+	}
+	cb, payload, err := huffman.EncodeAll(symbols)
+	if err != nil {
+		return nil, err
+	}
+	lengths := cb.Lengths()
+	syms := make([]uint32, 0, len(lengths))
+	for s := range lengths {
+		syms = append(syms, s)
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+
+	var out []byte
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(outliers)))
+	for _, o := range outliers {
+		out = binary.LittleEndian.AppendUint32(out, uint32(o))
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(syms)))
+	for _, s := range syms {
+		out = binary.LittleEndian.AppendUint32(out, s)
+		out = append(out, lengths[s])
+	}
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(payload)))
+	out = append(out, payload...)
+	return out, nil
+}
+
+// decodeResiduals inverts encodeResiduals, producing n residual codes and
+// returning the number of bytes consumed.
+func decodeResiduals(src []byte, n int) ([]int32, int, error) {
+	pos := 0
+	need := func(k int) error {
+		if len(src)-pos < k {
+			return fmt.Errorf("baselines: truncated residual stream at offset %d", pos)
+		}
+		return nil
+	}
+	if err := need(4); err != nil {
+		return nil, 0, err
+	}
+	nOut := int(binary.LittleEndian.Uint32(src[pos:]))
+	pos += 4
+	if err := need(4 * nOut); err != nil {
+		return nil, 0, err
+	}
+	outliers := make([]int32, nOut)
+	for i := range outliers {
+		outliers[i] = int32(binary.LittleEndian.Uint32(src[pos:]))
+		pos += 4
+	}
+	if err := need(4); err != nil {
+		return nil, 0, err
+	}
+	k := int(binary.LittleEndian.Uint32(src[pos:]))
+	pos += 4
+	if err := need(5 * k); err != nil {
+		return nil, 0, err
+	}
+	lengths := make(map[uint32]uint8, k)
+	for i := 0; i < k; i++ {
+		sym := binary.LittleEndian.Uint32(src[pos:])
+		ln := src[pos+4]
+		pos += 5
+		if _, dup := lengths[sym]; dup {
+			return nil, 0, fmt.Errorf("baselines: duplicate symbol %d in codebook", sym)
+		}
+		lengths[sym] = ln
+	}
+	cb, err := huffman.FromLengths(lengths)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := need(8); err != nil {
+		return nil, 0, err
+	}
+	payloadLen := int(binary.LittleEndian.Uint64(src[pos:]))
+	pos += 8
+	if err := need(payloadLen); err != nil {
+		return nil, 0, err
+	}
+	symbols, err := huffman.DecodeAll(cb, src[pos:pos+payloadLen], n)
+	if err != nil {
+		return nil, 0, err
+	}
+	pos += payloadLen
+
+	residuals := make([]int32, n)
+	oi := 0
+	for i, s := range symbols {
+		switch {
+		case s == escapeSym:
+			if oi >= len(outliers) {
+				return nil, 0, fmt.Errorf("baselines: escape %d has no outlier", i)
+			}
+			residuals[i] = outliers[oi]
+			oi++
+		case s < escapeSym:
+			residuals[i] = int32(s) - binRange
+		default:
+			return nil, 0, fmt.Errorf("baselines: symbol %d out of alphabet", s)
+		}
+	}
+	if oi != len(outliers) {
+		return nil, 0, fmt.Errorf("baselines: %d unused outliers", len(outliers)-oi)
+	}
+	return residuals, pos, nil
+}

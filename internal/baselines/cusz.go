@@ -1,0 +1,115 @@
+package baselines
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"ceresz/internal/lorenzo"
+)
+
+// CuSZ models the cuSZ baseline: pre-quantization, N-dimensional Lorenzo
+// prediction over the full grid, and canonical Huffman coding of the
+// residual bins with an outlier side channel (paper §5.1.3; Tian et al.,
+// PACT'20). Reconstruction satisfies the same error bound as CereSZ.
+type CuSZ struct{}
+
+var cuszMagic = [4]byte{'C', 'U', 'S', 'Z'}
+
+// Name implements Compressor.
+func (CuSZ) Name() string { return "cuSZ" }
+
+// Compress implements Compressor.
+func (CuSZ) Compress(data []float32, d lorenzo.Dims, eps float64) (*Compressed, error) {
+	if err := d.Validate(len(data)); err != nil {
+		return nil, err
+	}
+	codes, _, err := prequantize(data, eps)
+	if err != nil {
+		return nil, err
+	}
+	residuals := make([]int32, len(codes))
+	if err := forwardLorenzo(residuals, codes, d); err != nil {
+		return nil, err
+	}
+	body, err := encodeResiduals(residuals)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, 36+len(body))
+	out = append(out, cuszMagic[:]...)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(data)))
+	out = binary.LittleEndian.AppendUint32(out, uint32(d.Nx))
+	out = binary.LittleEndian.AppendUint32(out, uint32(d.Ny))
+	out = binary.LittleEndian.AppendUint32(out, uint32(d.Nz))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(eps))
+	out = append(out, body...)
+	return &Compressed{
+		Compressor: "cuSZ",
+		Bytes:      out,
+		Elements:   len(data),
+		Dims:       d,
+		Eps:        eps,
+	}, nil
+}
+
+// Decompress implements Compressor.
+func (CuSZ) Decompress(c *Compressed) ([]float32, error) {
+	src := c.Bytes
+	if len(src) < 32 || [4]byte(src[0:4]) != cuszMagic {
+		return nil, fmt.Errorf("baselines: not a cuSZ stream")
+	}
+	n := int(binary.LittleEndian.Uint64(src[4:]))
+	d := lorenzo.Dims{
+		Nx: int(binary.LittleEndian.Uint32(src[12:])),
+		Ny: int(binary.LittleEndian.Uint32(src[16:])),
+		Nz: int(binary.LittleEndian.Uint32(src[20:])),
+	}
+	eps := math.Float64frombits(binary.LittleEndian.Uint64(src[24:]))
+	if err := d.Validate(n); err != nil {
+		return nil, err
+	}
+	if !(eps > 0) {
+		return nil, fmt.Errorf("baselines: non-positive ε in stream")
+	}
+	residuals, _, err := decodeResiduals(src[32:], n)
+	if err != nil {
+		return nil, err
+	}
+	codes := make([]int32, n)
+	if err := inverseLorenzo(codes, residuals, d); err != nil {
+		return nil, err
+	}
+	out := make([]float32, n)
+	for i, p := range codes {
+		out[i] = float32(float64(p) * 2 * eps)
+	}
+	return out, nil
+}
+
+// forwardLorenzo applies the Lorenzo transform matching the grid's
+// dimensionality.
+func forwardLorenzo(dst, src []int32, d lorenzo.Dims) error {
+	switch d.Order() {
+	case 3:
+		return lorenzo.Forward3D(dst, src, d)
+	case 2:
+		return lorenzo.Forward2D(dst, src, d)
+	default:
+		lorenzo.Forward(dst, src)
+		return nil
+	}
+}
+
+// inverseLorenzo inverts forwardLorenzo.
+func inverseLorenzo(dst, src []int32, d lorenzo.Dims) error {
+	switch d.Order() {
+	case 3:
+		return lorenzo.Inverse3D(dst, src, d)
+	case 2:
+		return lorenzo.Inverse2D(dst, src, d)
+	default:
+		lorenzo.Inverse(dst, src)
+		return nil
+	}
+}

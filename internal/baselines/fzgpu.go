@@ -1,0 +1,191 @@
+package baselines
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"ceresz/internal/lorenzo"
+)
+
+// FZGPU models FZ-GPU (Zhang et al., HPDC'23), which the paper discusses
+// alongside cuSZp (§3, §6.1): the same pre-quantization + block-wise 1D
+// Lorenzo front end, then a bitshuffle across a whole chunk of codes
+// followed by lightweight zero-suppression — after shuffling, smooth data
+// concentrates its zero bits into long zero runs, which a bitmap of
+// nonzero words captures cheaply. It is not part of the paper's Fig. 11 /
+// Table 5 comparison set (Suite), but completes the pre-quantization
+// family for the extended experiments.
+type FZGPU struct{}
+
+var fzgpuMagic = [4]byte{'F', 'Z', 'G', 'P'}
+
+// fzChunk is the number of int32 codes bitshuffled together (32 blocks of
+// 32 codes — FZ-GPU shuffles at thread-block granularity).
+const fzChunk = 1024
+
+// fzWord is the zero-suppression granularity in bytes.
+const fzWord = 32
+
+// Name implements Compressor.
+func (FZGPU) Name() string { return "FZ-GPU" }
+
+// Compress implements Compressor.
+func (FZGPU) Compress(data []float32, d lorenzo.Dims, eps float64) (*Compressed, error) {
+	if err := d.Validate(len(data)); err != nil {
+		return nil, err
+	}
+	codes, _, err := prequantize(data, eps)
+	if err != nil {
+		return nil, err
+	}
+	// Block-wise 1D Lorenzo, exactly as the SZp family.
+	for lo := 0; lo < len(codes); lo += 32 {
+		hi := min(lo+32, len(codes))
+		lorenzo.Forward(codes[lo:hi], codes[lo:hi])
+	}
+
+	out := make([]byte, 0, len(data))
+	out = append(out, fzgpuMagic[:]...)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(data)))
+	out = binary.LittleEndian.AppendUint32(out, uint32(d.Nx))
+	out = binary.LittleEndian.AppendUint32(out, uint32(d.Ny))
+	out = binary.LittleEndian.AppendUint32(out, uint32(d.Nz))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(eps))
+
+	shuffled := make([]byte, fzChunk/8*32) // 32 planes × 128 bytes
+	var zeroWords, totalWords int
+	for lo := 0; lo < len(codes); lo += fzChunk {
+		hi := min(lo+fzChunk, len(codes))
+		chunk := codes[lo:hi]
+		n := hi - lo
+		planeBytes := (n + 7) / 8
+		buf := shuffled[:32*planeBytes]
+		for i := range buf {
+			buf[i] = 0
+		}
+		for i, c := range chunk {
+			// Zigzag so small-magnitude residuals populate only low bit
+			// planes (two's complement would light every high plane for
+			// negatives, defeating zero suppression).
+			u := uint32(c<<1) ^ uint32(c>>31)
+			for b := 0; b < 32; b++ {
+				if u>>uint(b)&1 != 0 {
+					buf[b*planeBytes+i/8] |= 1 << (i % 8)
+				}
+			}
+		}
+		// Zero-suppression: bitmap of nonzero fzWord-byte words.
+		words := (len(buf) + fzWord - 1) / fzWord
+		bitmap := make([]byte, (words+7)/8)
+		var nonzero []byte
+		for w := 0; w < words; w++ {
+			wlo := w * fzWord
+			whi := min(wlo+fzWord, len(buf))
+			allZero := true
+			for _, b := range buf[wlo:whi] {
+				if b != 0 {
+					allZero = false
+					break
+				}
+			}
+			totalWords++
+			if allZero {
+				zeroWords++
+				continue
+			}
+			bitmap[w/8] |= 1 << (w % 8)
+			// Pad the tail word to fzWord for a fixed decode shape.
+			word := make([]byte, fzWord)
+			copy(word, buf[wlo:whi])
+			nonzero = append(nonzero, word...)
+		}
+		out = binary.LittleEndian.AppendUint32(out, uint32(n))
+		out = append(out, bitmap...)
+		out = append(out, nonzero...)
+	}
+
+	zf := 0.0
+	if totalWords > 0 {
+		zf = float64(zeroWords) / float64(totalWords)
+	}
+	return &Compressed{
+		Compressor:    "FZ-GPU",
+		Bytes:         out,
+		Elements:      len(data),
+		Dims:          d,
+		Eps:           eps,
+		ZeroBlockFrac: zf,
+	}, nil
+}
+
+// Decompress implements Compressor.
+func (FZGPU) Decompress(c *Compressed) ([]float32, error) {
+	src := c.Bytes
+	if len(src) < 32 || [4]byte(src[0:4]) != fzgpuMagic {
+		return nil, fmt.Errorf("baselines: not an FZ-GPU stream")
+	}
+	n := int(binary.LittleEndian.Uint64(src[4:]))
+	eps := math.Float64frombits(binary.LittleEndian.Uint64(src[24:]))
+	if !(eps > 0) {
+		return nil, fmt.Errorf("baselines: non-positive ε in FZ-GPU stream")
+	}
+	pos := 32
+	codes := make([]int32, n)
+	for lo := 0; lo < n; lo += fzChunk {
+		if len(src)-pos < 4 {
+			return nil, fmt.Errorf("baselines: truncated FZ-GPU chunk header")
+		}
+		cn := int(binary.LittleEndian.Uint32(src[pos:]))
+		pos += 4
+		if cn != min(fzChunk, n-lo) {
+			return nil, fmt.Errorf("baselines: FZ-GPU chunk length %d, want %d", cn, min(fzChunk, n-lo))
+		}
+		planeBytes := (cn + 7) / 8
+		bufLen := 32 * planeBytes
+		words := (bufLen + fzWord - 1) / fzWord
+		bmLen := (words + 7) / 8
+		if len(src)-pos < bmLen {
+			return nil, fmt.Errorf("baselines: truncated FZ-GPU bitmap")
+		}
+		bitmap := src[pos : pos+bmLen]
+		pos += bmLen
+		buf := make([]byte, bufLen)
+		for w := 0; w < words; w++ {
+			if bitmap[w/8]&(1<<(w%8)) == 0 {
+				continue
+			}
+			if len(src)-pos < fzWord {
+				return nil, fmt.Errorf("baselines: truncated FZ-GPU word")
+			}
+			wlo := w * fzWord
+			whi := min(wlo+fzWord, bufLen)
+			copy(buf[wlo:whi], src[pos:pos+(whi-wlo)])
+			pos += fzWord
+		}
+		for i := 0; i < cn; i++ {
+			var u uint32
+			for b := 0; b < 32; b++ {
+				if buf[b*planeBytes+i/8]&(1<<(i%8)) != 0 {
+					u |= 1 << uint(b)
+				}
+			}
+			codes[lo+i] = int32(u>>1) ^ -int32(u&1) // un-zigzag
+		}
+	}
+	for lo := 0; lo < n; lo += 32 {
+		hi := min(lo+32, n)
+		lorenzo.Inverse(codes[lo:hi], codes[lo:hi])
+	}
+	out := make([]float32, n)
+	for i, p := range codes {
+		out[i] = float32(float64(p) * 2 * eps)
+	}
+	return out, nil
+}
+
+// ExtendedSuite is Suite plus the FZ-GPU- and cuSZx-like compressors —
+// the full pre-quantization family discussed in the paper's §3 and §6.1.
+func ExtendedSuite() []Compressor {
+	return append(Suite(), FZGPU{}, CuSZx{})
+}

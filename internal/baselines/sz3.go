@@ -1,0 +1,199 @@
+package baselines
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"ceresz/internal/lorenzo"
+)
+
+// SZ3 models the SZ (SZ3) baseline: it tries every Lorenzo order the grid
+// supports, Huffman-codes the residual bins, then runs a general-purpose
+// lossless pass (flate; the original uses zstd) over the result and keeps
+// the smallest stream. This is the paper's "fine-tunes prediction methods
+// … Huffman encoding along with best-fit lossless compression" (§5.3) —
+// the ratio leader with throughput far below 1 GB/s.
+type SZ3 struct {
+	// Level is the flate level (0 selects flate.BestCompression).
+	Level int
+}
+
+var sz3Magic = [4]byte{'S', 'Z', '3', 'L'}
+
+// Name implements Compressor. The paper labels this baseline "SZ".
+func (SZ3) Name() string { return "SZ" }
+
+// Compress implements Compressor.
+func (s SZ3) Compress(data []float32, d lorenzo.Dims, eps float64) (*Compressed, error) {
+	if err := d.Validate(len(data)); err != nil {
+		return nil, err
+	}
+	codes, _, err := prequantize(data, eps)
+	if err != nil {
+		return nil, err
+	}
+	level := s.Level
+	if level == 0 {
+		level = flate.BestCompression
+	}
+
+	var bestBody []byte
+	bestOrder := 0
+	residuals := make([]int32, len(codes))
+	for order := 1; order <= d.Order(); order++ {
+		if err := lorenzoOrder(residuals, codes, d, order); err != nil {
+			return nil, err
+		}
+		inner, err := encodeResiduals(residuals)
+		if err != nil {
+			return nil, err
+		}
+		deflated, err := deflateAll(inner, level)
+		if err != nil {
+			return nil, err
+		}
+		if bestBody == nil || len(deflated) < len(bestBody) {
+			bestBody = deflated
+			bestOrder = order
+		}
+	}
+
+	out := make([]byte, 0, 40+len(bestBody))
+	out = append(out, sz3Magic[:]...)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(data)))
+	out = binary.LittleEndian.AppendUint32(out, uint32(d.Nx))
+	out = binary.LittleEndian.AppendUint32(out, uint32(d.Ny))
+	out = binary.LittleEndian.AppendUint32(out, uint32(d.Nz))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(eps))
+	out = append(out, byte(bestOrder))
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(bestBody)))
+	out = append(out, bestBody...)
+	return &Compressed{
+		Compressor: "SZ",
+		Bytes:      out,
+		Elements:   len(data),
+		Dims:       d,
+		Eps:        eps,
+	}, nil
+}
+
+// Decompress implements Compressor.
+func (SZ3) Decompress(c *Compressed) ([]float32, error) {
+	src := c.Bytes
+	if len(src) < 41 || [4]byte(src[0:4]) != sz3Magic {
+		return nil, fmt.Errorf("baselines: not an SZ3 stream")
+	}
+	n := int(binary.LittleEndian.Uint64(src[4:]))
+	d := lorenzo.Dims{
+		Nx: int(binary.LittleEndian.Uint32(src[12:])),
+		Ny: int(binary.LittleEndian.Uint32(src[16:])),
+		Nz: int(binary.LittleEndian.Uint32(src[20:])),
+	}
+	eps := math.Float64frombits(binary.LittleEndian.Uint64(src[24:]))
+	order := int(src[32])
+	bodyLen := int(binary.LittleEndian.Uint64(src[33:]))
+	if err := d.Validate(n); err != nil {
+		return nil, err
+	}
+	if !(eps > 0) || order < 1 || order > 3 || order > d.Order() {
+		return nil, fmt.Errorf("baselines: corrupt SZ3 header (ε=%g order=%d)", eps, order)
+	}
+	if len(src) < 41+bodyLen {
+		return nil, fmt.Errorf("baselines: truncated SZ3 stream")
+	}
+	inner, err := inflateAll(src[41 : 41+bodyLen])
+	if err != nil {
+		return nil, err
+	}
+	residuals, _, err := decodeResiduals(inner, n)
+	if err != nil {
+		return nil, err
+	}
+	codes := make([]int32, n)
+	if err := inverseLorenzoOrder(codes, residuals, d, order); err != nil {
+		return nil, err
+	}
+	out := make([]float32, n)
+	for i, p := range codes {
+		out[i] = float32(float64(p) * 2 * eps)
+	}
+	return out, nil
+}
+
+func lorenzoOrder(dst, src []int32, d lorenzo.Dims, order int) error {
+	switch order {
+	case 1:
+		lorenzo.Forward(dst, src)
+		return nil
+	case 2:
+		if d.Order() == 3 {
+			// Apply 2D prediction slab by slab.
+			slab := d.Nx * d.Ny
+			d2 := lorenzo.Dims2(d.Nx, d.Ny)
+			for z := 0; z < d.Nz; z++ {
+				if err := lorenzo.Forward2D(dst[z*slab:(z+1)*slab], src[z*slab:(z+1)*slab], d2); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return lorenzo.Forward2D(dst, src, d)
+	case 3:
+		return lorenzo.Forward3D(dst, src, d)
+	default:
+		return fmt.Errorf("baselines: unsupported Lorenzo order %d", order)
+	}
+}
+
+func inverseLorenzoOrder(dst, src []int32, d lorenzo.Dims, order int) error {
+	switch order {
+	case 1:
+		lorenzo.Inverse(dst, src)
+		return nil
+	case 2:
+		if d.Order() == 3 {
+			slab := d.Nx * d.Ny
+			d2 := lorenzo.Dims2(d.Nx, d.Ny)
+			for z := 0; z < d.Nz; z++ {
+				if err := lorenzo.Inverse2D(dst[z*slab:(z+1)*slab], src[z*slab:(z+1)*slab], d2); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return lorenzo.Inverse2D(dst, src, d)
+	case 3:
+		return lorenzo.Inverse3D(dst, src, d)
+	default:
+		return fmt.Errorf("baselines: unsupported Lorenzo order %d", order)
+	}
+}
+
+func deflateAll(src []byte, level int) ([]byte, error) {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, level)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(src); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func inflateAll(src []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(src))
+	defer r.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: inflate: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,564 @@
+// Package core implements the CereSZ error-bounded lossy compressor
+// (paper §3): block-wise pre-quantization → 1D Lorenzo prediction →
+// fixed-length encoding, plus the reverse decompression path. This is the
+// host (reference) implementation; the same stage kernels are also executed
+// by the simulated Cerebras WSE pipeline (internal/wse, internal/mapping),
+// whose output is bit-identical to this package's.
+//
+// The compressed stream is self-describing:
+//
+//	offset size  field
+//	0      4     magic "CSZ1"
+//	4      1     header bytes per block (4 = CereSZ, 1 = SZp family)
+//	5      1     flags (bit 0: element type, 0 = float32)
+//	6      2     block length L (uint16, multiple of 8)
+//	8      8     element count N (uint64)
+//	16     8     resolved absolute error bound ε (float64 bits)
+//	24     …     ⌈N/L⌉ blocks (flenc wire format; the trailing partial
+//	             block is zero-padded to L elements before quantization)
+//
+// Every block is independent (paper §3: "compressed within each block
+// independently"), which is what allows the naive mapping of blocks to PE
+// rows on the WSE.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"ceresz/internal/flenc"
+	"ceresz/internal/lorenzo"
+	"ceresz/internal/quant"
+)
+
+// Magic identifies a CereSZ stream.
+var Magic = [4]byte{'C', 'S', 'Z', '1'}
+
+// StreamHeaderSize is the size of the fixed container header in bytes.
+const StreamHeaderSize = 24
+
+// DefaultBlockLen is the block size used throughout the paper (§5.1.1):
+// 32 elements, the option with the highest compression ratio that satisfies
+// the WSE's 16/32-bit transfer granularity.
+const DefaultBlockLen = 32
+
+// Options configures a compression pass.
+type Options struct {
+	// Bound is the user error bound (ABS ε or value-range REL λ).
+	Bound quant.Bound
+	// BlockLen is the number of elements per block; it must be a positive
+	// multiple of 8. Zero selects DefaultBlockLen.
+	BlockLen int
+	// HeaderBytes is the per-block fixed-length header size:
+	// flenc.HeaderU32 (CereSZ) or flenc.HeaderU8 (SZp family).
+	// Zero selects flenc.HeaderU32.
+	HeaderBytes int
+	// Workers bounds host-side parallelism. 0 uses GOMAXPROCS; 1 forces the
+	// sequential reference path. Output bytes are identical regardless.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.BlockLen == 0 {
+		o.BlockLen = DefaultBlockLen
+	}
+	if o.HeaderBytes == 0 {
+		o.HeaderBytes = flenc.HeaderU32
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.BlockLen <= 0 || o.BlockLen%8 != 0 {
+		return fmt.Errorf("core: block length %d must be a positive multiple of 8", o.BlockLen)
+	}
+	if o.BlockLen > math.MaxUint16 {
+		return fmt.Errorf("core: block length %d exceeds container limit %d", o.BlockLen, math.MaxUint16)
+	}
+	if o.HeaderBytes != flenc.HeaderU32 && o.HeaderBytes != flenc.HeaderU8 {
+		return fmt.Errorf("core: unsupported header size %d", o.HeaderBytes)
+	}
+	return nil
+}
+
+// Stats reports what a compression pass produced.
+type Stats struct {
+	// Elements is the number of input elements N.
+	Elements int
+	// Blocks is ⌈N/L⌉.
+	Blocks int
+	// ZeroBlocks counts blocks stored as a bare header.
+	ZeroBlocks int
+	// VerbatimBlocks counts blocks stored raw due to quantization overflow.
+	VerbatimBlocks int
+	// WidthHistogram[w] counts blocks whose fixed length is w (0..32).
+	WidthHistogram [flenc.MaxWidth + 1]int
+	// CompressedBytes is the total stream size including the container header.
+	CompressedBytes int
+	// Eps is the resolved absolute error bound.
+	Eps float64
+}
+
+// Ratio returns original size / compressed size for float32 input.
+func (s *Stats) Ratio() float64 {
+	if s.CompressedBytes == 0 {
+		return 0
+	}
+	return float64(4*s.Elements) / float64(s.CompressedBytes)
+}
+
+// MeanWidth returns the average fixed length over non-zero, non-verbatim
+// blocks, or 0 if there are none.
+func (s *Stats) MeanWidth() float64 {
+	var n, sum int
+	for w := 1; w <= flenc.MaxWidth; w++ {
+		n += s.WidthHistogram[w]
+		sum += w * s.WidthHistogram[w]
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// Meta describes a parsed stream header.
+type Meta struct {
+	HeaderBytes int
+	BlockLen    int
+	Elements    int
+	Eps         float64
+	// Elem is the stream's element type (Float32 or Float64).
+	Elem Elem
+}
+
+// Blocks returns the number of blocks in the stream.
+func (m Meta) Blocks() int {
+	return (m.Elements + m.BlockLen - 1) / m.BlockLen
+}
+
+// ErrBadStream is wrapped by all stream-parsing failures.
+var ErrBadStream = errors.New("core: malformed stream")
+
+// Compress appends the CereSZ stream for data to dst (which may be nil) and
+// returns the extended slice together with compression statistics.
+func Compress(dst []byte, data []float32, opts Options) ([]byte, *Stats, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return dst, nil, err
+	}
+	minV, maxV := quant.Range(data)
+	eps, err := opts.Bound.Resolve(minV, maxV)
+	if err != nil {
+		return dst, nil, err
+	}
+	return compressEps(dst, data, eps, opts)
+}
+
+// CompressWithEps is Compress with a pre-resolved absolute bound; the
+// baselines use it to guarantee all compressors see the same ε.
+func CompressWithEps(dst []byte, data []float32, eps float64, opts Options) ([]byte, *Stats, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return dst, nil, err
+	}
+	if !(eps > 0) {
+		return dst, nil, quant.ErrNonPositiveBound
+	}
+	return compressEps(dst, data, eps, opts)
+}
+
+func compressEps(dst []byte, data []float32, eps float64, opts Options) ([]byte, *Stats, error) {
+	q, err := quant.NewQuantizer(eps)
+	if err != nil {
+		return dst, nil, err
+	}
+	L := opts.BlockLen
+	nBlocks := (len(data) + L - 1) / L
+
+	stats := &Stats{Elements: len(data), Blocks: nBlocks, Eps: eps}
+
+	// Container header.
+	start := len(dst)
+	dst = AppendStreamHeader(dst, Meta{
+		HeaderBytes: opts.HeaderBytes,
+		BlockLen:    L,
+		Elements:    len(data),
+		Eps:         eps,
+	})
+
+	if nBlocks == 0 {
+		stats.CompressedBytes = len(dst) - start
+		return dst, stats, nil
+	}
+
+	workers := opts.Workers
+	if workers > nBlocks {
+		workers = nBlocks
+	}
+	if workers <= 1 {
+		enc := newBlockEncoder(L, opts.HeaderBytes, q)
+		for b := 0; b < nBlocks; b++ {
+			dst = enc.encode(dst, blockSlice(data, b, L), stats)
+		}
+		stats.CompressedBytes = len(dst) - start
+		return dst, stats, nil
+	}
+
+	// Parallel path: split the block range into one contiguous chunk per
+	// worker, encode each chunk into its own buffer, then concatenate in
+	// order. The output is byte-identical to the sequential path.
+	type chunk struct {
+		buf   []byte
+		stats Stats
+	}
+	chunks := make([]chunk, workers)
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < workers; wkr++ {
+		lo := wkr * nBlocks / workers
+		hi := (wkr + 1) * nBlocks / workers
+		wg.Add(1)
+		go func(wkr, lo, hi int) {
+			defer wg.Done()
+			enc := newBlockEncoder(L, opts.HeaderBytes, q)
+			c := &chunks[wkr]
+			// Worst case: every block verbatim.
+			c.buf = make([]byte, 0, (hi-lo)*flenc.VerbatimSize(L, opts.HeaderBytes))
+			for b := lo; b < hi; b++ {
+				c.buf = enc.encode(c.buf, blockSlice(data, b, L), &c.stats)
+			}
+		}(wkr, lo, hi)
+	}
+	wg.Wait()
+	for i := range chunks {
+		dst = append(dst, chunks[i].buf...)
+		stats.ZeroBlocks += chunks[i].stats.ZeroBlocks
+		stats.VerbatimBlocks += chunks[i].stats.VerbatimBlocks
+		for w := range stats.WidthHistogram {
+			stats.WidthHistogram[w] += chunks[i].stats.WidthHistogram[w]
+		}
+	}
+	stats.CompressedBytes = len(dst) - start
+	return dst, stats, nil
+}
+
+// blockSlice returns block b of data (length ≤ L; the caller pads).
+func blockSlice(data []float32, b, L int) []float32 {
+	lo := b * L
+	hi := lo + L
+	if hi > len(data) {
+		hi = len(data)
+	}
+	return data[lo:hi]
+}
+
+// blockEncoder holds the per-worker scratch state for encoding blocks.
+type blockEncoder struct {
+	L       int
+	hdr     int
+	q       *quant.Quantizer
+	padded  []float32
+	scaled  []float64
+	codes   []int32
+	scratch *flenc.Block
+}
+
+func newBlockEncoder(L, headerBytes int, q *quant.Quantizer) *blockEncoder {
+	return &blockEncoder{
+		L:       L,
+		hdr:     headerBytes,
+		q:       q,
+		padded:  make([]float32, L),
+		scaled:  make([]float64, L),
+		codes:   make([]int32, L),
+		scratch: flenc.NewBlock(L),
+	}
+}
+
+// encode appends one encoded block to dst, updating stats.
+func (e *blockEncoder) encode(dst []byte, block []float32, stats *Stats) []byte {
+	src := block
+	if len(block) < e.L {
+		copy(e.padded, block)
+		for i := len(block); i < e.L; i++ {
+			e.padded[i] = 0
+		}
+		src = e.padded
+	}
+	// Stage ①: pre-quantization (Mul then Round, paper Table 2).
+	e.q.MulF32(e.scaled, src)
+	if !quant.Round(e.codes, e.scaled) {
+		// Quantization overflow (or NaN/Inf): store the block verbatim.
+		stats.VerbatimBlocks++
+		dst = appendVerbatim(dst, src, e.hdr)
+		return dst
+	}
+	// Strictness check: p·2ε is within ε of the input in float64, but the
+	// final float32 rounding of the reconstruction can add up to half a ulp
+	// of the value. When ε is below that (ε < ulp(v)/2 — e.g. very tight
+	// ABS bounds on large magnitudes) no quantized representation can honor
+	// the bound, so store the block verbatim. This is the fixed-length
+	// analogue of SZ's "unpredictable data" path; on the paper's REL
+	// 1e-2…1e-4 regimes it never triggers.
+	for i, p := range e.codes {
+		rec := float32(float64(p) * e.q.TwoEps())
+		if !(math.Abs(float64(rec)-float64(src[i])) <= e.q.Eps()) {
+			stats.VerbatimBlocks++
+			return appendVerbatim(dst, src, e.hdr)
+		}
+	}
+	// Stage ②: 1D Lorenzo prediction (first-order difference).
+	lorenzo.Forward(e.codes, e.codes)
+	// Stage ③: fixed-length encoding.
+	var w uint
+	dst, w = flenc.EncodeBlock(dst, e.codes, e.hdr, e.scratch)
+	stats.WidthHistogram[w]++
+	if w == 0 {
+		stats.ZeroBlocks++
+	}
+	return dst
+}
+
+func appendVerbatim(dst []byte, block []float32, headerBytes int) []byte {
+	switch headerBytes {
+	case flenc.HeaderU32:
+		var h [4]byte
+		binary.LittleEndian.PutUint32(h[:], flenc.VerbatimU32)
+		dst = append(dst, h[:]...)
+	case flenc.HeaderU8:
+		dst = append(dst, flenc.VerbatimU8)
+	default:
+		panic(fmt.Sprintf("core: unsupported header size %d", headerBytes))
+	}
+	var b [4]byte
+	for _, v := range block {
+		binary.LittleEndian.PutUint32(b[:], math.Float32bits(v))
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+// AppendStreamHeader appends the 24-byte container header described by m.
+// It is shared by the host compressor and the simulated WSE pipeline so
+// both emit identical streams.
+func AppendStreamHeader(dst []byte, m Meta) []byte {
+	var hdr [StreamHeaderSize]byte
+	copy(hdr[0:4], Magic[:])
+	hdr[4] = byte(m.HeaderBytes)
+	hdr[5] = byte(m.Elem)
+	binary.LittleEndian.PutUint16(hdr[6:8], uint16(m.BlockLen))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(m.Elements))
+	binary.LittleEndian.PutUint64(hdr[16:24], math.Float64bits(m.Eps))
+	return append(dst, hdr[:]...)
+}
+
+// BlockOffsets parses the container header and scans the stream body,
+// returning the parsed metadata and the byte offsets (relative to the body
+// start, StreamHeaderSize) of every block plus a final end offset —
+// offsets[b]..offsets[b+1] delimits block b. Float32 streams only; the
+// float64 path has its own scan (wider verbatim payloads).
+func BlockOffsets(comp []byte) (Meta, []int, error) {
+	m, err := ParseHeader(comp)
+	if err != nil {
+		return m, nil, err
+	}
+	if m.Elem != Float32 {
+		return m, nil, fmt.Errorf("%w: stream holds %s elements, expected float32", ErrBadStream, m.Elem)
+	}
+	body := comp[StreamHeaderSize:]
+	nBlocks := m.Blocks()
+	offsets := make([]int, nBlocks+1)
+	pos := 0
+	for b := 0; b < nBlocks; b++ {
+		offsets[b] = pos
+		v, n, err := flenc.Header(body[pos:], m.HeaderBytes)
+		if err != nil {
+			return m, nil, fmt.Errorf("%w: block %d: %v", ErrBadStream, b, err)
+		}
+		switch {
+		case v == flenc.ZeroMarker:
+			pos += n
+		case v == flenc.VerbatimU32:
+			pos += flenc.VerbatimSize(m.BlockLen, m.HeaderBytes)
+		case v <= flenc.MaxWidth:
+			pos += flenc.EncodedSize(uint(v), m.BlockLen, m.HeaderBytes)
+		default:
+			return m, nil, fmt.Errorf("%w: block %d: invalid fixed length %d", ErrBadStream, b, v)
+		}
+		if pos > len(body) {
+			return m, nil, fmt.Errorf("%w: block %d overruns stream", ErrBadStream, b)
+		}
+	}
+	offsets[nBlocks] = pos
+	return m, offsets, nil
+}
+
+// ParseHeader decodes and validates the container header.
+func ParseHeader(comp []byte) (Meta, error) {
+	var m Meta
+	if len(comp) < StreamHeaderSize {
+		return m, fmt.Errorf("%w: %d bytes is shorter than the %d-byte header", ErrBadStream, len(comp), StreamHeaderSize)
+	}
+	if comp[0] != Magic[0] || comp[1] != Magic[1] || comp[2] != Magic[2] || comp[3] != Magic[3] {
+		return m, fmt.Errorf("%w: bad magic %q", ErrBadStream, comp[0:4])
+	}
+	m.HeaderBytes = int(comp[4])
+	if m.HeaderBytes != flenc.HeaderU32 && m.HeaderBytes != flenc.HeaderU8 {
+		return m, fmt.Errorf("%w: unsupported block header size %d", ErrBadStream, m.HeaderBytes)
+	}
+	switch comp[5] {
+	case elemF32:
+		m.Elem = Float32
+	case elemF64:
+		m.Elem = Float64
+	default:
+		return m, fmt.Errorf("%w: unsupported element type flag %d", ErrBadStream, comp[5])
+	}
+	m.BlockLen = int(binary.LittleEndian.Uint16(comp[6:8]))
+	if m.BlockLen == 0 || m.BlockLen%8 != 0 {
+		return m, fmt.Errorf("%w: invalid block length %d", ErrBadStream, m.BlockLen)
+	}
+	n := binary.LittleEndian.Uint64(comp[8:16])
+	if n > math.MaxInt32*64 {
+		return m, fmt.Errorf("%w: implausible element count %d", ErrBadStream, n)
+	}
+	m.Elements = int(n)
+	m.Eps = math.Float64frombits(binary.LittleEndian.Uint64(comp[16:24]))
+	if !(m.Eps > 0) {
+		return m, fmt.Errorf("%w: non-positive error bound %g", ErrBadStream, m.Eps)
+	}
+	return m, nil
+}
+
+// Decompress reconstructs the float32 data from a CereSZ stream, appending
+// to dst (which may be nil). workers bounds host parallelism (≤ 0 means
+// GOMAXPROCS).
+func Decompress(dst []float32, comp []byte, workers int) ([]float32, Meta, error) {
+	// Pass 1: locate block boundaries. Headers are self-describing, so this
+	// is a cheap sequential scan (the paper's "pre-known fixed-length"
+	// decompression advantage, §3).
+	m, offsets, err := BlockOffsets(comp)
+	if err != nil {
+		return dst, m, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	body := comp[StreamHeaderSize:]
+	nBlocks := m.Blocks()
+	L := m.BlockLen
+
+	q, err := quant.NewQuantizer(m.Eps)
+	if err != nil {
+		return dst, m, err
+	}
+
+	start := len(dst)
+	dst = append(dst, make([]float32, m.Elements)...)
+	out := dst[start:]
+
+	if workers > nBlocks {
+		workers = nBlocks
+	}
+	if workers <= 1 {
+		dec := newBlockDecoder(L, m.HeaderBytes, q)
+		for b := 0; b < nBlocks; b++ {
+			if err := dec.decode(outBlock(out, b, L), body[offsets[b]:offsets[b+1]]); err != nil {
+				return dst, m, fmt.Errorf("%w: block %d: %v", ErrBadStream, b, err)
+			}
+		}
+		return dst, m, nil
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for wkr := 0; wkr < workers; wkr++ {
+		lo := wkr * nBlocks / workers
+		hi := (wkr + 1) * nBlocks / workers
+		wg.Add(1)
+		go func(wkr, lo, hi int) {
+			defer wg.Done()
+			dec := newBlockDecoder(L, m.HeaderBytes, q)
+			for b := lo; b < hi; b++ {
+				if err := dec.decode(outBlock(out, b, L), body[offsets[b]:offsets[b+1]]); err != nil {
+					errs[wkr] = fmt.Errorf("%w: block %d: %v", ErrBadStream, b, err)
+					return
+				}
+			}
+		}(wkr, lo, hi)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return dst, m, e
+		}
+	}
+	return dst, m, nil
+}
+
+func outBlock(out []float32, b, L int) []float32 {
+	lo := b * L
+	hi := lo + L
+	if hi > len(out) {
+		hi = len(out)
+	}
+	return out[lo:hi]
+}
+
+type blockDecoder struct {
+	L       int
+	hdr     int
+	q       *quant.Quantizer
+	codes   []int32
+	full    []float32
+	scratch *flenc.Block
+}
+
+func newBlockDecoder(L, headerBytes int, q *quant.Quantizer) *blockDecoder {
+	return &blockDecoder{
+		L:       L,
+		hdr:     headerBytes,
+		q:       q,
+		codes:   make([]int32, L),
+		full:    make([]float32, L),
+		scratch: flenc.NewBlock(L),
+	}
+}
+
+// decode reconstructs one block (len(out) ≤ L for the trailing block).
+func (d *blockDecoder) decode(out []float32, src []byte) error {
+	v, n, err := flenc.Header(src, d.hdr)
+	if err != nil {
+		return err
+	}
+	if v == flenc.VerbatimU32 {
+		if len(src) < n+4*d.L {
+			return fmt.Errorf("truncated verbatim block")
+		}
+		for i := range out {
+			bits := binary.LittleEndian.Uint32(src[n+4*i:])
+			out[i] = math.Float32frombits(bits)
+		}
+		return nil
+	}
+	// Reverse stage ③: fixed-length decode.
+	if _, err := flenc.DecodeBlock(d.codes, src, d.hdr, d.scratch); err != nil {
+		return err
+	}
+	// Reverse stage ②: prefix sum.
+	lorenzo.Inverse(d.codes, d.codes)
+	// Reverse stage ①: dequantization.
+	if len(out) == d.L {
+		d.q.Dequantize(out, d.codes)
+		return nil
+	}
+	d.q.Dequantize(d.full, d.codes)
+	copy(out, d.full[:len(out)])
+	return nil
+}

@@ -1,0 +1,398 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"ceresz/internal/flenc"
+	"ceresz/internal/lorenzo"
+	"ceresz/internal/quant"
+)
+
+// Float64 element support. The container's flags byte distinguishes the
+// element type (0 = float32, 1 = float64); quantization codes and the
+// fixed-length block format are identical, only the verbatim payloads and
+// the reconstruction multiply differ. Several SDRBench archives (QMCPack
+// among them) ship double-precision fields, so a usable reproduction needs
+// this path even though the paper's evaluation runs on float32.
+
+const (
+	elemF32 byte = 0
+	elemF64 byte = 1
+)
+
+// Elem identifies a stream's element type.
+type Elem byte
+
+// Element types.
+const (
+	Float32 Elem = Elem(elemF32)
+	Float64 Elem = Elem(elemF64)
+)
+
+func (e Elem) String() string {
+	switch e {
+	case Float32:
+		return "float32"
+	case Float64:
+		return "float64"
+	default:
+		return fmt.Sprintf("Elem(%d)", byte(e))
+	}
+}
+
+// Size returns the element size in bytes.
+func (e Elem) Size() int {
+	if e == Float64 {
+		return 8
+	}
+	return 4
+}
+
+// Compress64 appends the CereSZ stream for float64 data to dst.
+func Compress64(dst []byte, data []float64, opts Options) ([]byte, *Stats, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return dst, nil, err
+	}
+	minV, maxV := quant.Range64(data)
+	eps, err := opts.Bound.Resolve(minV, maxV)
+	if err != nil {
+		return dst, nil, err
+	}
+	return compressEps64(dst, data, eps, opts)
+}
+
+// Compress64WithEps is Compress64 with a pre-resolved absolute bound.
+func Compress64WithEps(dst []byte, data []float64, eps float64, opts Options) ([]byte, *Stats, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return dst, nil, err
+	}
+	if !(eps > 0) {
+		return dst, nil, quant.ErrNonPositiveBound
+	}
+	return compressEps64(dst, data, eps, opts)
+}
+
+func compressEps64(dst []byte, data []float64, eps float64, opts Options) ([]byte, *Stats, error) {
+	q, err := quant.NewQuantizer(eps)
+	if err != nil {
+		return dst, nil, err
+	}
+	L := opts.BlockLen
+	nBlocks := (len(data) + L - 1) / L
+	stats := &Stats{Elements: len(data), Blocks: nBlocks, Eps: eps}
+
+	start := len(dst)
+	dst = appendStreamHeader64(dst, opts.HeaderBytes, L, len(data), eps)
+	if nBlocks == 0 {
+		stats.CompressedBytes = len(dst) - start
+		return dst, stats, nil
+	}
+
+	workers := opts.Workers
+	if workers > nBlocks {
+		workers = nBlocks
+	}
+	if workers <= 1 {
+		enc := newBlockEncoder64(L, opts.HeaderBytes, q)
+		for b := 0; b < nBlocks; b++ {
+			dst = enc.encode(dst, blockSlice64(data, b, L), stats)
+		}
+		stats.CompressedBytes = len(dst) - start
+		return dst, stats, nil
+	}
+
+	type chunk struct {
+		buf   []byte
+		stats Stats
+	}
+	chunks := make([]chunk, workers)
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < workers; wkr++ {
+		lo := wkr * nBlocks / workers
+		hi := (wkr + 1) * nBlocks / workers
+		wg.Add(1)
+		go func(wkr, lo, hi int) {
+			defer wg.Done()
+			enc := newBlockEncoder64(L, opts.HeaderBytes, q)
+			c := &chunks[wkr]
+			c.buf = make([]byte, 0, (hi-lo)*(opts.HeaderBytes+8*L))
+			for b := lo; b < hi; b++ {
+				c.buf = enc.encode(c.buf, blockSlice64(data, b, L), &c.stats)
+			}
+		}(wkr, lo, hi)
+	}
+	wg.Wait()
+	for i := range chunks {
+		dst = append(dst, chunks[i].buf...)
+		stats.ZeroBlocks += chunks[i].stats.ZeroBlocks
+		stats.VerbatimBlocks += chunks[i].stats.VerbatimBlocks
+		for w := range stats.WidthHistogram {
+			stats.WidthHistogram[w] += chunks[i].stats.WidthHistogram[w]
+		}
+	}
+	stats.CompressedBytes = len(dst) - start
+	return dst, stats, nil
+}
+
+func appendStreamHeader64(dst []byte, headerBytes, blockLen, elements int, eps float64) []byte {
+	var hdr [StreamHeaderSize]byte
+	copy(hdr[0:4], Magic[:])
+	hdr[4] = byte(headerBytes)
+	hdr[5] = elemF64
+	binary.LittleEndian.PutUint16(hdr[6:8], uint16(blockLen))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(elements))
+	binary.LittleEndian.PutUint64(hdr[16:24], math.Float64bits(eps))
+	return append(dst, hdr[:]...)
+}
+
+func blockSlice64(data []float64, b, L int) []float64 {
+	lo := b * L
+	hi := lo + L
+	if hi > len(data) {
+		hi = len(data)
+	}
+	return data[lo:hi]
+}
+
+type blockEncoder64 struct {
+	L       int
+	hdr     int
+	q       *quant.Quantizer
+	padded  []float64
+	scaled  []float64
+	codes   []int32
+	scratch *flenc.Block
+}
+
+func newBlockEncoder64(L, headerBytes int, q *quant.Quantizer) *blockEncoder64 {
+	return &blockEncoder64{
+		L:       L,
+		hdr:     headerBytes,
+		q:       q,
+		padded:  make([]float64, L),
+		scaled:  make([]float64, L),
+		codes:   make([]int32, L),
+		scratch: flenc.NewBlock(L),
+	}
+}
+
+func (e *blockEncoder64) encode(dst []byte, block []float64, stats *Stats) []byte {
+	src := block
+	if len(block) < e.L {
+		copy(e.padded, block)
+		for i := len(block); i < e.L; i++ {
+			e.padded[i] = 0
+		}
+		src = e.padded
+	}
+	e.q.Mul(e.scaled, src)
+	if !quant.Round(e.codes, e.scaled) {
+		stats.VerbatimBlocks++
+		return appendVerbatim64(dst, src, e.hdr)
+	}
+	// Strict bound through the float64 reconstruction: p·2ε can still land
+	// outside ε when ε is below half a ulp of the value.
+	for i, p := range e.codes {
+		rec := float64(p) * e.q.TwoEps()
+		if !(math.Abs(rec-src[i]) <= e.q.Eps()) {
+			stats.VerbatimBlocks++
+			return appendVerbatim64(dst, src, e.hdr)
+		}
+	}
+	lorenzo.Forward(e.codes, e.codes)
+	var w uint
+	dst, w = flenc.EncodeBlock(dst, e.codes, e.hdr, e.scratch)
+	stats.WidthHistogram[w]++
+	if w == 0 {
+		stats.ZeroBlocks++
+	}
+	return dst
+}
+
+func appendVerbatim64(dst []byte, block []float64, headerBytes int) []byte {
+	switch headerBytes {
+	case flenc.HeaderU32:
+		dst = append(dst, 0xFF, 0xFF, 0xFF, 0xFF)
+	case flenc.HeaderU8:
+		dst = append(dst, flenc.VerbatimU8)
+	default:
+		panic(fmt.Sprintf("core: unsupported header size %d", headerBytes))
+	}
+	var b [8]byte
+	for _, v := range block {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+// Decompress64 reconstructs float64 data from a CereSZ stream produced by
+// Compress64.
+func Decompress64(dst []float64, comp []byte, workers int) ([]float64, Meta, error) {
+	m, offsets, err := blockOffsets64(comp)
+	if err != nil {
+		return dst, m, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	body := comp[StreamHeaderSize:]
+	nBlocks := m.Blocks()
+	L := m.BlockLen
+
+	q, err := quant.NewQuantizer(m.Eps)
+	if err != nil {
+		return dst, m, err
+	}
+	start := len(dst)
+	dst = append(dst, make([]float64, m.Elements)...)
+	out := dst[start:]
+
+	if workers > nBlocks {
+		workers = nBlocks
+	}
+	decodeRange := func(lo, hi int) error {
+		dec := newBlockDecoder64(L, m.HeaderBytes, q)
+		for b := lo; b < hi; b++ {
+			blockLo := b * L
+			blockHi := blockLo + L
+			if blockHi > len(out) {
+				blockHi = len(out)
+			}
+			if err := dec.decode(out[blockLo:blockHi], body[offsets[b]:offsets[b+1]]); err != nil {
+				return fmt.Errorf("%w: block %d: %v", ErrBadStream, b, err)
+			}
+		}
+		return nil
+	}
+	if workers <= 1 {
+		if err := decodeRange(0, nBlocks); err != nil {
+			return dst, m, err
+		}
+		return dst, m, nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for wkr := 0; wkr < workers; wkr++ {
+		lo := wkr * nBlocks / workers
+		hi := (wkr + 1) * nBlocks / workers
+		wg.Add(1)
+		go func(wkr, lo, hi int) {
+			defer wg.Done()
+			errs[wkr] = decodeRange(lo, hi)
+		}(wkr, lo, hi)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return dst, m, e
+		}
+	}
+	return dst, m, nil
+}
+
+// blockOffsets64 scans a float64 stream's block boundaries.
+func blockOffsets64(comp []byte) (Meta, []int, error) {
+	m, err := ParseHeader(comp)
+	if err != nil {
+		return m, nil, err
+	}
+	if m.Elem != Float64 {
+		return m, nil, fmt.Errorf("%w: stream holds %s elements, expected float64", ErrBadStream, m.Elem)
+	}
+	body := comp[StreamHeaderSize:]
+	nBlocks := m.Blocks()
+	offsets := make([]int, nBlocks+1)
+	pos := 0
+	for b := 0; b < nBlocks; b++ {
+		offsets[b] = pos
+		v, n, err := flenc.Header(body[pos:], m.HeaderBytes)
+		if err != nil {
+			return m, nil, fmt.Errorf("%w: block %d: %v", ErrBadStream, b, err)
+		}
+		switch {
+		case v == flenc.ZeroMarker:
+			pos += n
+		case v == flenc.VerbatimU32:
+			pos += m.HeaderBytes + 8*m.BlockLen
+		case v <= flenc.MaxWidth:
+			pos += flenc.EncodedSize(uint(v), m.BlockLen, m.HeaderBytes)
+		default:
+			return m, nil, fmt.Errorf("%w: block %d: invalid fixed length %d", ErrBadStream, b, v)
+		}
+		if pos > len(body) {
+			return m, nil, fmt.Errorf("%w: block %d overruns stream", ErrBadStream, b)
+		}
+	}
+	offsets[nBlocks] = pos
+	return m, offsets, nil
+}
+
+// ElemOf returns the element type of a stream without fully parsing it.
+func ElemOf(comp []byte) (Elem, error) {
+	if len(comp) < StreamHeaderSize {
+		return Float32, fmt.Errorf("%w: short stream", ErrBadStream)
+	}
+	switch comp[5] {
+	case elemF32:
+		return Float32, nil
+	case elemF64:
+		return Float64, nil
+	default:
+		return Float32, fmt.Errorf("%w: unknown element type %d", ErrBadStream, comp[5])
+	}
+}
+
+type blockDecoder64 struct {
+	L       int
+	hdr     int
+	q       *quant.Quantizer
+	codes   []int32
+	full    []float64
+	scratch *flenc.Block
+}
+
+func newBlockDecoder64(L, headerBytes int, q *quant.Quantizer) *blockDecoder64 {
+	return &blockDecoder64{
+		L:       L,
+		hdr:     headerBytes,
+		q:       q,
+		codes:   make([]int32, L),
+		full:    make([]float64, L),
+		scratch: flenc.NewBlock(L),
+	}
+}
+
+func (d *blockDecoder64) decode(out []float64, src []byte) error {
+	v, n, err := flenc.Header(src, d.hdr)
+	if err != nil {
+		return err
+	}
+	if v == flenc.VerbatimU32 {
+		if len(src) < n+8*d.L {
+			return fmt.Errorf("truncated verbatim block")
+		}
+		for i := range out {
+			bits := binary.LittleEndian.Uint64(src[n+8*i:])
+			out[i] = math.Float64frombits(bits)
+		}
+		return nil
+	}
+	if _, err := flenc.DecodeBlock(d.codes, src, d.hdr, d.scratch); err != nil {
+		return err
+	}
+	lorenzo.Inverse(d.codes, d.codes)
+	if len(out) == d.L {
+		d.q.Dequantize64(out, d.codes)
+		return nil
+	}
+	d.q.Dequantize64(d.full, d.codes)
+	copy(out, d.full[:len(out)])
+	return nil
+}

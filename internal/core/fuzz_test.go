@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ceresz/internal/quant"
+)
+
+// Fuzz targets: the decoders must never panic or read out of bounds on
+// adversarial streams, and valid streams must round-trip. Run with
+// `go test -fuzz=FuzzDecompress ./internal/core` for a real campaign; the
+// seed corpus executes in every ordinary test run.
+
+func FuzzDecompress(f *testing.F) {
+	// Seed with valid streams of both header widths and with mutations.
+	mk := func(n int, hdr int) []byte {
+		data := make([]float32, n)
+		for i := range data {
+			data[i] = float32(math.Sin(float64(i) * 0.1))
+		}
+		comp, _, err := CompressWithEps(nil, data, 1e-3, Options{HeaderBytes: hdr, Workers: 1})
+		if err != nil {
+			f.Fatal(err)
+		}
+		return comp
+	}
+	f.Add(mk(100, 4))
+	f.Add(mk(100, 1))
+	f.Add(mk(0, 4))
+	f.Add([]byte{})
+	f.Add([]byte("CSZ1garbagegarbagegarbage"))
+	corrupt := mk(64, 4)
+	corrupt[StreamHeaderSize] = 0xFE
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, comp []byte) {
+		out, m, err := Decompress(nil, comp, 1)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if len(out) != m.Elements {
+			t.Fatalf("decoded %d elements, header says %d", len(out), m.Elements)
+		}
+	})
+}
+
+func FuzzDecompress64(f *testing.F) {
+	data := make([]float64, 96)
+	for i := range data {
+		data[i] = math.Cos(float64(i) * 0.05)
+	}
+	comp, _, err := Compress64WithEps(nil, data, 1e-9, Options{Workers: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(comp)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, comp []byte) {
+		out, m, err := Decompress64(nil, comp, 1)
+		if err != nil {
+			return
+		}
+		if len(out) != m.Elements {
+			t.Fatalf("decoded %d elements, header says %d", len(out), m.Elements)
+		}
+	})
+}
+
+// FuzzRoundTrip feeds arbitrary bytes reinterpreted as float32s through a
+// full compress/decompress cycle and checks the error bound.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 0, 128, 63, 0, 0, 0, 64}, uint8(3))
+	f.Add(make([]byte, 400), uint8(2))
+	f.Fuzz(func(t *testing.T, raw []byte, epsExp uint8) {
+		n := len(raw) / 4
+		data := make([]float32, n)
+		for i := 0; i < n; i++ {
+			bits := uint32(raw[4*i]) | uint32(raw[4*i+1])<<8 | uint32(raw[4*i+2])<<16 | uint32(raw[4*i+3])<<24
+			data[i] = math.Float32frombits(bits)
+		}
+		eps := math.Pow(10, -float64(2+epsExp%5))
+		comp, stats, err := CompressWithEps(nil, data, eps, Options{Workers: 1})
+		if err != nil {
+			if err == quant.ErrNonPositiveBound {
+				return
+			}
+			t.Fatalf("compress: %v", err)
+		}
+		out, _, err := Decompress(nil, comp, 1)
+		if err != nil {
+			t.Fatalf("decompress valid stream: %v", err)
+		}
+		if len(out) != n {
+			t.Fatalf("%d elements out, %d in", len(out), n)
+		}
+		for i := range data {
+			o, r := float64(data[i]), float64(out[i])
+			if math.IsNaN(o) || math.IsInf(o, 0) {
+				// Verbatim path must preserve bit patterns.
+				if math.Float32bits(data[i]) != math.Float32bits(out[i]) {
+					t.Fatalf("non-finite value not preserved at %d", i)
+				}
+				continue
+			}
+			if math.Abs(r-o) > stats.Eps {
+				t.Fatalf("bound violated at %d: |%g − %g| > %g", i, r, o, stats.Eps)
+			}
+		}
+	})
+}

@@ -1,0 +1,240 @@
+package datasets
+
+import (
+	"testing"
+
+	"ceresz/internal/core"
+	"ceresz/internal/quant"
+)
+
+func TestNamesAndByName(t *testing.T) {
+	for _, n := range Names() {
+		d, err := ByName(n, Small)
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		if d.Name != n {
+			t.Fatalf("ByName(%s).Name = %s", n, d.Name)
+		}
+		if len(d.Fields) == 0 {
+			t.Fatalf("%s has no fields", n)
+		}
+		if d.Elements() <= 0 || d.Bytes() != int64(4*d.Elements()) {
+			t.Fatalf("%s: degenerate size accounting", n)
+		}
+	}
+	if _, err := ByName("nope", Small); err == nil {
+		t.Fatal("accepted unknown dataset")
+	}
+	if got := len(All(Small)); got != 6 {
+		t.Fatalf("All returned %d datasets", got)
+	}
+}
+
+func TestAliases(t *testing.T) {
+	for _, alias := range []string{"cesm", "CESM", "qmc", "hurricane"} {
+		if _, err := ByName(alias, Small); err != nil {
+			t.Fatalf("alias %q rejected: %v", alias, err)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	d1, _ := ByName("NYX", Small)
+	d2, _ := ByName("NYX", Small)
+	a := d1.Fields[0].Data(42)
+	b := d2.Fields[0].Data(42)
+	if len(a) != len(b) {
+		t.Fatal("length differs across builds")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d", i)
+		}
+	}
+	c := d1.Fields[0].Data(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestFieldsDifferWithinDataset(t *testing.T) {
+	d, _ := ByName("CESM-ATM", Small)
+	a := d.Fields[0].Data(1)
+	b := d.Fields[1].Data(1)
+	same := true
+	for i := range a {
+		if i < len(b) && a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("two fields generated identical data")
+	}
+}
+
+func TestDimsMatchData(t *testing.T) {
+	for _, d := range All(Small) {
+		for i := range d.Fields {
+			f := &d.Fields[i]
+			data := f.Data(1)
+			if len(data) != f.Elements() {
+				t.Fatalf("%s/%s: %d values for dims %+v", d.Name, f.Name, len(data), f.Dims)
+			}
+			if err := f.Dims.Validate(len(data)); err != nil {
+				t.Fatalf("%s/%s: %v", d.Name, f.Name, err)
+			}
+		}
+	}
+}
+
+func TestScalesGrow(t *testing.T) {
+	small, _ := ByName("NYX", Small)
+	medium, _ := ByName("NYX", Medium)
+	if medium.Fields[0].Elements() <= small.Fields[0].Elements() {
+		t.Fatalf("medium (%d) not larger than small (%d)",
+			medium.Fields[0].Elements(), small.Fields[0].Elements())
+	}
+	full, _ := ByName("NYX", Full)
+	if d := full.Fields[0].Dims; d.Nx != 512 || d.Ny != 512 || d.Nz != 512 {
+		t.Fatalf("full NYX dims %+v, want 512³ (Table 4)", d)
+	}
+	fullHACC, _ := ByName("HACC", Full)
+	if fullHACC.Fields[0].Elements() != 280_953_867 {
+		t.Fatalf("full HACC length %d, want Table 4's 280,953,867", fullHACC.Fields[0].Elements())
+	}
+}
+
+func TestTable4FieldCounts(t *testing.T) {
+	want := map[string]int{"CESM-ATM": 79, "Hurricane": 13, "QMCPack": 2, "NYX": 6, "RTM": 36, "HACC": 6}
+	for name, n := range want {
+		d, _ := ByName(name, Full)
+		if len(d.Fields) != n {
+			t.Fatalf("%s at Full scale has %d fields, want %d (Table 4)", name, len(d.Fields), n)
+		}
+	}
+}
+
+// TestCompressionCharacteristics checks the domain statistics the paper's
+// results depend on: RTM is dominated by zero blocks (ratio near the cap),
+// HACC compresses worst, NYX contains a near-cap smooth field.
+func TestCompressionCharacteristics(t *testing.T) {
+	ratioOf := func(name string, fieldIdx int) (float64, *core.Stats) {
+		d, err := ByName(name, Small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := &d.Fields[fieldIdx]
+		data := f.Data(7)
+		minV, maxV := quant.Range(data)
+		eps, err := quant.REL(1e-2).Resolve(minV, maxV)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, stats, err := core.CompressWithEps(nil, data, eps, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Ratio(), stats
+	}
+
+	rtmRatio, rtmStats := ratioOf("RTM", 0)
+	if frac := float64(rtmStats.ZeroBlocks) / float64(rtmStats.Blocks); frac < 0.5 {
+		t.Fatalf("RTM zero-block fraction %.2f, want ≥0.5 (sparse wavefield)", frac)
+	}
+	if rtmRatio < 10 {
+		t.Fatalf("RTM ratio %.1f, want ≥10 at REL 1e-2", rtmRatio)
+	}
+
+	haccRatio, _ := ratioOf("HACC", 3) // velocity: noisy
+	if haccRatio > 12 {
+		t.Fatalf("HACC velocity ratio %.1f, want <12 (low smoothness)", haccRatio)
+	}
+
+	nyxSmooth, nyxStats := ratioOf("NYX", 0) // temperature-like
+	if nyxSmooth < 15 {
+		t.Fatalf("NYX temperature ratio %.1f, want ≥15 (near cap)", nyxSmooth)
+	}
+	if nyxStats.VerbatimBlocks != 0 {
+		t.Fatalf("NYX produced %d verbatim blocks at REL 1e-2", nyxStats.VerbatimBlocks)
+	}
+
+	// Ordering: the sparse and ultra-smooth fields beat the noisy one.
+	if !(rtmRatio > haccRatio && nyxSmooth > haccRatio) {
+		t.Fatalf("ratio ordering broken: RTM %.1f, NYX %.1f, HACC %.1f", rtmRatio, nyxSmooth, haccRatio)
+	}
+}
+
+func TestRatioShrinksWithTighterBound(t *testing.T) {
+	d, _ := ByName("Hurricane", Small)
+	data := d.Fields[0].Data(3)
+	minV, maxV := quant.Range(data)
+	var prev float64 = -1
+	for _, rel := range []float64{1e-2, 1e-3, 1e-4} {
+		eps, err := quant.REL(rel).Resolve(minV, maxV)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, stats, err := core.CompressWithEps(nil, data, eps, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := stats.Ratio()
+		if prev > 0 && r >= prev {
+			t.Fatalf("ratio did not shrink with tighter bound: %.2f → %.2f", prev, r)
+		}
+		prev = r
+	}
+}
+
+func TestMediumScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium-scale generation")
+	}
+	// Medium scale feeds the published harness numbers; one field per
+	// dataset must generate, compress and honor its bound.
+	for _, name := range Names() {
+		ds, err := ByName(name, Medium)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := &ds.Fields[0]
+		data := f.Data(7)
+		if len(data) != f.Elements() {
+			t.Fatalf("%s: %d elements", name, len(data))
+		}
+		lo, hi := quant.Range(data)
+		eps, err := quant.REL(1e-3).Resolve(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comp, stats, err := core.CompressWithEps(nil, data, eps, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, _, err := core.Decompress(nil, comp, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range data {
+			d := float64(dec[i]) - float64(data[i])
+			if d < 0 {
+				d = -d
+			}
+			if d > stats.Eps {
+				t.Fatalf("%s: bound violated at %d", name, i)
+			}
+		}
+		if stats.Ratio() <= 1 {
+			t.Fatalf("%s: medium-scale ratio %.2f", name, stats.Ratio())
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package devmodel
+
+import "testing"
+
+func TestEffectiveBandwidth(t *testing.T) {
+	if got := A100.EffectiveBandwidth(); got <= 0 || got >= A100.PeakBandwidthGBps {
+		t.Fatalf("A100 effective bandwidth %g", got)
+	}
+	if A100.EffectiveBandwidth() <= EPYC7742.EffectiveBandwidth() {
+		t.Fatal("A100 not faster than the EPYC")
+	}
+}
+
+func TestThroughputMonotoneInRatio(t *testing.T) {
+	lo, err := CuSZpCompress.ThroughputGBps(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := CuSZpCompress.ThroughputGBps(100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi <= lo {
+		t.Fatalf("higher ratio did not raise throughput: %g vs %g", lo, hi)
+	}
+	// The write-traffic term vanishes as ratio → ∞: bounded by B/P.
+	capGBps := CuSZpCompress.Device.EffectiveBandwidth() / CuSZpCompress.Passes
+	if hi >= capGBps {
+		t.Fatalf("throughput %g above the pass-count cap %g", hi, capGBps)
+	}
+}
+
+func TestSubUnityRatioClamped(t *testing.T) {
+	a, err := SZ3Compress.ThroughputGBps(0.5, 0) // expansion
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SZ3Compress.ThroughputGBps(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("expansion not clamped to ratio 1: %g vs %g", a, b)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := CuSZCompress.ThroughputGBps(0, 0); err == nil {
+		t.Fatal("accepted ratio 0")
+	}
+	if _, err := CuSZCompress.ThroughputGBps(10, -0.1); err == nil {
+		t.Fatal("accepted negative zero fraction")
+	}
+	if _, err := CuSZCompress.ThroughputGBps(10, 1.1); err == nil {
+		t.Fatal("accepted zero fraction > 1")
+	}
+}
+
+func TestDecompressionKernelsFaster(t *testing.T) {
+	pairs := [][2]Kernel{
+		{CuSZpCompress, CuSZpDecompress},
+		{CuSZCompress, CuSZDecompress},
+		{SZpCompress, SZpDecompress},
+		{SZ3Compress, SZ3Decompress},
+	}
+	for _, p := range pairs {
+		c, err := p[0].ThroughputGBps(10, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := p[1].ThroughputGBps(10, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d <= c {
+			t.Fatalf("%s (%g) not faster than %s (%g)", p[1].Name, d, p[0].Name, c)
+		}
+	}
+}

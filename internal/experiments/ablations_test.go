@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBlockSizeAblation(t *testing.T) {
+	rows, err := BlockSizeAblation(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	var best, at32 float64
+	for _, r := range rows {
+		if r.AvgRatio <= 0 {
+			t.Fatalf("block %d: ratio %.2f", r.BlockLen, r.AvgRatio)
+		}
+		if r.AvgRatio > best {
+			best = r.AvgRatio
+		}
+		if r.BlockLen == 32 {
+			at32 = r.AvgRatio
+		}
+	}
+	// The paper's choice must be competitive: within 15% of the sweep's
+	// best on our synthetic mix.
+	if at32 < 0.85*best {
+		t.Fatalf("block 32 ratio %.2f far below best %.2f", at32, best)
+	}
+	// The extremes must both lose to the interior (the trade-off exists).
+	if rows[0].AvgRatio >= best || rows[len(rows)-1].AvgRatio >= best {
+		t.Fatalf("no interior optimum: %+v", rows)
+	}
+}
+
+func TestHeaderAblation(t *testing.T) {
+	rows, err := HeaderAblation(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byDataset := map[string][]HeaderAblationRow{}
+	for _, r := range rows {
+		if r.Penalty < 1 {
+			t.Fatalf("%s %g: u8 ratio below u32 (penalty %.2f)", r.Dataset, r.Rel, r.Penalty)
+		}
+		byDataset[r.Dataset] = append(byDataset[r.Dataset], r)
+	}
+	// Observation 2: the penalty relaxes as the bound tightens.
+	for ds, rs := range byDataset {
+		if !(rs[0].Penalty > rs[2].Penalty) {
+			t.Fatalf("%s: penalty did not shrink with tighter bounds: %.2f → %.2f",
+				ds, rs[0].Penalty, rs[2].Penalty)
+		}
+	}
+}
+
+func TestEncodingAblation(t *testing.T) {
+	r, err := EncodingAblation(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HuffmanRatio <= r.FixedRatio {
+		t.Fatalf("Huffman ratio %.2f not above fixed-length %.2f", r.HuffmanRatio, r.FixedRatio)
+	}
+	if r.FixedNsPerElem <= 0 || r.HuffmanNsPerElem <= 0 {
+		t.Fatalf("degenerate timings %+v", r)
+	}
+	// The throughput argument of §3: Huffman encoding is slower. (Host
+	// wall-clock; allow generous noise but the ordering must hold.)
+	if r.HuffmanNsPerElem < r.FixedNsPerElem {
+		t.Fatalf("Huffman (%.1f ns/elem) measured faster than fixed-length (%.1f ns/elem)",
+			r.HuffmanNsPerElem, r.FixedNsPerElem)
+	}
+}
+
+func TestZeroBlockAblation(t *testing.T) {
+	r, err := ZeroBlockAblation(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ZeroBlockFrac < 0.3 {
+		t.Fatalf("RTM zero fraction %.2f too low for the ablation to mean anything", r.ZeroBlockFrac)
+	}
+	if r.WithGBps <= r.SansGBps {
+		t.Fatalf("fast path did not help throughput: %.1f vs %.1f", r.WithGBps, r.SansGBps)
+	}
+	if r.WithRatio <= r.SansRatio {
+		t.Fatalf("fast path did not help ratio: %.2f vs %.2f", r.WithRatio, r.SansRatio)
+	}
+}
+
+func TestTuner(t *testing.T) {
+	r, err := Tuner(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Unconstrained != 1 {
+		t.Fatalf("unconstrained tuner picked %d, want 1 (paper §4.4)", r.Unconstrained)
+	}
+	if r.TightMemoryErr == nil {
+		t.Fatal("tight-memory case did not error")
+	}
+	if len(r.Points) < 2 {
+		t.Fatalf("tuner evaluated %d candidates", len(r.Points))
+	}
+	// Feed-bound regime: any feasible choice ties, so the tuner may keep 1
+	// but must have evaluated the same candidates.
+	if r.SlowFeed < 1 {
+		t.Fatalf("slow-feed selection %d", r.SlowFeed)
+	}
+}
+
+func TestPrintAblations(t *testing.T) {
+	cfg := quickCfg()
+	blocks, err := BlockSizeAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	headers, err := HeaderAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := EncodingAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := ZeroBlockAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner, err := Tuner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	PrintAblations(&buf, blocks, headers, enc, zero, tuner)
+	for _, want := range []string{"block length", "headers", "Huffman", "zero-block", "tuner"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("ablation output missing %q", want)
+		}
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	r, err := Utilization(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 10 {
+		t.Fatalf("%d rows, want 10", len(r.Rows))
+	}
+	byMode := map[bool]map[int]UtilizationRow{true: {}, false: {}}
+	for _, row := range r.Rows {
+		if row.MeanUtilization <= 0 || row.MeanUtilization > 1 {
+			t.Fatalf("utilization %g out of range", row.MeanUtilization)
+		}
+		if row.Cycles <= 0 {
+			t.Fatal("no cycles recorded")
+		}
+		byMode[row.ProcessorRelay][row.PipelineLen] = row
+	}
+	// Router relay must not be slower than processor relay anywhere, and
+	// must strictly cut the aggregate relay share for pl ≥ 2.
+	for pl, proc := range byMode[true] {
+		routed := byMode[false][pl]
+		if routed.Cycles > proc.Cycles {
+			t.Fatalf("pl=%d: router mode slower (%d vs %d cycles)", pl, routed.Cycles, proc.Cycles)
+		}
+		if pl >= 2 && routed.RelayShare >= proc.RelayShare {
+			t.Fatalf("pl=%d: router mode relay share %.3f not below processor mode %.3f",
+				pl, routed.RelayShare, proc.RelayShare)
+		}
+	}
+	var buf bytes.Buffer
+	PrintUtilization(&buf, r)
+	if !strings.Contains(buf.String(), "utilization") {
+		t.Fatal("output incomplete")
+	}
+}
+
+func TestQuality(t *testing.T) {
+	r, err := Quality(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cells) != 18 {
+		t.Fatalf("%d cells, want 18", len(r.Cells))
+	}
+	byDataset := map[string][]QualityCell{}
+	for _, c := range r.Cells {
+		// The error-bound contract, normalized: max |err|/range ≤ REL.
+		if c.MaxRelEr > c.Rel*(1+1e-9) {
+			t.Fatalf("%s %g: max relative error %g exceeds the bound", c.Dataset, c.Rel, c.MaxRelEr)
+		}
+		if c.PSNR < 20 {
+			t.Fatalf("%s %g: implausible PSNR %.1f", c.Dataset, c.Rel, c.PSNR)
+		}
+		byDataset[c.Dataset] = append(byDataset[c.Dataset], c)
+	}
+	// PSNR improves ~20 dB per decade of bound.
+	for ds, cells := range byDataset {
+		if !(cells[2].PSNR > cells[0].PSNR+25) {
+			t.Fatalf("%s: PSNR did not improve across bounds: %v", ds, cells)
+		}
+	}
+	// HACC is 1D → no SSIM; CESM is 2D → SSIM present and near 1 at 1e-4.
+	for _, c := range r.Cells {
+		if c.Dataset == "HACC" && c.SSIM >= 0 {
+			t.Fatal("SSIM computed for 1D HACC")
+		}
+		if c.Dataset == "CESM-ATM" && c.Rel == 1e-4 && c.SSIM < 0.999 {
+			t.Fatalf("CESM SSIM %g at 1e-4", c.SSIM)
+		}
+	}
+	var buf bytes.Buffer
+	PrintQuality(&buf, r)
+	if !strings.Contains(buf.String(), "PSNR") {
+		t.Fatal("output incomplete")
+	}
+}
+
+func TestExtras(t *testing.T) {
+	r, err := Extras(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 18 { // 6 datasets × 3 codecs
+		t.Fatalf("%d rows, want 18", len(r.Rows))
+	}
+	byKey := map[string]ExtraRow{}
+	for _, row := range r.Rows {
+		if row.AvgRatio <= 0 || row.ModeledGBps <= 0 {
+			t.Fatalf("degenerate row %+v", row)
+		}
+		byKey[row.Dataset+"|"+row.Compressor] = row
+	}
+	// cuSZx's block-centered quantization must beat cuSZp's ratio on HACC
+	// (offset-dominated positions).
+	if !(byKey["HACC|cuSZx"].AvgRatio > byKey["HACC|cuSZp"].AvgRatio) {
+		t.Fatalf("cuSZx %.2f not above cuSZp %.2f on HACC",
+			byKey["HACC|cuSZx"].AvgRatio, byKey["HACC|cuSZp"].AvgRatio)
+	}
+	var buf bytes.Buffer
+	PrintExtras(&buf, r)
+	if !strings.Contains(buf.String(), "cuSZx") {
+		t.Fatal("output incomplete")
+	}
+}
+
+func TestCheck(t *testing.T) {
+	r, err := Check(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK() {
+		t.Fatalf("self-check failed: %v", r.Failed)
+	}
+	if len(r.Passed) < 10 {
+		t.Fatalf("only %d invariants checked", len(r.Passed))
+	}
+	var buf bytes.Buffer
+	PrintCheck(&buf, r)
+	if !strings.Contains(buf.String(), "all invariants hold") {
+		t.Fatal("output incomplete")
+	}
+}

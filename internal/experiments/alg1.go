@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ceresz/internal/mapping"
+	"ceresz/internal/stages"
+)
+
+// Alg1Result demonstrates Algorithm 1 (§4.2): the greedy distribution of
+// the compression sub-stages over pipelines of every feasible length, and
+// the ⌊C/t₁⌋ maximum-useful-length bound.
+type Alg1Result struct {
+	StageNames []string
+	Costs      []int64
+	MaxLen     int
+	// Groupings[m] lists the stage groups for pipeline length m+1.
+	Groupings [][]mapping.Group
+	// Bottlenecks[m] is the slowest group's cycles at length m+1.
+	Bottlenecks []int64
+}
+
+// Alg1 builds the demonstration for a CESM-like chain (fixed length 17).
+func Alg1(cfg Config) (*Alg1Result, error) {
+	cfg = cfg.WithDefaults()
+	chain, err := stages.NewCompressChain(stages.Config{Eps: 1e-4, EstWidth: 17})
+	if err != nil {
+		return nil, err
+	}
+	costs := chain.EstimateCycles(17)
+	res := &Alg1Result{
+		StageNames: chain.StageNames(),
+		Costs:      costs,
+		MaxLen:     mapping.MaxPipelineLength(costs),
+	}
+	for m := 1; m <= res.MaxLen; m++ {
+		groups, err := mapping.Distribute(costs, m)
+		if err != nil {
+			return nil, err
+		}
+		res.Groupings = append(res.Groupings, groups)
+		res.Bottlenecks = append(res.Bottlenecks, mapping.Bottleneck(costs, groups))
+	}
+	return res, nil
+}
+
+// PrintAlg1 renders the distribution demo.
+func PrintAlg1(w io.Writer, r *Alg1Result) {
+	section(w, "Algorithm 1: greedy sub-stage distribution (CESM-like chain, fl=17)")
+	fmt.Fprintln(w, "sub-stages and planning costs (cycles/block):")
+	for i, n := range r.StageNames {
+		fmt.Fprintf(w, "  %-12s %6d\n", n, r.Costs[i])
+	}
+	fmt.Fprintf(w, "max useful pipeline length = floor(C/t1) = %d (paper §4.2)\n", r.MaxLen)
+	for m, groups := range r.Groupings {
+		fmt.Fprintf(w, "length %2d: bottleneck %6d cycles; groups:", m+1, r.Bottlenecks[m])
+		for _, g := range groups {
+			if g.Len() == 0 {
+				fmt.Fprintf(w, " [pass]")
+				continue
+			}
+			fmt.Fprintf(w, " [%s..%s]", r.StageNames[g.Lo], r.StageNames[g.Hi-1])
+		}
+		fmt.Fprintln(w)
+	}
+}

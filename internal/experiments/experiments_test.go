@@ -1,0 +1,360 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"ceresz/internal/stages"
+)
+
+// quickCfg trims datasets so the whole experiment suite runs in seconds.
+func quickCfg() Config {
+	return Config{Seed: 7, MaxFieldsPerDataset: 2}
+}
+
+func TestStageProfiles(t *testing.T) {
+	rows, err := StageProfiles(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.PreQuant != r.Mul+r.Add {
+			t.Fatalf("%s: PreQuant %d != Mul+Add %d", r.Dataset, r.PreQuant, r.Mul+r.Add)
+		}
+		if r.FLEncode != r.Sign+r.Max+r.GetLength+r.BitShuffle {
+			t.Fatalf("%s: FLEncode inconsistent", r.Dataset)
+		}
+		// The calibrated model must sit near the paper's Pre-Quant and
+		// Lorenzo columns (they are width-independent).
+		if math.Abs(float64(r.PreQuant-r.Paper.PreQuant)) > 100 {
+			t.Fatalf("%s: PreQuant %d vs paper %d", r.Dataset, r.PreQuant, r.Paper.PreQuant)
+		}
+		if r.Lorenzo != 975 {
+			t.Fatalf("%s: Lorenzo %d, want 975", r.Dataset, r.Lorenzo)
+		}
+		if r.MaxWidth < 1 || r.MaxWidth > 32 {
+			t.Fatalf("%s: width %d out of range", r.Dataset, r.MaxWidth)
+		}
+	}
+	var buf bytes.Buffer
+	PrintStageProfiles(&buf, rows)
+	for _, want := range []string{"Table 1", "Table 2", "Table 3", "Bit-shuffle", "CESM-ATM"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}
+
+func TestFig7(t *testing.T) {
+	r, err := Fig7(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinearityErr != nil {
+		t.Fatalf("row scaling not linear: %v", r.LinearityErr)
+	}
+	if len(r.Points) != 10 {
+		t.Fatalf("%d points, want 10", len(r.Points))
+	}
+	// Throughput must grow monotonically with rows.
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].ThroughputMBps <= r.Points[i-1].ThroughputMBps {
+			t.Fatalf("throughput not increasing at %d rows", r.Points[i].Rows)
+		}
+	}
+	// The analytic extension must continue the simulated trend: per-row
+	// throughput within 30% between the last simulated and first modeled
+	// points.
+	var lastSim, firstModel Fig7Point
+	for _, p := range r.Points {
+		if p.Simulated {
+			lastSim = p
+		} else {
+			firstModel = p
+			break
+		}
+	}
+	perRowSim := lastSim.ThroughputMBps / float64(lastSim.Rows)
+	perRowModel := firstModel.ThroughputMBps / float64(firstModel.Rows)
+	if math.Abs(perRowModel-perRowSim)/perRowSim > 0.30 {
+		t.Fatalf("model/simulation mismatch: %.2f vs %.2f MB/s per row", perRowModel, perRowSim)
+	}
+	var buf bytes.Buffer
+	PrintFig7(&buf, r)
+	if !strings.Contains(buf.String(), "CONFIRMED") {
+		t.Fatal("Fig. 7 output does not confirm linearity")
+	}
+}
+
+func TestFig10(t *testing.T) {
+	r, err := Fig10(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ALinearityErr != nil {
+		t.Fatalf("relay time not linear in columns: %v", r.ALinearityErr)
+	}
+	// (b): per-PE execution time must decrease as pipelines lengthen.
+	for i := 1; i < len(r.B); i++ {
+		if r.B[i].ExecCyclesPerPEPerBlock >= r.B[i-1].ExecCyclesPerPEPerBlock {
+			t.Fatalf("per-PE execution did not fall: len %d -> %d: %.0f -> %.0f",
+				r.B[i-1].PipelineLen, r.B[i].PipelineLen,
+				r.B[i-1].ExecCyclesPerPEPerBlock, r.B[i].ExecCyclesPerPEPerBlock)
+		}
+	}
+	var buf bytes.Buffer
+	PrintFig10(&buf, r)
+	if !strings.Contains(buf.String(), "Formula (2)") {
+		t.Fatal("Fig. 10 output incomplete")
+	}
+}
+
+func TestThroughputFig11Fig12(t *testing.T) {
+	cfg := quickCfg()
+	comp, err := Throughput(cfg, stages.Compress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Throughput(cfg, stages.Decompress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Headline shape: CereSZ in the paper's hundreds-of-GB/s band and
+	// several-fold faster than the fastest baseline.
+	if comp.CereSZAvg < 250 || comp.CereSZAvg > 900 {
+		t.Fatalf("CereSZ compression average %.1f GB/s outside the plausible band", comp.CereSZAvg)
+	}
+	speedup := comp.CereSZAvg / comp.CuSZpAvg
+	if speedup < 2.4 || speedup > 11 {
+		t.Fatalf("compression speedup over cuSZp %.2fx outside the paper's 2.43–10.98x envelope", speedup)
+	}
+	// Decompression is faster than compression (paper: 581 vs 457).
+	if dec.CereSZAvg <= comp.CereSZAvg {
+		t.Fatalf("decompression average %.1f not above compression average %.1f",
+			dec.CereSZAvg, comp.CereSZAvg)
+	}
+	if s := dec.CereSZAvg / dec.CuSZpAvg; s < 2.4 || s > 11 {
+		t.Fatalf("decompression speedup %.2fx outside the paper's envelope", s)
+	}
+	// Every (dataset, bound) must have all five compressors.
+	if len(comp.Cells) != 6*3*5 {
+		t.Fatalf("%d cells, want 90", len(comp.Cells))
+	}
+	// Within each dataset, CereSZ throughput must not increase as the
+	// bound tightens (zero blocks disappear).
+	byKey := map[string]float64{}
+	for _, c := range comp.Cells {
+		if c.Compressor == "CereSZ" {
+			byKey[c.Dataset+"|"+relKey(c.Rel)] = c.GBps
+		}
+	}
+	for _, ds := range []string{"RTM", "NYX", "QMCPack"} {
+		if !(byKey[ds+"|1e-02"] >= byKey[ds+"|1e-03"] && byKey[ds+"|1e-03"] >= byKey[ds+"|1e-04"]) {
+			t.Fatalf("%s: throughput not monotone in bound: %v %v %v",
+				ds, byKey[ds+"|1e-02"], byKey[ds+"|1e-03"], byKey[ds+"|1e-04"])
+		}
+	}
+	var buf bytes.Buffer
+	PrintThroughput(&buf, comp)
+	PrintThroughput(&buf, dec)
+	for _, want := range []string{"Fig. 11", "Fig. 12", "speedup"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}
+
+func relKey(rel float64) string {
+	switch rel {
+	case 1e-2:
+		return "1e-02"
+	case 1e-3:
+		return "1e-03"
+	default:
+		return "1e-04"
+	}
+}
+
+func TestTable5(t *testing.T) {
+	r, err := Table5(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 datasets × 3 bounds × 5 compressors.
+	if len(r.Cells) != 90 {
+		t.Fatalf("%d cells, want 90", len(r.Cells))
+	}
+	for _, ds := range []string{"CESM-ATM", "NYX", "RTM"} {
+		for _, rel := range RelBounds {
+			ceresz, ok1 := r.Find("CereSZ", ds, rel)
+			szp, ok2 := r.Find("SZp", ds, rel)
+			sz, ok3 := r.Find("SZ", ds, rel)
+			if !ok1 || !ok2 || !ok3 {
+				t.Fatalf("missing cells for %s at %g", ds, rel)
+			}
+			// Observation 2: SZp ≥ CereSZ (1-byte vs 4-byte headers).
+			if szp.Avg < ceresz.Avg {
+				t.Fatalf("%s %g: SZp avg %.2f below CereSZ %.2f", ds, rel, szp.Avg, ceresz.Avg)
+			}
+			// SZ leads everything (§5.3).
+			if sz.Avg < ceresz.Avg {
+				t.Fatalf("%s %g: SZ avg %.2f below CereSZ %.2f", ds, rel, sz.Avg, ceresz.Avg)
+			}
+			if ceresz.Min > ceresz.Avg || ceresz.Avg > ceresz.Max {
+				t.Fatalf("%s %g: min/avg/max inconsistent", ds, rel)
+			}
+			// CereSZ can never exceed its 32x zero-block cap.
+			if ceresz.Max > 32 {
+				t.Fatalf("%s %g: CereSZ ratio %.2f above the 128/4 cap", ds, rel, ceresz.Max)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable5(&buf, r)
+	if !strings.Contains(buf.String(), "Table 5") {
+		t.Fatal("output incomplete")
+	}
+}
+
+func TestFig13(t *testing.T) {
+	r, err := Fig13(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.SinglePEFastest {
+		t.Fatal("single-PE pipeline not fastest (Fig. 13 shape broken)")
+	}
+	if len(r.Points) != 24 {
+		t.Fatalf("%d points, want 24 (two datasets x two directions x six lengths)", len(r.Points))
+	}
+	var buf bytes.Buffer
+	PrintFig13(&buf, r)
+	if !strings.Contains(buf.String(), "CONFIRMED") {
+		t.Fatal("Fig. 13 output incomplete")
+	}
+}
+
+func TestFig14(t *testing.T) {
+	r, err := Fig14(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ds, ratio := range r.QuadruplingRatio {
+		// Paper §5.2: 32x32 is "about 4 times" 16x16.
+		if ratio < 3.5 || ratio > 4.5 {
+			t.Fatalf("%s: 16->32 quadrupling ratio %.2f outside [3.5,4.5]", ds, ratio)
+		}
+		if eff := r.Efficiency512[ds]; eff < 0.4 || eff > 1.05 {
+			t.Fatalf("%s: 512x512 per-PE efficiency %.2f implausible", ds, eff)
+		}
+	}
+	// Throughput must grow with mesh size per dataset.
+	last := map[string]float64{}
+	for _, p := range r.Points {
+		if prev, ok := last[p.Dataset]; ok && p.ThroughputGBps <= prev {
+			t.Fatalf("%s: throughput fell at %dx%d", p.Dataset, p.Rows, p.Cols)
+		}
+		last[p.Dataset] = p.ThroughputGBps
+	}
+	var buf bytes.Buffer
+	PrintFig14(&buf, r)
+	if !strings.Contains(buf.String(), "750x994") {
+		t.Fatal("full-wafer point missing")
+	}
+}
+
+func TestFig15(t *testing.T) {
+	r, err := Fig15(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Identical {
+		t.Fatal("CereSZ and cuSZp reconstructions differ (Observation 3 broken)")
+	}
+	if r.CuSZpRatio <= r.CereSZRatio {
+		t.Fatalf("cuSZp ratio %.2f not above CereSZ %.2f (4-byte header penalty)", r.CuSZpRatio, r.CereSZRatio)
+	}
+	if r.MaxError > r.Eps {
+		t.Fatalf("max error %g exceeds ε %g", r.MaxError, r.Eps)
+	}
+	if r.SSIM < 0.99 || r.PSNR < 40 {
+		t.Fatalf("quality implausibly low: SSIM %.4f PSNR %.1f", r.SSIM, r.PSNR)
+	}
+	var buf bytes.Buffer
+	PrintFig15(&buf, r)
+	if !strings.Contains(buf.String(), "bit-identical") {
+		t.Fatal("Fig. 15 output incomplete")
+	}
+}
+
+func TestAlg1(t *testing.T) {
+	r, err := Alg1(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MaxLen < 2 {
+		t.Fatalf("max pipeline length %d, want ≥2 for fl=17", r.MaxLen)
+	}
+	// Bottleneck must be non-increasing as the pipeline lengthens and can
+	// never drop below the largest indivisible stage (Mul).
+	var mulCost int64
+	for i, n := range r.StageNames {
+		if n == "Mul" {
+			mulCost = r.Costs[i]
+		}
+	}
+	for m := 1; m < len(r.Bottlenecks); m++ {
+		if r.Bottlenecks[m] > r.Bottlenecks[m-1] {
+			t.Fatalf("bottleneck grew from length %d to %d", m, m+1)
+		}
+	}
+	if r.Bottlenecks[len(r.Bottlenecks)-1] < mulCost {
+		t.Fatalf("bottleneck %d below the indivisible Mul stage %d", r.Bottlenecks[len(r.Bottlenecks)-1], mulCost)
+	}
+	var buf bytes.Buffer
+	PrintAlg1(&buf, r)
+	if !strings.Contains(buf.String(), "max useful pipeline length") {
+		t.Fatal("Alg. 1 output incomplete")
+	}
+}
+
+func TestRateDistortion(t *testing.T) {
+	r, err := RateDistortion(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 15 {
+		t.Fatalf("%d points, want 15", len(r.Points))
+	}
+	byRel := map[float64]map[string]RateDistortionPoint{}
+	for _, p := range r.Points {
+		if byRel[p.Rel] == nil {
+			byRel[p.Rel] = map[string]RateDistortionPoint{}
+		}
+		byRel[p.Rel][p.Compressor] = p
+	}
+	for rel, m := range byRel {
+		// Identical PSNR for the pre-quantization family (Observation 3).
+		if m["CereSZ"].PSNR != m["cuSZp"].PSNR {
+			t.Fatalf("rel %g: PSNR differs between CereSZ and cuSZp", rel)
+		}
+		// CereSZ pays more bits than cuSZp (header penalty), SZ pays least.
+		if !(m["CereSZ"].BitRate > m["cuSZp"].BitRate && m["cuSZp"].BitRate > m["SZ"].BitRate) {
+			t.Fatalf("rel %g: bitrate ordering broken: %v", rel, m)
+		}
+	}
+	// PSNR grows as the bound tightens.
+	if !(byRel[1e-5]["CereSZ"].PSNR > byRel[1e-2]["CereSZ"].PSNR) {
+		t.Fatal("PSNR not monotone in bound")
+	}
+	var buf bytes.Buffer
+	PrintRateDistortion(&buf, r)
+	if !strings.Contains(buf.String(), "Rate-distortion") {
+		t.Fatal("output incomplete")
+	}
+}

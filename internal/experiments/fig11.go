@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ceresz/internal/baselines"
+	"ceresz/internal/datasets"
+	"ceresz/internal/flenc"
+	"ceresz/internal/quant"
+	"ceresz/internal/stages"
+)
+
+// ThroughputCell is one (dataset, bound, compressor) throughput value.
+type ThroughputCell struct {
+	Dataset    string
+	Rel        float64
+	Compressor string
+	GBps       float64
+}
+
+// ThroughputResult reproduces Fig. 11 (compression) or Fig. 12
+// (decompression): throughput for CereSZ and the four baselines across the
+// six datasets and three REL bounds. CereSZ numbers come from the WSE
+// performance model at the paper's 512×512-PE, pipeline-length-1
+// configuration; baseline numbers come from the device models driven by
+// each baseline's measured ratio and zero-block fraction.
+type ThroughputResult struct {
+	Direction stages.Direction
+	Cells     []ThroughputCell
+	// CereSZAvg and CuSZpAvg are averages over all datasets and bounds —
+	// the quantities behind the paper's "4.9× / 4.8× faster than cuSZp".
+	CereSZAvg, CuSZpAvg float64
+}
+
+// PaperFig11 records the paper's headline compression numbers (§5.2).
+var PaperFig11 = map[string]float64{
+	"average":            457.35,
+	"RTM REL 1e-2":       773.8,
+	"Hurricane REL 1e-2": 378.21,
+	"Hurricane REL 1e-3": 328.9,
+	"RTM REL 1e-3":       654.63,
+	"min REL 1e-4":       277.93,
+}
+
+// PaperFig12 records the decompression headline (§5.2).
+var PaperFig12 = map[string]float64{
+	"average":      581.31,
+	"RTM REL 1e-2": 920.67,
+}
+
+// Throughput runs the Fig. 11 / Fig. 12 experiment.
+func Throughput(cfg Config, dir stages.Direction) (*ThroughputResult, error) {
+	cfg = cfg.WithDefaults()
+	res := &ThroughputResult{Direction: dir}
+	var cereszSum, cuszpSum float64
+	var n int
+	for _, ds := range datasets.All(cfg.Scale) {
+		for _, rel := range RelBounds {
+			// CereSZ on the paper mesh.
+			runs, err := runFields(ds, rel, cfg, flenc.HeaderU32)
+			if err != nil {
+				return nil, err
+			}
+			ceresz, err := projectThroughput(runs, PaperMesh, dir)
+			if err != nil {
+				return nil, err
+			}
+			res.Cells = append(res.Cells, ThroughputCell{ds.Name, rel, "CereSZ", ceresz})
+			cereszSum += ceresz
+
+			// Baselines: ratio + zero fraction drive the device models.
+			cells, err := baselineThroughputs(ds, rel, cfg, dir)
+			if err != nil {
+				return nil, err
+			}
+			for _, c := range cells {
+				res.Cells = append(res.Cells, c)
+				if c.Compressor == "cuSZp" {
+					cuszpSum += c.GBps
+				}
+			}
+			n++
+		}
+	}
+	res.CereSZAvg = cereszSum / float64(n)
+	res.CuSZpAvg = cuszpSum / float64(n)
+	return res, nil
+}
+
+// baselineThroughputs evaluates the four baselines on one dataset/bound.
+func baselineThroughputs(ds *datasets.Dataset, rel float64, cfg Config, dir stages.Direction) ([]ThroughputCell, error) {
+	var out []ThroughputCell
+	for _, c := range baselines.Suite() {
+		comp, dec, err := baselines.Kernels(c.Name())
+		if err != nil {
+			return nil, err
+		}
+		kernel := comp
+		if dir == stages.Decompress {
+			kernel = dec
+		}
+		var totalOrig, totalComp float64
+		var zeroSum float64
+		fields := ds.Fields
+		if cfg.MaxFieldsPerDataset > 0 && len(fields) > cfg.MaxFieldsPerDataset {
+			fields = fields[:cfg.MaxFieldsPerDataset]
+		}
+		for i := range fields {
+			f := &fields[i]
+			data := f.Data(cfg.Seed)
+			minV, maxV := quant.Range(data)
+			eps, err := quant.REL(rel).Resolve(minV, maxV)
+			if err != nil {
+				return nil, err
+			}
+			cc, err := c.Compress(data, f.Dims, eps)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s/%s: %w", c.Name(), ds.Name, f.Name, err)
+			}
+			totalOrig += float64(4 * cc.Elements)
+			totalComp += float64(len(cc.Bytes))
+			zeroSum += cc.ZeroBlockFrac * float64(cc.Elements)
+		}
+		ratio := totalOrig / totalComp
+		zeroFrac := zeroSum * 4 / totalOrig
+		gbps, err := kernel.ThroughputGBps(ratio, zeroFrac)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ThroughputCell{ds.Name, rel, c.Name(), gbps})
+	}
+	return out, nil
+}
+
+// PrintThroughput renders a Fig. 11/12-shaped table.
+func PrintThroughput(w io.Writer, r *ThroughputResult) {
+	if r.Direction == stages.Compress {
+		section(w, "Fig. 11: compression throughput (GB/s), 512x512 PEs, pipeline length 1")
+	} else {
+		section(w, "Fig. 12: decompression throughput (GB/s), 512x512 PEs, pipeline length 1")
+	}
+	order := []string{"CereSZ", "cuSZp", "cuSZ", "SZp", "SZ"}
+	fmt.Fprintf(w, "%-10s %-9s", "Dataset", "REL")
+	for _, c := range order {
+		fmt.Fprintf(w, " %9s", c)
+	}
+	fmt.Fprintln(w)
+	byKey := map[string]float64{}
+	for _, c := range r.Cells {
+		byKey[fmt.Sprintf("%s|%g|%s", c.Dataset, c.Rel, c.Compressor)] = c.GBps
+	}
+	for _, ds := range datasets.Names() {
+		for _, rel := range RelBounds {
+			fmt.Fprintf(w, "%-10s %-9.0e", ds, rel)
+			for _, c := range order {
+				fmt.Fprintf(w, " %9.2f", byKey[fmt.Sprintf("%s|%g|%s", ds, rel, c)])
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	speedup := 0.0
+	if r.CuSZpAvg > 0 {
+		speedup = r.CereSZAvg / r.CuSZpAvg
+	}
+	paper := PaperFig11
+	paperDir := "compression (paper: avg 457.35 GB/s, 4.9x over cuSZp)"
+	if r.Direction == stages.Decompress {
+		paper = PaperFig12
+		paperDir = "decompression (paper: avg 581.31 GB/s, 4.8x over cuSZp)"
+	}
+	_ = paper
+	fmt.Fprintf(w, "CereSZ average %.2f GB/s, cuSZp average %.2f GB/s -> speedup %.2fx; %s\n",
+		r.CereSZAvg, r.CuSZpAvg, speedup, paperDir)
+}

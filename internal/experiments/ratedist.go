@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ceresz/internal/baselines"
+	"ceresz/internal/core"
+	"ceresz/internal/datasets"
+	"ceresz/internal/metrics"
+	"ceresz/internal/quant"
+)
+
+// RateDistortionPoint is one (bit rate, PSNR) sample for one compressor.
+type RateDistortionPoint struct {
+	Compressor string
+	Rel        float64
+	BitRate    float64 // bits per element
+	PSNR       float64 // dB
+}
+
+// RateDistortionResult reproduces the §5.4 rate-distortion discussion:
+// CereSZ, cuSZp and SZ on one NYX field across five bounds. All
+// pre-quantization compressors share the same PSNR at a given bound (the
+// reconstruction is identical), so their curves differ only horizontally:
+// CereSZ sits slightly right of cuSZp (the 4-byte header), and SZ sits far
+// left (Huffman + lossless back end).
+type RateDistortionResult struct {
+	Dataset string
+	Field   string
+	Points  []RateDistortionPoint
+}
+
+// RateDistortion runs the sweep.
+func RateDistortion(cfg Config) (*RateDistortionResult, error) {
+	cfg = cfg.WithDefaults()
+	ds, err := datasets.ByName("NYX", cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	f := &ds.Fields[3] // velocity_x
+	data := f.Data(cfg.Seed)
+	minV, maxV := quant.Range(data)
+
+	res := &RateDistortionResult{Dataset: ds.Name, Field: f.Name}
+	for _, rel := range []float64{1e-1, 1e-2, 1e-3, 1e-4, 1e-5} {
+		eps, err := quant.REL(rel).Resolve(minV, maxV)
+		if err != nil {
+			return nil, err
+		}
+		// CereSZ.
+		comp, _, err := core.CompressWithEps(nil, data, eps, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		rec, _, err := core.Decompress(nil, comp, 0)
+		if err != nil {
+			return nil, err
+		}
+		psnr, err := metrics.PSNR(data, rec)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, RateDistortionPoint{
+			Compressor: "CereSZ", Rel: rel,
+			BitRate: metrics.BitRate(len(data), len(comp)), PSNR: psnr,
+		})
+		// cuSZp (same reconstruction, 1-byte headers).
+		czp, err := (baselines.CuSZp{}).Compress(data, f.Dims, eps)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, RateDistortionPoint{
+			Compressor: "cuSZp", Rel: rel,
+			BitRate: metrics.BitRate(len(data), len(czp.Bytes)), PSNR: psnr,
+		})
+		// SZ.
+		sz, err := (baselines.SZ3{}).Compress(data, f.Dims, eps)
+		if err != nil {
+			return nil, err
+		}
+		szRec, err := (baselines.SZ3{}).Decompress(sz)
+		if err != nil {
+			return nil, err
+		}
+		szPSNR, err := metrics.PSNR(data, szRec)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, RateDistortionPoint{
+			Compressor: "SZ", Rel: rel,
+			BitRate: metrics.BitRate(len(data), len(sz.Bytes)), PSNR: szPSNR,
+		})
+	}
+	return res, nil
+}
+
+// PrintRateDistortion renders the curve samples.
+func PrintRateDistortion(w io.Writer, r *RateDistortionResult) {
+	section(w, fmt.Sprintf("Rate-distortion (§5.4) on %s/%s", r.Dataset, r.Field))
+	fmt.Fprintf(w, "%-8s %-9s %12s %10s\n", "codec", "REL", "bits/elem", "PSNR dB")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%-8s %-9.0e %12.3f %10.2f\n", p.Compressor, p.Rel, p.BitRate, p.PSNR)
+	}
+	fmt.Fprintln(w, "CereSZ's curve sits slightly right of cuSZp (4-byte headers) at identical PSNR; SZ sits far left (Observation 3).")
+}

@@ -1,0 +1,292 @@
+// Package flenc implements CereSZ fixed-length encoding (paper §3, step ③)
+// and its inverse. A block of L small integers is stored as:
+//
+//   - a fixed-length header: the number of effective bits f of the largest
+//     absolute value in the block (4 bytes in CereSZ to respect the WSE's
+//     32-bit message granularity; 1 byte in the SZp/cuSZp baselines),
+//   - L/8 bytes of packed sign bits,
+//   - f planes of L/8 bytes each, produced by the Bit-shuffle step: plane k
+//     collects bit k of every absolute value (Fig. 8).
+//
+// Two header values are reserved. A header of 0 marks a zero block — a block
+// whose codes are all zero — which stores nothing beyond the header (paper
+// §5.2, the source of the throughput gain at loose bounds and of the ratio
+// caps 128/4 ≈ 32 for CereSZ and 128/1 = 128 for SZp at L = 32). The
+// all-ones header marks a verbatim block whose payload is the raw original
+// data; the core compressor emits it when quantization overflows int32.
+//
+// The four sub-steps — Sign, Max, GetLength, Bit-shuffle — are exported
+// individually because the WSE mapping schedules them (and the per-bit
+// slices of Bit-shuffle) as separate pipeline sub-stages (Table 3).
+package flenc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// Header widths supported by the codec.
+const (
+	// HeaderU32 is the CereSZ header: 4 bytes, honoring the 32-bit wavelet
+	// granularity of the Cerebras fabric (paper §5.1.1).
+	HeaderU32 = 4
+	// HeaderU8 is the SZp/cuSZp header: 1 byte.
+	HeaderU8 = 1
+)
+
+// Reserved header codes.
+const (
+	// ZeroMarker marks an all-zero block.
+	ZeroMarker = 0
+	// VerbatimU32 marks a verbatim block in a 4-byte header.
+	VerbatimU32 = 0xFFFFFFFF
+	// VerbatimU8 marks a verbatim block in a 1-byte header.
+	VerbatimU8 = 0xFF
+)
+
+// MaxWidth is the largest representable effective-bit count.
+const MaxWidth = 32
+
+// SplitSigns fills signs with the packed sign bits of src (bit i of
+// signs[i/8], LSB-first; 1 means negative) and abs with absolute values.
+// len(signs) must be len(src)/8 and len(src) must be a multiple of 8.
+// The absolute value of MinInt32 is representable in uint32, so the split
+// is total.
+func SplitSigns(abs []uint32, signs []byte, src []int32) {
+	if len(src)%8 != 0 {
+		panic(fmt.Sprintf("flenc: block length %d not a multiple of 8", len(src)))
+	}
+	if len(abs) != len(src) || len(signs) != len(src)/8 {
+		panic("flenc: SplitSigns buffer size mismatch")
+	}
+	for i := range signs {
+		signs[i] = 0
+	}
+	for i, v := range src {
+		if v < 0 {
+			signs[i>>3] |= 1 << (i & 7)
+			abs[i] = uint32(-int64(v))
+		} else {
+			abs[i] = uint32(v)
+		}
+	}
+}
+
+// MergeSigns reconstructs signed codes from absolute values and packed
+// sign bits, inverting SplitSigns.
+func MergeSigns(dst []int32, abs []uint32, signs []byte) {
+	if len(dst) != len(abs) || len(signs) != len(abs)/8 {
+		panic("flenc: MergeSigns buffer size mismatch")
+	}
+	for i, a := range abs {
+		if signs[i>>3]&(1<<(i&7)) != 0 {
+			dst[i] = int32(-int64(a))
+		} else {
+			dst[i] = int32(a)
+		}
+	}
+}
+
+// MaxAbs returns the maximum of abs (the Max sub-stage).
+func MaxAbs(abs []uint32) uint32 {
+	var m uint32
+	for _, a := range abs {
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Width returns the number of effective bits of m (the GetLength
+// sub-stage): 0 for 0, otherwise ⌈log₂(m+1)⌉.
+func Width(m uint32) uint {
+	return uint(bits.Len32(m))
+}
+
+// PlaneBytes returns the size in bytes of one shuffled bit plane for a
+// block of blockLen elements.
+func PlaneBytes(blockLen int) int { return blockLen / 8 }
+
+// ShufflePlane extracts bit plane k of abs into dst (LSB-first packing,
+// len(dst) = len(abs)/8). This is the unit of work of the per-bit
+// "1-bit Shuffle" sub-stages the mapping distributes across PEs.
+func ShufflePlane(dst []byte, abs []uint32, k uint) {
+	if len(dst) != len(abs)/8 {
+		panic("flenc: ShufflePlane buffer size mismatch")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i, a := range abs {
+		dst[i>>3] |= byte((a>>k)&1) << (i & 7)
+	}
+}
+
+// Shuffle writes width consecutive bit planes of abs into dst
+// (len(dst) = int(width) · len(abs)/8).
+func Shuffle(dst []byte, abs []uint32, width uint) {
+	pb := PlaneBytes(len(abs))
+	if len(dst) != int(width)*pb {
+		panic("flenc: Shuffle buffer size mismatch")
+	}
+	for k := uint(0); k < width; k++ {
+		ShufflePlane(dst[int(k)*pb:int(k+1)*pb], abs, k)
+	}
+}
+
+// UnshufflePlane merges bit plane k from src into abs (ORs bit k in).
+func UnshufflePlane(abs []uint32, src []byte, k uint) {
+	if len(src) != len(abs)/8 {
+		panic("flenc: UnshufflePlane buffer size mismatch")
+	}
+	for i := range abs {
+		abs[i] |= uint32((src[i>>3]>>(i&7))&1) << k
+	}
+}
+
+// Unshuffle reconstructs absolute values from width bit planes. abs is
+// zeroed first.
+func Unshuffle(abs []uint32, src []byte, width uint) {
+	pb := PlaneBytes(len(abs))
+	if len(src) != int(width)*pb {
+		panic("flenc: Unshuffle buffer size mismatch")
+	}
+	for i := range abs {
+		abs[i] = 0
+	}
+	for k := uint(0); k < width; k++ {
+		UnshufflePlane(abs, src[int(k)*pb:int(k+1)*pb], k)
+	}
+}
+
+// EncodedSize returns the wire size in bytes of a block of blockLen codes
+// with the given effective width and header size (HeaderU32 or HeaderU8).
+// Width 0 (a zero block) costs only the header.
+func EncodedSize(width uint, blockLen, headerBytes int) int {
+	if width == 0 {
+		return headerBytes
+	}
+	return headerBytes + PlaneBytes(blockLen) + int(width)*PlaneBytes(blockLen)
+}
+
+// VerbatimSize returns the wire size of a verbatim block: header plus the
+// raw 4-byte elements.
+func VerbatimSize(blockLen, headerBytes int) int {
+	return headerBytes + 4*blockLen
+}
+
+func putHeader(dst []byte, headerBytes int, v uint32) []byte {
+	switch headerBytes {
+	case HeaderU32:
+		var h [4]byte
+		binary.LittleEndian.PutUint32(h[:], v)
+		return append(dst, h[:]...)
+	case HeaderU8:
+		if v > VerbatimU8 && v != VerbatimU32 {
+			panic(fmt.Sprintf("flenc: header value %d does not fit in one byte", v))
+		}
+		if v == VerbatimU32 {
+			v = VerbatimU8
+		}
+		return append(dst, byte(v))
+	default:
+		panic(fmt.Sprintf("flenc: unsupported header size %d", headerBytes))
+	}
+}
+
+// Header decodes a block header from src, returning the raw header value
+// (with the verbatim marker normalized to VerbatimU32) and the number of
+// header bytes consumed.
+func Header(src []byte, headerBytes int) (v uint32, n int, err error) {
+	if len(src) < headerBytes {
+		return 0, 0, fmt.Errorf("flenc: truncated header: have %d bytes, need %d", len(src), headerBytes)
+	}
+	switch headerBytes {
+	case HeaderU32:
+		return binary.LittleEndian.Uint32(src), 4, nil
+	case HeaderU8:
+		v := uint32(src[0])
+		if v == VerbatimU8 {
+			v = VerbatimU32
+		}
+		return v, 1, nil
+	default:
+		return 0, 0, fmt.Errorf("flenc: unsupported header size %d", headerBytes)
+	}
+}
+
+// Block is a reusable scratch area for encoding/decoding one block.
+// It avoids per-block allocation on hot paths.
+type Block struct {
+	Abs    []uint32
+	Signs  []byte
+	Planes []byte
+}
+
+// NewBlock returns scratch buffers for blocks of blockLen elements.
+func NewBlock(blockLen int) *Block {
+	if blockLen <= 0 || blockLen%8 != 0 {
+		panic(fmt.Sprintf("flenc: invalid block length %d", blockLen))
+	}
+	return &Block{
+		Abs:    make([]uint32, blockLen),
+		Signs:  make([]byte, blockLen/8),
+		Planes: make([]byte, MaxWidth*blockLen/8),
+	}
+}
+
+// EncodeBlock appends the fixed-length encoding of codes to dst using the
+// given header size and scratch area, returning the extended slice and the
+// effective width of the block.
+func EncodeBlock(dst []byte, codes []int32, headerBytes int, scratch *Block) ([]byte, uint) {
+	SplitSigns(scratch.Abs[:len(codes)], scratch.Signs[:len(codes)/8], codes)
+	m := MaxAbs(scratch.Abs[:len(codes)])
+	w := Width(m)
+	if w == 0 {
+		return putHeader(dst, headerBytes, ZeroMarker), 0
+	}
+	dst = putHeader(dst, headerBytes, uint32(w))
+	dst = append(dst, scratch.Signs[:len(codes)/8]...)
+	pb := PlaneBytes(len(codes))
+	planes := scratch.Planes[:int(w)*pb]
+	Shuffle(planes, scratch.Abs[:len(codes)], w)
+	return append(dst, planes...), w
+}
+
+// DecodeBlock decodes one block of blockLen codes from src, writing them
+// into codes and returning the number of bytes consumed. A verbatim header
+// is an error here — the caller (the core compressor) must intercept it,
+// because its payload is raw floats, not codes.
+func DecodeBlock(codes []int32, src []byte, headerBytes int, scratch *Block) (n int, err error) {
+	blockLen := len(codes)
+	v, n, err := Header(src, headerBytes)
+	if err != nil {
+		return 0, err
+	}
+	switch {
+	case v == ZeroMarker:
+		for i := range codes {
+			codes[i] = 0
+		}
+		return n, nil
+	case v == VerbatimU32:
+		return 0, fmt.Errorf("flenc: verbatim block must be handled by the caller")
+	case v > MaxWidth:
+		return 0, fmt.Errorf("flenc: invalid fixed length %d", v)
+	}
+	w := uint(v)
+	pb := PlaneBytes(blockLen)
+	need := pb + int(w)*pb
+	if len(src)-n < need {
+		return 0, fmt.Errorf("flenc: truncated block: have %d bytes, need %d", len(src)-n, need)
+	}
+	signs := src[n : n+pb]
+	n += pb
+	planes := src[n : n+int(w)*pb]
+	n += int(w) * pb
+	Unshuffle(scratch.Abs[:blockLen], planes, w)
+	MergeSigns(codes, scratch.Abs[:blockLen], signs)
+	return n, nil
+}

@@ -1,0 +1,190 @@
+// Package lorenzo implements Lorenzo prediction over quantized integer
+// codes. CereSZ (paper §3, step ②) uses the 1D first-order variant: the
+// output of prediction is the first-order difference of the block,
+//
+//	(p₁, p₂−p₁, …, p_L−p_{L−1}),
+//
+// and its inverse is a sequential prefix sum within the block. Higher-order
+// 2D/3D Lorenzo predictors — used by the cuSZ and SZ3-like baselines, not by
+// CereSZ itself — are provided as well.
+//
+// All arithmetic is carried out in two's-complement int32 with wraparound;
+// Forward followed by Inverse is the identity for every input, including
+// inputs whose differences overflow.
+package lorenzo
+
+import "fmt"
+
+// Forward writes the first-order difference of src into dst.
+// dst and src must have equal length; dst may alias src.
+func Forward(dst, src []int32) {
+	if len(dst) != len(src) {
+		panic("lorenzo: Forward length mismatch")
+	}
+	prev := int32(0)
+	for i, v := range src {
+		dst[i] = v - prev
+		prev = v
+	}
+}
+
+// Inverse reconstructs the original codes from first-order differences via
+// a prefix sum. dst and src must have equal length; dst may alias src.
+func Inverse(dst, src []int32) {
+	if len(dst) != len(src) {
+		panic("lorenzo: Inverse length mismatch")
+	}
+	acc := int32(0)
+	for i, v := range src {
+		acc += v
+		dst[i] = acc
+	}
+}
+
+// Dims describes a row-major 1D/2D/3D grid: Nz × Ny × Nx with Nx fastest.
+// Unused dimensions are 1.
+type Dims struct {
+	Nx, Ny, Nz int
+}
+
+// Len returns the total number of elements.
+func (d Dims) Len() int { return d.Nx * d.Ny * d.Nz }
+
+// Order returns the spatial dimensionality implied by the dims (1, 2 or 3).
+func (d Dims) Order() int {
+	switch {
+	case d.Nz > 1:
+		return 3
+	case d.Ny > 1:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// Validate checks that the dims are positive and match n elements.
+func (d Dims) Validate(n int) error {
+	if d.Nx <= 0 || d.Ny <= 0 || d.Nz <= 0 {
+		return fmt.Errorf("lorenzo: non-positive dims %+v", d)
+	}
+	if d.Len() != n {
+		return fmt.Errorf("lorenzo: dims %+v describe %d elements, data has %d", d, d.Len(), n)
+	}
+	return nil
+}
+
+// Dims1 returns 1D dims of length n.
+func Dims1(n int) Dims { return Dims{Nx: n, Ny: 1, Nz: 1} }
+
+// Dims2 returns 2D dims (ny rows × nx cols).
+func Dims2(nx, ny int) Dims { return Dims{Nx: nx, Ny: ny, Nz: 1} }
+
+// Dims3 returns 3D dims.
+func Dims3(nx, ny, nz int) Dims { return Dims{Nx: nx, Ny: ny, Nz: nz} }
+
+// Forward2D applies the 2D Lorenzo predictor residual transform:
+// r(x,y) = p(x,y) − p(x−1,y) − p(x,y−1) + p(x−1,y−1), with out-of-grid
+// neighbors treated as zero. dst must not alias src.
+func Forward2D(dst, src []int32, d Dims) error {
+	if err := d.Validate(len(src)); err != nil {
+		return err
+	}
+	if d.Nz != 1 {
+		return fmt.Errorf("lorenzo: Forward2D on 3D dims %+v", d)
+	}
+	if len(dst) != len(src) {
+		return fmt.Errorf("lorenzo: Forward2D length mismatch")
+	}
+	at := func(x, y int) int32 {
+		if x < 0 || y < 0 {
+			return 0
+		}
+		return src[y*d.Nx+x]
+	}
+	for y := 0; y < d.Ny; y++ {
+		for x := 0; x < d.Nx; x++ {
+			dst[y*d.Nx+x] = at(x, y) - at(x-1, y) - at(x, y-1) + at(x-1, y-1)
+		}
+	}
+	return nil
+}
+
+// Inverse2D inverts Forward2D. dst must not alias src.
+func Inverse2D(dst, src []int32, d Dims) error {
+	if err := d.Validate(len(src)); err != nil {
+		return err
+	}
+	if d.Nz != 1 {
+		return fmt.Errorf("lorenzo: Inverse2D on 3D dims %+v", d)
+	}
+	if len(dst) != len(src) {
+		return fmt.Errorf("lorenzo: Inverse2D length mismatch")
+	}
+	at := func(x, y int) int32 {
+		if x < 0 || y < 0 {
+			return 0
+		}
+		return dst[y*d.Nx+x]
+	}
+	for y := 0; y < d.Ny; y++ {
+		for x := 0; x < d.Nx; x++ {
+			dst[y*d.Nx+x] = src[y*d.Nx+x] + at(x-1, y) + at(x, y-1) - at(x-1, y-1)
+		}
+	}
+	return nil
+}
+
+// Forward3D applies the 3D Lorenzo predictor residual transform with
+// inclusion-exclusion over the 7 causal neighbors. dst must not alias src.
+func Forward3D(dst, src []int32, d Dims) error {
+	if err := d.Validate(len(src)); err != nil {
+		return err
+	}
+	if len(dst) != len(src) {
+		return fmt.Errorf("lorenzo: Forward3D length mismatch")
+	}
+	at := func(x, y, z int) int32 {
+		if x < 0 || y < 0 || z < 0 {
+			return 0
+		}
+		return src[(z*d.Ny+y)*d.Nx+x]
+	}
+	for z := 0; z < d.Nz; z++ {
+		for y := 0; y < d.Ny; y++ {
+			for x := 0; x < d.Nx; x++ {
+				pred := at(x-1, y, z) + at(x, y-1, z) + at(x, y, z-1) -
+					at(x-1, y-1, z) - at(x-1, y, z-1) - at(x, y-1, z-1) +
+					at(x-1, y-1, z-1)
+				dst[(z*d.Ny+y)*d.Nx+x] = at(x, y, z) - pred
+			}
+		}
+	}
+	return nil
+}
+
+// Inverse3D inverts Forward3D. dst must not alias src.
+func Inverse3D(dst, src []int32, d Dims) error {
+	if err := d.Validate(len(src)); err != nil {
+		return err
+	}
+	if len(dst) != len(src) {
+		return fmt.Errorf("lorenzo: Inverse3D length mismatch")
+	}
+	at := func(x, y, z int) int32 {
+		if x < 0 || y < 0 || z < 0 {
+			return 0
+		}
+		return dst[(z*d.Ny+y)*d.Nx+x]
+	}
+	for z := 0; z < d.Nz; z++ {
+		for y := 0; y < d.Ny; y++ {
+			for x := 0; x < d.Nx; x++ {
+				pred := at(x-1, y, z) + at(x, y-1, z) + at(x, y, z-1) -
+					at(x-1, y-1, z) - at(x-1, y, z-1) - at(x, y-1, z-1) +
+					at(x-1, y-1, z-1)
+				dst[(z*d.Ny+y)*d.Nx+x] = src[(z*d.Ny+y)*d.Nx+x] + pred
+			}
+		}
+	}
+	return nil
+}

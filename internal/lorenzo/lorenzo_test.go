@@ -1,0 +1,219 @@
+package lorenzo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestForwardPaperExample(t *testing.T) {
+	// Paper Fig. 5(a): the first-order difference of a quantized block.
+	in := []int32{4, 6, 7, 7, 5, 2, -3, -8}
+	want := []int32{4, 2, 1, 0, -2, -3, -5, -5}
+	out := make([]int32, len(in))
+	Forward(out, in)
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+}
+
+func TestInverseIsPrefixSum(t *testing.T) {
+	in := []int32{4, 2, 1, 0, -2, -3, -5, -5}
+	want := []int32{4, 6, 7, 7, 5, 2, -3, -8}
+	out := make([]int32, len(in))
+	Inverse(out, in)
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+}
+
+func TestForwardInverseInPlace(t *testing.T) {
+	v := []int32{10, -3, 0, 7, 7, 7, 100, -100}
+	orig := append([]int32(nil), v...)
+	Forward(v, v)
+	Inverse(v, v)
+	for i := range orig {
+		if v[i] != orig[i] {
+			t.Fatalf("in-place round trip broke at %d: %d != %d", i, v[i], orig[i])
+		}
+	}
+}
+
+func TestRoundTripWithOverflow(t *testing.T) {
+	// Differences that overflow int32 must still round-trip via
+	// two's-complement wraparound.
+	v := []int32{math.MaxInt32, math.MinInt32, 0, math.MinInt32, math.MaxInt32}
+	fwd := make([]int32, len(v))
+	back := make([]int32, len(v))
+	Forward(fwd, v)
+	Inverse(back, fwd)
+	for i := range v {
+		if back[i] != v[i] {
+			t.Fatalf("overflow round trip broke at %d: %d != %d", i, back[i], v[i])
+		}
+	}
+}
+
+func TestQuickRoundTrip1D(t *testing.T) {
+	f := func(v []int32) bool {
+		fwd := make([]int32, len(v))
+		back := make([]int32, len(v))
+		Forward(fwd, v)
+		Inverse(back, fwd)
+		for i := range v {
+			if back[i] != v[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDims(t *testing.T) {
+	d := Dims2(5, 4)
+	if d.Len() != 20 || d.Order() != 2 {
+		t.Fatalf("Dims2: len=%d order=%d", d.Len(), d.Order())
+	}
+	if Dims1(9).Order() != 1 || Dims3(2, 2, 2).Order() != 3 {
+		t.Fatal("Order misclassifies")
+	}
+	if err := d.Validate(20); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(19); err == nil {
+		t.Fatal("Validate accepted wrong element count")
+	}
+	if err := (Dims{Nx: 0, Ny: 1, Nz: 1}).Validate(0); err == nil {
+		t.Fatal("Validate accepted zero dim")
+	}
+}
+
+func TestForward2DSmoothPlane(t *testing.T) {
+	// A bilinear plane a + bx + cy has zero 2D-Lorenzo residual except on
+	// the first row/column, where the boundary terms leak through.
+	d := Dims2(8, 6)
+	src := make([]int32, d.Len())
+	for y := 0; y < d.Ny; y++ {
+		for x := 0; x < d.Nx; x++ {
+			src[y*d.Nx+x] = int32(3 + 2*x + 5*y)
+		}
+	}
+	dst := make([]int32, d.Len())
+	if err := Forward2D(dst, src, d); err != nil {
+		t.Fatal(err)
+	}
+	for y := 1; y < d.Ny; y++ {
+		for x := 1; x < d.Nx; x++ {
+			if dst[y*d.Nx+x] != 0 {
+				t.Fatalf("interior residual (%d,%d) = %d, want 0", x, y, dst[y*d.Nx+x])
+			}
+		}
+	}
+	back := make([]int32, d.Len())
+	if err := Inverse2D(back, dst, d); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if back[i] != src[i] {
+			t.Fatalf("2D round trip broke at %d", i)
+		}
+	}
+}
+
+func TestForward3DRoundTrip(t *testing.T) {
+	d := Dims3(4, 3, 5)
+	src := make([]int32, d.Len())
+	for i := range src {
+		src[i] = int32((i*2654435761 + 17) % 1000)
+	}
+	res := make([]int32, d.Len())
+	back := make([]int32, d.Len())
+	if err := Forward3D(res, src, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := Inverse3D(back, res, d); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if back[i] != src[i] {
+			t.Fatalf("3D round trip broke at %d: %d != %d", i, back[i], src[i])
+		}
+	}
+}
+
+func TestForward3DTrilinearInteriorZero(t *testing.T) {
+	d := Dims3(5, 5, 5)
+	src := make([]int32, d.Len())
+	for z := 0; z < d.Nz; z++ {
+		for y := 0; y < d.Ny; y++ {
+			for x := 0; x < d.Nx; x++ {
+				src[(z*d.Ny+y)*d.Nx+x] = int32(1 + x + 2*y + 3*z)
+			}
+		}
+	}
+	res := make([]int32, d.Len())
+	if err := Forward3D(res, src, d); err != nil {
+		t.Fatal(err)
+	}
+	for z := 1; z < d.Nz; z++ {
+		for y := 1; y < d.Ny; y++ {
+			for x := 1; x < d.Nx; x++ {
+				if r := res[(z*d.Ny+y)*d.Nx+x]; r != 0 {
+					t.Fatalf("interior residual (%d,%d,%d) = %d, want 0", x, y, z, r)
+				}
+			}
+		}
+	}
+}
+
+func TestQuickRoundTrip2D(t *testing.T) {
+	f := func(vals []int32) bool {
+		// Shape the fuzz input into a 2D grid.
+		nx := 4
+		ny := len(vals) / nx
+		if ny == 0 {
+			return true
+		}
+		src := vals[:nx*ny]
+		d := Dims2(nx, ny)
+		res := make([]int32, len(src))
+		back := make([]int32, len(src))
+		if err := Forward2D(res, src, d); err != nil {
+			return false
+		}
+		if err := Inverse2D(back, res, d); err != nil {
+			return false
+		}
+		for i := range src {
+			if back[i] != src[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDimMismatchErrors(t *testing.T) {
+	d := Dims2(4, 4)
+	src := make([]int32, 16)
+	if err := Forward2D(make([]int32, 15), src, d); err == nil {
+		t.Fatal("Forward2D accepted dst length mismatch")
+	}
+	if err := Forward2D(make([]int32, 16), make([]int32, 15), d); err == nil {
+		t.Fatal("Forward2D accepted src/dims mismatch")
+	}
+	d3 := Dims3(2, 2, 4)
+	if err := Forward2D(make([]int32, 16), src, d3); err == nil {
+		t.Fatal("Forward2D accepted 3D dims")
+	}
+}

@@ -1,0 +1,113 @@
+// Package mapping parallelizes the CereSZ sub-stage chains onto the
+// simulated WSE, implementing the paper's three strategies (§4, Fig. 6):
+//
+//  1. data parallelism across PE rows — blocks are striped over rows;
+//  2. pipeline parallelism across PE columns — Algorithm 1 packs the
+//     sub-stages into balanced groups mapped to consecutive PEs;
+//  3. data parallelism across pipelines within a row — the Fig. 9 relay
+//     protocol forwards raw blocks east so every pipeline stays fed.
+//
+// The package provides both an event-accurate execution path (Plan.Compress
+// / Plan.Decompress, which run the real stage kernels on internal/wse and
+// produce byte-identical streams to internal/core) and an analytic
+// performance model (Project) implementing Formulas (2)–(4), validated
+// against the simulator and used to extrapolate to full-wafer geometries.
+package mapping
+
+import (
+	"fmt"
+)
+
+// Group is a contiguous range of sub-stage indices [Lo, Hi) assigned to
+// one PE of a pipeline.
+type Group struct {
+	Lo, Hi int
+}
+
+// Len returns the number of sub-stages in the group.
+func (g Group) Len() int { return g.Hi - g.Lo }
+
+// Distribute implements Algorithm 1: greedily pack n sub-stages with the
+// given planning-time costs into m contiguous groups. Groups 1..m-1 accept
+// stages while their cost is below C/m (C = total cost); the final group
+// takes the remainder. Costs must be non-negative and m ≥ 1.
+func Distribute(costs []int64, m int) ([]Group, error) {
+	n := len(costs)
+	if m < 1 {
+		return nil, fmt.Errorf("mapping: cannot distribute into %d groups", m)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("mapping: no stages to distribute")
+	}
+	var total int64
+	for i, c := range costs {
+		if c < 0 {
+			return nil, fmt.Errorf("mapping: negative cost %d for stage %d", c, i)
+		}
+		total += c
+	}
+	target := float64(total) / float64(m)
+
+	groups := make([]Group, m)
+	next := 0
+	for g := 0; g < m-1; g++ {
+		groups[g].Lo = next
+		var sum int64
+		// "while the sum of runtime of the stages in G_j < C/m, move the
+		// next stage to G_i" — but never starve the remaining groups of
+		// their one stage each... the paper's greedy can do that for very
+		// skewed costs; we stop early so every later group stays valid
+		// (an empty trailing group is handled by the pipeline as a
+		// pass-through PE).
+		for next < n && float64(sum) < target {
+			sum += costs[next]
+			next++
+		}
+		groups[g].Hi = next
+	}
+	groups[m-1] = Group{Lo: next, Hi: n}
+	return groups, nil
+}
+
+// GroupCost sums the costs inside a group.
+func GroupCost(costs []int64, g Group) int64 {
+	var sum int64
+	for i := g.Lo; i < g.Hi; i++ {
+		sum += costs[i]
+	}
+	return sum
+}
+
+// Bottleneck returns the maximum group cost — the pipeline's steady-state
+// per-block compute time.
+func Bottleneck(costs []int64, groups []Group) int64 {
+	var maxCost int64
+	for _, g := range groups {
+		if c := GroupCost(costs, g); c > maxCost {
+			maxCost = c
+		}
+	}
+	return maxCost
+}
+
+// MaxPipelineLength returns ⌊C / t₁⌋ where t₁ is the largest single
+// sub-stage cost: pipelines longer than this cannot run faster because the
+// indivisible bottleneck stage caps per-block time (paper §4.2 — the
+// Multiplication step bounds the feasible pipeline length).
+func MaxPipelineLength(costs []int64) int {
+	var total, maxCost int64
+	for _, c := range costs {
+		total += c
+		if c > maxCost {
+			maxCost = c
+		}
+	}
+	if maxCost == 0 {
+		return 1
+	}
+	n := int(total / maxCost)
+	if n < 1 {
+		return 1
+	}
+	return n
+}

@@ -1,0 +1,388 @@
+package mapping
+
+import (
+	"fmt"
+	"sort"
+
+	"ceresz/internal/core"
+	"ceresz/internal/stages"
+	"ceresz/internal/wse"
+)
+
+// Fabric colors used by the mapping (well inside the 24 available).
+const (
+	// colorRaw carries unprocessed blocks east along a row (the Fig. 9
+	// relay traffic).
+	colorRaw wse.Color = 0
+	// colorStage carries intermediate block state between consecutive PEs
+	// of one pipeline.
+	colorStage wse.Color = 1
+	// colorColumn carries raw blocks down the west column in single-ingress
+	// mode (all data entering at PE(0,0)).
+	colorColumn wse.Color = 2
+)
+
+// flowBlock is the payload traveling the fabric: one block and its global
+// position, so the emitted stream can be reassembled in order.
+type flowBlock struct {
+	id  int
+	row int                // target row (single-ingress distribution)
+	raw []float32          // compression input (nil for decompression)
+	enc []byte             // decompression input (nil for compression)
+	st  *stages.BlockState // created when a head PE captures the block
+}
+
+// peProgram is the per-PE code: relay raw blocks for pipelines to the
+// east, capture every (pipelinesEast+1)-th raw block if a head, and run
+// the assigned stage group on pipeline traffic (paper Fig. 9b).
+type peProgram struct {
+	plan   *Plan
+	isHead bool
+	isTail bool
+	group  Group
+
+	relayInit int // blocks to relay between two captures
+	relayLeft int
+}
+
+// Init implements wse.Program: reserve this PE's static working set — its
+// share of the block state plus a relay buffer when raw traffic passes
+// through — against the 48 KB budget.
+func (pp *peProgram) Init(ctx *wse.Context) {
+	pp.relayLeft = pp.relayInit
+	L := pp.plan.Chain.Cfg.BlockLen
+	bytes := stateBytes(L) / pp.plan.Cfg.PipelineLen
+	if pp.relayInit > 0 || !pp.isHead {
+		bytes += relayBytes(L)
+	}
+	if err := ctx.Alloc(bytes); err != nil {
+		// Unreachable: NewPlan's checkMemory is strictly more conservative.
+		panic(err)
+	}
+}
+
+// OnMessage implements wse.Program.
+func (pp *peProgram) OnMessage(ctx *wse.Context, msg wse.Message) {
+	switch msg.Color {
+	case colorColumn:
+		// Single-ingress distribution: raw blocks flow south down the west
+		// column; each row head peels off its own rows' blocks and turns
+		// them into ordinary row traffic.
+		fb := msg.Payload.(*flowBlock)
+		if fb.row != ctx.Coord().Row {
+			ctx.Forward(wse.South, msg)
+			return
+		}
+		msg.Color = colorRaw
+		pp.OnMessage(ctx, msg)
+	case colorRaw:
+		if !pp.isHead {
+			// Interior PEs relay raw traffic toward farther pipelines.
+			ctx.Forward(wse.East, msg)
+			return
+		}
+		if pp.relayLeft > 0 {
+			pp.relayLeft--
+			ctx.Forward(wse.East, msg)
+			return
+		}
+		pp.relayLeft = pp.relayInit
+		fb := msg.Payload.(*flowBlock)
+		fb.st = stages.NewBlockState(pp.plan.Chain.Cfg.BlockLen)
+		if pp.plan.Chain.Dir == stages.Compress {
+			fb.st.ResetForCompress(fb.raw)
+		} else {
+			fb.st.ResetForDecompress(fb.enc)
+		}
+		pp.process(ctx, fb)
+	case colorStage:
+		pp.process(ctx, msg.Payload.(*flowBlock))
+	default:
+		panic(fmt.Sprintf("mapping: unexpected color %d at %v", msg.Color, ctx.Coord()))
+	}
+}
+
+func (pp *peProgram) process(ctx *wse.Context, fb *flowBlock) {
+	chain := pp.plan.Chain
+	for i := pp.group.Lo; i < pp.group.Hi; i++ {
+		ctx.Spend(chain.Stages[i].Cycles(fb.st))
+		chain.Stages[i].Run(fb.st)
+	}
+	if pp.isTail {
+		ctx.Emit(fb, fb.st.Wavelets())
+		return
+	}
+	ctx.Send(wse.East, wse.Message{
+		Color:    colorStage,
+		Payload:  fb,
+		Wavelets: fb.st.Wavelets(),
+	})
+}
+
+// Result reports one simulated run.
+type Result struct {
+	// Bytes is the compressed stream (compression runs).
+	Bytes []byte
+	// Data is the reconstructed field (decompression runs).
+	Data []float32
+	// Cycles is the completion time of the last PE (§4.1's measurement).
+	Cycles int64
+	// Seconds is Cycles at the configured clock.
+	Seconds float64
+	// ThroughputGBps is uncompressed-bytes / Seconds / 1e9 — the paper's
+	// throughput metric for both directions (§5.1.4).
+	ThroughputGBps float64
+	// Mesh exposes per-PE statistics for profiling (Fig. 10).
+	Mesh *wse.Mesh
+	// Meta is the stream metadata.
+	Meta core.Meta
+}
+
+// install wires the plan's programs onto rows [0, rows) of the mesh.
+// Unless ProcessorRelay is set, interior pipeline PEs get a static router
+// route for the raw-block color, so crossing traffic never touches their
+// processor.
+func (p *Plan) install(m *wse.Mesh, rows int) {
+	pl := p.Cfg.PipelineLen
+	for r := 0; r < rows; r++ {
+		for pipe := 0; pipe < p.Pipelines; pipe++ {
+			for pos := 0; pos < pl; pos++ {
+				col := pipe*pl + pos
+				interiorWithTraffic := pos > 0 && pipe < p.Pipelines-1
+				if interiorWithTraffic && !p.Cfg.ProcessorRelay {
+					m.SetRoute(r, col, colorRaw, wse.East)
+				}
+				m.SetProgram(r, col, &peProgram{
+					plan:      p,
+					isHead:    pos == 0,
+					isTail:    pos == pl-1,
+					group:     p.Groups[pos],
+					relayInit: p.Pipelines - pipe - 1,
+				})
+			}
+		}
+	}
+}
+
+// injectColumn streams every block into PE(0,0) on the column color; row
+// heads peel off their rows' blocks (single-ingress mode).
+func (p *Plan) injectColumn(m *wse.Mesh, blocks []*flowBlock, wavelets func(*flowBlock) int) {
+	t := int64(0)
+	for _, fb := range blocks {
+		w := wavelets(fb)
+		m.Inject(0, 0, wse.Message{Color: colorColumn, Payload: fb, Wavelets: w}, t)
+		if p.Cfg.InjectInterval > 0 {
+			t += p.Cfg.InjectInterval
+		} else {
+			t += int64(w) + m.Config().LinkLatency
+		}
+	}
+}
+
+// inject streams the row's blocks into its west-edge PE at link rate (or
+// the configured interval).
+func (p *Plan) inject(m *wse.Mesh, row int, blocks []*flowBlock, wavelets func(*flowBlock) int) {
+	t := int64(0)
+	for _, fb := range blocks {
+		w := wavelets(fb)
+		m.Inject(row, 0, wse.Message{Color: colorRaw, Payload: fb, Wavelets: w}, t)
+		if p.Cfg.InjectInterval > 0 {
+			t += p.Cfg.InjectInterval
+		} else {
+			t += int64(w) + m.Config().LinkLatency
+		}
+	}
+}
+
+// CompressTraced is Compress with a wse.Tracer attached (capturing up to
+// capEntries events), for debugging the schedule.
+func (p *Plan) CompressTraced(data []float32, capEntries int) (*wse.Tracer, *Result, error) {
+	res, tr, err := p.compress(data, capEntries)
+	return tr, res, err
+}
+
+// Compress runs the plan on data and returns the compressed stream, which
+// is byte-identical to internal/core's for the same parameters.
+func (p *Plan) Compress(data []float32) (*Result, error) {
+	res, _, err := p.compress(data, 0)
+	return res, err
+}
+
+func (p *Plan) compress(data []float32, traceCap int) (*Result, *wse.Tracer, error) {
+	if p.Chain.Dir != stages.Compress {
+		return nil, nil, fmt.Errorf("mapping: Compress on a %v chain", p.Chain.Dir)
+	}
+	L := p.Chain.Cfg.BlockLen
+	nBlocks := (len(data) + L - 1) / L
+	m, err := wse.NewMesh(p.Cfg.Mesh)
+	if err != nil {
+		return nil, nil, err
+	}
+	var tr *wse.Tracer
+	if traceCap > 0 {
+		tr = m.AttachTracer(traceCap)
+	}
+	rows := p.Cfg.Mesh.Rows
+	if rows > nBlocks && nBlocks > 0 {
+		rows = nBlocks
+	}
+	p.install(m, rows)
+
+	// Stripe blocks over rows: row r gets blocks r, r+rows, r+2·rows, …
+	if p.Cfg.SingleIngress {
+		var all []*flowBlock
+		for b := 0; b < nBlocks; b++ {
+			lo, hi := b*L, (b+1)*L
+			if hi > len(data) {
+				hi = len(data)
+			}
+			all = append(all, &flowBlock{id: b, row: b % rows, raw: data[lo:hi]})
+		}
+		p.injectColumn(m, all, func(*flowBlock) int { return L })
+	} else {
+		for r := 0; r < rows; r++ {
+			var rowBlocks []*flowBlock
+			for b := r; b < nBlocks; b += rows {
+				lo, hi := b*L, (b+1)*L
+				if hi > len(data) {
+					hi = len(data)
+				}
+				rowBlocks = append(rowBlocks, &flowBlock{id: b, row: r, raw: data[lo:hi]})
+			}
+			p.inject(m, r, rowBlocks, func(*flowBlock) int { return L })
+		}
+	}
+
+	cycles, err := m.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	meta := core.Meta{
+		HeaderBytes: p.Chain.Cfg.HeaderBytes,
+		BlockLen:    L,
+		Elements:    len(data),
+		Eps:         p.Chain.Cfg.Eps,
+	}
+	encoded, err := collectBlocks(m, nBlocks)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := core.AppendStreamHeader(nil, meta)
+	for _, fb := range encoded {
+		out = append(out, fb.st.Encoded...)
+	}
+	res := p.newResult(m, cycles, int64(4*len(data)), meta)
+	res.Bytes = out
+	return res, tr, nil
+}
+
+// Decompress runs the plan on a compressed stream and reconstructs the
+// data, exactly as internal/core.Decompress would.
+func (p *Plan) Decompress(comp []byte) (*Result, error) {
+	if p.Chain.Dir != stages.Decompress {
+		return nil, fmt.Errorf("mapping: Decompress on a %v chain", p.Chain.Dir)
+	}
+	meta, offsets, err := core.BlockOffsets(comp)
+	if err != nil {
+		return nil, err
+	}
+	if meta.BlockLen != p.Chain.Cfg.BlockLen {
+		return nil, fmt.Errorf("mapping: stream block length %d does not match plan's %d", meta.BlockLen, p.Chain.Cfg.BlockLen)
+	}
+	if meta.HeaderBytes != p.Chain.Cfg.HeaderBytes {
+		return nil, fmt.Errorf("mapping: stream header size %d does not match plan's %d", meta.HeaderBytes, p.Chain.Cfg.HeaderBytes)
+	}
+	if meta.Eps != p.Chain.Cfg.Eps {
+		return nil, fmt.Errorf("mapping: stream ε %g does not match plan's %g", meta.Eps, p.Chain.Cfg.Eps)
+	}
+	body := comp[core.StreamHeaderSize:]
+	nBlocks := meta.Blocks()
+
+	m, err := wse.NewMesh(p.Cfg.Mesh)
+	if err != nil {
+		return nil, err
+	}
+	rows := p.Cfg.Mesh.Rows
+	if rows > nBlocks && nBlocks > 0 {
+		rows = nBlocks
+	}
+	p.install(m, rows)
+
+	encW := func(fb *flowBlock) int { return (len(fb.enc) + 3) / 4 }
+	if p.Cfg.SingleIngress {
+		var all []*flowBlock
+		for b := 0; b < nBlocks; b++ {
+			all = append(all, &flowBlock{id: b, row: b % rows, enc: body[offsets[b]:offsets[b+1]]})
+		}
+		p.injectColumn(m, all, encW)
+	} else {
+		for r := 0; r < rows; r++ {
+			var rowBlocks []*flowBlock
+			for b := r; b < nBlocks; b += rows {
+				rowBlocks = append(rowBlocks, &flowBlock{id: b, row: r, enc: body[offsets[b]:offsets[b+1]]})
+			}
+			p.inject(m, r, rowBlocks, encW)
+		}
+	}
+
+	cycles, err := m.Run()
+	if err != nil {
+		return nil, err
+	}
+	decoded, err := collectBlocks(m, nBlocks)
+	if err != nil {
+		return nil, err
+	}
+	L := meta.BlockLen
+	out := make([]float32, meta.Elements)
+	for _, fb := range decoded {
+		lo := fb.id * L
+		hi := lo + L
+		if hi > len(out) {
+			hi = len(out)
+		}
+		copy(out[lo:hi], fb.st.Raw)
+	}
+	res := p.newResult(m, cycles, int64(4*meta.Elements), meta)
+	res.Data = out
+	return res, nil
+}
+
+func (p *Plan) newResult(m *wse.Mesh, cycles, inputBytes int64, meta core.Meta) *Result {
+	secs := m.Seconds(cycles)
+	tput := 0.0
+	if secs > 0 {
+		tput = float64(inputBytes) / secs / 1e9
+	}
+	return &Result{
+		Cycles:         cycles,
+		Seconds:        secs,
+		ThroughputGBps: tput,
+		Mesh:           m,
+		Meta:           meta,
+	}
+}
+
+// collectBlocks gathers the emitted flow blocks and orders them by id.
+func collectBlocks(m *wse.Mesh, nBlocks int) ([]*flowBlock, error) {
+	ems := m.Emissions()
+	if len(ems) != nBlocks {
+		return nil, fmt.Errorf("mapping: %d blocks emitted, want %d", len(ems), nBlocks)
+	}
+	out := make([]*flowBlock, 0, nBlocks)
+	seen := make(map[int]bool, nBlocks)
+	for _, e := range ems {
+		fb, ok := e.Payload.(*flowBlock)
+		if !ok {
+			return nil, fmt.Errorf("mapping: unexpected emission payload %T", e.Payload)
+		}
+		if seen[fb.id] {
+			return nil, fmt.Errorf("mapping: block %d emitted twice", fb.id)
+		}
+		seen[fb.id] = true
+		out = append(out, fb)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out, nil
+}

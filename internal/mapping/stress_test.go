@@ -1,0 +1,90 @@
+package mapping
+
+import (
+	"bytes"
+	"testing"
+
+	"ceresz/internal/core"
+	"ceresz/internal/wse"
+)
+
+// TestLargeStripMatchesModel pushes the event simulator to a 1×128 strip
+// with 16k blocks — a scale where the relay term is a first-order effect —
+// and checks both functional equality with the host compressor and
+// agreement with the analytic model. Skipped under -short.
+func TestLargeStripMatchesModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large simulation")
+	}
+	data := smoothField(32*16384, 42)
+	eps := 1e-3
+	ref, stats, err := core.CompressWithEps(nil, data, eps, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := compressChain(t, eps, 8)
+	plan, err := NewPlan(chain, PlanConfig{Mesh: wse.Config{Rows: 1, Cols: 128}, PipelineLen: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := plan.Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Bytes, ref) {
+		t.Fatal("large-strip stream differs from host stream")
+	}
+	proj, err := plan.Project(Workload{
+		Blocks:           stats.Blocks,
+		Elements:         stats.Elements,
+		WidthHist:        stats.WidthHistogram,
+		VerbatimBlocks:   stats.VerbatimBlocks,
+		AvgInputWavelets: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := proj.TotalCycles / float64(res.Cycles)
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Fatalf("model %.0f vs sim %d cycles at 128 columns (ratio %.2f)",
+			proj.TotalCycles, res.Cycles, ratio)
+	}
+}
+
+// TestWideMeshDecompressRoundTrip exercises an 8×16 mesh in the
+// decompression direction at scale. Skipped under -short.
+func TestWideMeshDecompressRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large simulation")
+	}
+	data := smoothField(32*8192, 43)
+	eps := 1e-3
+	comp, _, err := core.CompressWithEps(nil, data, eps, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _, err := core.Decompress(nil, comp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := decompressChain(t, eps, 8)
+	plan, err := NewPlan(chain, PlanConfig{Mesh: wse.Config{Rows: 8, Cols: 16}, PipelineLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := plan.Decompress(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if res.Data[i] != ref[i] {
+			t.Fatalf("differs at %d", i)
+		}
+	}
+	// Rows must share the load: every row's head PE handled messages.
+	for r := 0; r < 8; r++ {
+		if res.Mesh.PE(r, 0).Stats().Handled == 0 {
+			t.Fatalf("row %d idle", r)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package metrics implements the data-quality and efficiency metrics the
+// paper evaluates (§2.2, §5.1.4): compression ratio, throughput, maximum
+// absolute error, PSNR and SSIM.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ceresz/internal/lorenzo"
+)
+
+// ErrLengthMismatch is returned when two fields have different sizes.
+var ErrLengthMismatch = errors.New("metrics: length mismatch")
+
+// MaxAbsError returns max_i |a_i − b_i| — the quantity the error bound
+// constrains.
+func MaxAbsError(a, b []float32) (float64, error) {
+	if len(a) != len(b) {
+		return 0, ErrLengthMismatch
+	}
+	var m float64
+	for i := range a {
+		if e := math.Abs(float64(a[i]) - float64(b[i])); e > m {
+			m = e
+		}
+	}
+	return m, nil
+}
+
+// MSE returns the mean squared error between a and b.
+func MSE(a, b []float32) (float64, error) {
+	if len(a) != len(b) {
+		return 0, ErrLengthMismatch
+	}
+	if len(a) == 0 {
+		return 0, nil
+	}
+	var sum float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		sum += d * d
+	}
+	return sum / float64(len(a)), nil
+}
+
+// PSNR returns the peak signal-to-noise ratio in dB between the original
+// and the reconstruction, using the original's value range as the peak
+// (the convention of Z-checker and the compression literature). A lossless
+// reconstruction yields +Inf.
+func PSNR(orig, rec []float32) (float64, error) {
+	mse, err := MSE(orig, rec)
+	if err != nil {
+		return 0, err
+	}
+	lo, hi := rangeOf(orig)
+	r := hi - lo
+	if mse == 0 {
+		return math.Inf(1), nil
+	}
+	if r <= 0 {
+		return 0, fmt.Errorf("metrics: degenerate value range %g", r)
+	}
+	return 20*math.Log10(r) - 10*math.Log10(mse), nil
+}
+
+// CompressionRatio returns originalBytes / compressedBytes.
+func CompressionRatio(originalBytes, compressedBytes int) float64 {
+	if compressedBytes <= 0 {
+		return 0
+	}
+	return float64(originalBytes) / float64(compressedBytes)
+}
+
+// BitRate returns bits per element for float32 data compressed to
+// compressedBytes.
+func BitRate(elements, compressedBytes int) float64 {
+	if elements <= 0 {
+		return 0
+	}
+	return 8 * float64(compressedBytes) / float64(elements)
+}
+
+// ThroughputGBps returns bytes processed per second in GB/s (10⁹ bytes).
+func ThroughputGBps(bytes int64, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(bytes) / seconds / 1e9
+}
+
+func rangeOf(a []float32) (float64, float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range a {
+		f := float64(v)
+		if math.IsNaN(f) {
+			continue
+		}
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	if lo > hi {
+		return 0, 0
+	}
+	return lo, hi
+}
+
+// SSIM computes the mean Structural Similarity Index between a 2D original
+// and reconstruction over sliding wd×wd windows with stride wd (a windowed
+// mean, as in the reference implementation used by the compression
+// community). Fields with more than two dimensions are evaluated slice by
+// slice (fastest two dims). Returns a value in [-1, 1]; 1 means identical.
+func SSIM(orig, rec []float32, d lorenzo.Dims) (float64, error) {
+	if len(orig) != len(rec) {
+		return 0, ErrLengthMismatch
+	}
+	if err := d.Validate(len(orig)); err != nil {
+		return 0, err
+	}
+	const wd = 8
+	lo, hi := rangeOf(orig)
+	L := hi - lo
+	if L <= 0 {
+		// Constant field: identical reconstructions are perfectly similar.
+		same := true
+		for i := range orig {
+			if orig[i] != rec[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return 1, nil
+		}
+		return 0, fmt.Errorf("metrics: degenerate value range for SSIM")
+	}
+	c1 := (0.01 * L) * (0.01 * L)
+	c2 := (0.03 * L) * (0.03 * L)
+
+	var total float64
+	var windows int
+	sliceLen := d.Nx * d.Ny
+	for z := 0; z < d.Nz; z++ {
+		o := orig[z*sliceLen : (z+1)*sliceLen]
+		r := rec[z*sliceLen : (z+1)*sliceLen]
+		for y := 0; y+wd <= d.Ny; y += wd {
+			for x := 0; x+wd <= d.Nx; x += wd {
+				var muO, muR float64
+				for j := 0; j < wd; j++ {
+					for i := 0; i < wd; i++ {
+						muO += float64(o[(y+j)*d.Nx+x+i])
+						muR += float64(r[(y+j)*d.Nx+x+i])
+					}
+				}
+				n := float64(wd * wd)
+				muO /= n
+				muR /= n
+				var vO, vR, cov float64
+				for j := 0; j < wd; j++ {
+					for i := 0; i < wd; i++ {
+						do := float64(o[(y+j)*d.Nx+x+i]) - muO
+						dr := float64(r[(y+j)*d.Nx+x+i]) - muR
+						vO += do * do
+						vR += dr * dr
+						cov += do * dr
+					}
+				}
+				vO /= n - 1
+				vR /= n - 1
+				cov /= n - 1
+				s := ((2*muO*muR + c1) * (2*cov + c2)) /
+					((muO*muO + muR*muR + c1) * (vO + vR + c2))
+				total += s
+				windows++
+			}
+		}
+	}
+	if windows == 0 {
+		return 0, fmt.Errorf("metrics: field %+v smaller than the %dx%d SSIM window", d, wd, wd)
+	}
+	return total / float64(windows), nil
+}

@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"ceresz/internal/lorenzo"
+)
+
+func TestMaxAbsError(t *testing.T) {
+	a := []float32{1, 2, 3}
+	b := []float32{1.5, 2, 2.2}
+	got, err := MaxAbsError(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.8) > 1e-6 {
+		t.Fatalf("MaxAbsError = %g, want 0.8", got)
+	}
+	if _, err := MaxAbsError(a, b[:2]); err == nil {
+		t.Fatal("accepted length mismatch")
+	}
+}
+
+func TestMSEAndPSNR(t *testing.T) {
+	orig := []float32{0, 1, 2, 3}
+	rec := []float32{0.1, 1.1, 1.9, 3.1}
+	mse, err := MSE(orig, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mse-0.01) > 1e-6 { // float32 inputs are inexact
+		t.Fatalf("MSE = %g, want 0.01", mse)
+	}
+	psnr, err := PSNR(orig, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// range 3, MSE 0.01 → 20log10(3) − 10log10(0.01) = 9.54 + 20 = 29.54.
+	if math.Abs(psnr-29.54) > 0.01 {
+		t.Fatalf("PSNR = %g, want ≈29.54", psnr)
+	}
+}
+
+func TestPSNRLossless(t *testing.T) {
+	orig := []float32{1, 2, 3}
+	psnr, err := PSNR(orig, orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(psnr, 1) {
+		t.Fatalf("lossless PSNR = %g, want +Inf", psnr)
+	}
+}
+
+func TestRatioAndBitRate(t *testing.T) {
+	if got := CompressionRatio(1000, 100); got != 10 {
+		t.Fatalf("ratio = %g", got)
+	}
+	if got := CompressionRatio(1000, 0); got != 0 {
+		t.Fatalf("ratio with zero denominator = %g", got)
+	}
+	// 32-bit floats at ratio 8 → 4 bits per element.
+	if got := BitRate(100, 50); got != 4 {
+		t.Fatalf("bitrate = %g, want 4", got)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := ThroughputGBps(2e9, 1); got != 2 {
+		t.Fatalf("throughput = %g, want 2", got)
+	}
+	if got := ThroughputGBps(1, 0); got != 0 {
+		t.Fatalf("throughput with zero time = %g", got)
+	}
+}
+
+func TestSSIMIdentical(t *testing.T) {
+	d := lorenzo.Dims2(32, 32)
+	a := make([]float32, d.Len())
+	for i := range a {
+		a[i] = float32(math.Sin(float64(i) * 0.1))
+	}
+	s, err := SSIM(a, a, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 1e-12 {
+		t.Fatalf("SSIM(x,x) = %g, want 1", s)
+	}
+}
+
+func TestSSIMDegradesWithNoise(t *testing.T) {
+	d := lorenzo.Dims2(64, 64)
+	a := make([]float32, d.Len())
+	for i := range a {
+		a[i] = float32(math.Sin(float64(i%64)*0.2) + math.Cos(float64(i/64)*0.15))
+	}
+	mk := func(noise float64) []float32 {
+		out := make([]float32, len(a))
+		for i := range a {
+			out[i] = a[i] + float32(noise*math.Sin(float64(i)*1.7))
+		}
+		return out
+	}
+	sSmall, err := SSIM(a, mk(0.001), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sBig, err := SSIM(a, mk(0.5), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(sSmall > sBig) {
+		t.Fatalf("SSIM not monotone in distortion: %g vs %g", sSmall, sBig)
+	}
+	if sSmall < 0.99 {
+		t.Fatalf("tiny noise SSIM = %g, want ≈1", sSmall)
+	}
+	if sBig > 0.9 {
+		t.Fatalf("large noise SSIM = %g, want <0.9", sBig)
+	}
+}
+
+func TestSSIM3DSlices(t *testing.T) {
+	d := lorenzo.Dims3(16, 16, 4)
+	a := make([]float32, d.Len())
+	for i := range a {
+		a[i] = float32(i % 17)
+	}
+	s, err := SSIM(a, a, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 1e-12 {
+		t.Fatalf("3D SSIM(x,x) = %g", s)
+	}
+}
+
+func TestSSIMErrors(t *testing.T) {
+	d := lorenzo.Dims2(4, 4) // smaller than the 8×8 window
+	a := make([]float32, 16)
+	for i := range a {
+		a[i] = float32(i)
+	}
+	if _, err := SSIM(a, a, d); err == nil {
+		t.Fatal("accepted field smaller than window")
+	}
+	if _, err := SSIM(a, a[:8], lorenzo.Dims2(4, 4)); err == nil {
+		t.Fatal("accepted length mismatch")
+	}
+	// Constant identical fields are perfectly similar.
+	c := make([]float32, 64*64)
+	s, err := SSIM(c, c, lorenzo.Dims2(64, 64))
+	if err != nil || s != 1 {
+		t.Fatalf("constant SSIM = %g, %v", s, err)
+	}
+}

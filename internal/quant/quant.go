@@ -1,0 +1,258 @@
+// Package quant implements CereSZ pre-quantization (paper §3, step ①):
+// the conversion of floating-point values into error-bounded integer codes
+//
+//	p_i = round(e_i / (2ε))
+//
+// and its inverse e'_i = p_i · 2ε. Quantization is the only lossy step of
+// the compressor; |e_i − e'_i| ≤ ε is guaranteed for every element whose
+// code fits in an int32 (others are reported so the caller can fall back to
+// verbatim storage).
+//
+// Matching the paper's implementation (§4.2, Table 2), the division is
+// realized as a multiplication with the reciprocal of 2ε and the rounding as
+// an addition of 0.5 followed by a floor. The two halves are exported
+// separately (Mul, Round) because the WSE mapping schedules them as distinct
+// pipeline sub-stages.
+package quant
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Mode selects how a Bound's Value is interpreted.
+type Mode int
+
+const (
+	// Abs interprets Value as an absolute error bound ε.
+	Abs Mode = iota
+	// Rel interprets Value as a value-range-based relative bound λ:
+	// ε = λ · (max − min) of the dataset (paper §5.1.3).
+	Rel
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Abs:
+		return "ABS"
+	case Rel:
+		return "REL"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Bound is a user-specified error bound.
+type Bound struct {
+	Mode  Mode
+	Value float64
+}
+
+// ABS returns an absolute error bound ε.
+func ABS(eps float64) Bound { return Bound{Mode: Abs, Value: eps} }
+
+// REL returns a value-range-relative error bound λ.
+func REL(lambda float64) Bound { return Bound{Mode: Rel, Value: lambda} }
+
+func (b Bound) String() string {
+	return fmt.Sprintf("%s %.3g", b.Mode, b.Value)
+}
+
+// ErrNonPositiveBound is returned when a resolved ε is not strictly positive.
+var ErrNonPositiveBound = errors.New("quant: error bound must be positive")
+
+// Resolve converts the bound into an absolute ε for data spanning
+// [minVal, maxVal]. For Rel bounds on constant data (range 0) the resolved
+// bound degenerates; Resolve substitutes the smallest positive ε that keeps
+// the arithmetic finite, which losslessly preserves constant fields.
+func (b Bound) Resolve(minVal, maxVal float64) (float64, error) {
+	switch b.Mode {
+	case Abs:
+		if !(b.Value > 0) || math.IsInf(b.Value, 0) || math.IsNaN(b.Value) {
+			return 0, ErrNonPositiveBound
+		}
+		return b.Value, nil
+	case Rel:
+		if !(b.Value > 0) || math.IsInf(b.Value, 0) || math.IsNaN(b.Value) {
+			return 0, ErrNonPositiveBound
+		}
+		r := maxVal - minVal
+		if r <= 0 || math.IsInf(r, 0) || math.IsNaN(r) {
+			// Constant (or empty) field: any positive ε bounds the error.
+			return b.Value, nil
+		}
+		return b.Value * r, nil
+	default:
+		return 0, fmt.Errorf("quant: unknown bound mode %d", int(b.Mode))
+	}
+}
+
+// Range returns the min and max of data. NaNs are ignored; if all values are
+// NaN (or data is empty) it returns (0, 0).
+func Range(data []float32) (minVal, maxVal float64) {
+	first := true
+	for _, v := range data {
+		f := float64(v)
+		if math.IsNaN(f) {
+			continue
+		}
+		if first {
+			minVal, maxVal = f, f
+			first = false
+			continue
+		}
+		if f < minVal {
+			minVal = f
+		}
+		if f > maxVal {
+			maxVal = f
+		}
+	}
+	return minVal, maxVal
+}
+
+// Range64 is Range for float64 data.
+func Range64(data []float64) (minVal, maxVal float64) {
+	first := true
+	for _, v := range data {
+		if math.IsNaN(v) {
+			continue
+		}
+		if first {
+			minVal, maxVal = v, v
+			first = false
+			continue
+		}
+		if v < minVal {
+			minVal = v
+		}
+		if v > maxVal {
+			maxVal = v
+		}
+	}
+	return minVal, maxVal
+}
+
+// Quantizer holds the resolved parameters of a quantization pass.
+type Quantizer struct {
+	eps   float64 // absolute bound ε
+	recip float64 // 1 / (2ε)
+	twoE  float64 // 2ε
+}
+
+// NewQuantizer returns a quantizer for absolute bound eps (must be > 0).
+func NewQuantizer(eps float64) (*Quantizer, error) {
+	if !(eps > 0) || math.IsInf(eps, 0) || math.IsNaN(eps) {
+		return nil, ErrNonPositiveBound
+	}
+	return &Quantizer{eps: eps, recip: 1 / (2 * eps), twoE: 2 * eps}, nil
+}
+
+// Eps returns the absolute error bound ε.
+func (q *Quantizer) Eps() float64 { return q.eps }
+
+// Recip returns 1/(2ε), the multiplier used by the Mul sub-stage.
+func (q *Quantizer) Recip() float64 { return q.recip }
+
+// TwoEps returns 2ε, the reconstruction multiplier.
+func (q *Quantizer) TwoEps() float64 { return q.twoE }
+
+// Mul executes the multiplication sub-stage: dst[i] = src[i] · 1/(2ε).
+// dst and src must have equal length (dst may alias src).
+func (q *Quantizer) Mul(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("quant: Mul length mismatch")
+	}
+	for i, v := range src {
+		dst[i] = v * q.recip
+	}
+}
+
+// MulF32 is Mul for float32 input, producing float64 scaled values.
+func (q *Quantizer) MulF32(dst []float64, src []float32) {
+	if len(dst) != len(src) {
+		panic("quant: MulF32 length mismatch")
+	}
+	for i, v := range src {
+		dst[i] = float64(v) * q.recip
+	}
+}
+
+// Round executes the rounding sub-stage: dst[i] = floor(src[i] + 0.5).
+// ok reports whether every code fits in an int32; when ok is false the
+// caller must store the affected block verbatim. NaN input also yields
+// ok == false.
+func Round(dst []int32, src []float64) (ok bool) {
+	if len(dst) != len(src) {
+		panic("quant: Round length mismatch")
+	}
+	ok = true
+	for i, v := range src {
+		f := math.Floor(v + 0.5)
+		if math.IsNaN(f) || f > math.MaxInt32 || f < math.MinInt32 {
+			dst[i] = 0
+			ok = false
+			continue
+		}
+		dst[i] = int32(f)
+	}
+	return ok
+}
+
+// Quantize runs both sub-stages over a float32 slice:
+// dst[i] = round(src[i]/(2ε)). It reports whether all codes fit in int32.
+func (q *Quantizer) Quantize(dst []int32, src []float32) (ok bool) {
+	if len(dst) != len(src) {
+		panic("quant: Quantize length mismatch")
+	}
+	ok = true
+	for i, v := range src {
+		f := math.Floor(float64(v)*q.recip + 0.5)
+		if math.IsNaN(f) || f > math.MaxInt32 || f < math.MinInt32 {
+			dst[i] = 0
+			ok = false
+			continue
+		}
+		dst[i] = int32(f)
+	}
+	return ok
+}
+
+// Quantize64 is Quantize for float64 input.
+func (q *Quantizer) Quantize64(dst []int32, src []float64) (ok bool) {
+	if len(dst) != len(src) {
+		panic("quant: Quantize64 length mismatch")
+	}
+	ok = true
+	for i, v := range src {
+		f := math.Floor(v*q.recip + 0.5)
+		if math.IsNaN(f) || f > math.MaxInt32 || f < math.MinInt32 {
+			dst[i] = 0
+			ok = false
+			continue
+		}
+		dst[i] = int32(f)
+	}
+	return ok
+}
+
+// Dequantize reconstructs float32 values: dst[i] = src[i] · 2ε.
+func (q *Quantizer) Dequantize(dst []float32, src []int32) {
+	if len(dst) != len(src) {
+		panic("quant: Dequantize length mismatch")
+	}
+	for i, p := range src {
+		dst[i] = float32(float64(p) * q.twoE)
+	}
+}
+
+// Dequantize64 reconstructs float64 values.
+func (q *Quantizer) Dequantize64(dst []float64, src []int32) {
+	if len(dst) != len(src) {
+		panic("quant: Dequantize64 length mismatch")
+	}
+	for i, p := range src {
+		dst[i] = float64(p) * q.twoE
+	}
+}

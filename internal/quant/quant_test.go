@@ -1,0 +1,210 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperRunningExample(t *testing.T) {
+	// Paper §3, Fig. 5: ε = 0.01 (the text's worked example divides by
+	// 2ε = 0.02), value 0.83 quantizes to round(0.83/0.02) ≈ 42 — the paper
+	// prints 4 for brevity but the arithmetic it states is 0.83/0.02.
+	// Reconstruction error must stay within ε.
+	q, err := NewQuantizer(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var codes [1]int32
+	if ok := q.Quantize(codes[:], []float32{0.83}); !ok {
+		t.Fatal("unexpected overflow")
+	}
+	// float32(0.83) sits just below the exact value, so the scaled number
+	// 41.4999… may round to 41 rather than 42; either code satisfies the
+	// bound, which is the property the paper's example demonstrates.
+	if codes[0] != 41 && codes[0] != 42 {
+		t.Fatalf("code = %d, want 41 or 42", codes[0])
+	}
+	var rec [1]float64
+	q.Dequantize64(rec[:], codes[:])
+	if e := math.Abs(rec[0] - float64(float32(0.83))); e > 0.01 {
+		t.Fatalf("reconstruction error %g exceeds ε", e)
+	}
+}
+
+func TestBoundResolve(t *testing.T) {
+	cases := []struct {
+		name     string
+		b        Bound
+		min, max float64
+		want     float64
+		wantErr  bool
+	}{
+		{"abs passthrough", ABS(0.5), -1, 1, 0.5, false},
+		{"rel scales by range", REL(1e-2), -3, 7, 0.1, false},
+		{"rel constant data", REL(1e-3), 5, 5, 1e-3, false},
+		{"abs zero rejected", ABS(0), 0, 1, 0, true},
+		{"abs negative rejected", ABS(-1), 0, 1, 0, true},
+		{"rel zero rejected", REL(0), 0, 1, 0, true},
+		{"abs NaN rejected", ABS(math.NaN()), 0, 1, 0, true},
+		{"abs Inf rejected", ABS(math.Inf(1)), 0, 1, 0, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := c.b.Resolve(c.min, c.max)
+			if c.wantErr {
+				if err == nil {
+					t.Fatalf("Resolve = %g, want error", got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-c.want) > 1e-15 {
+				t.Fatalf("Resolve = %g, want %g", got, c.want)
+			}
+		})
+	}
+}
+
+func TestRange(t *testing.T) {
+	minV, maxV := Range([]float32{3, -1, 7, 2})
+	if minV != -1 || maxV != 7 {
+		t.Fatalf("Range = (%g,%g), want (-1,7)", minV, maxV)
+	}
+	minV, maxV = Range(nil)
+	if minV != 0 || maxV != 0 {
+		t.Fatalf("Range(nil) = (%g,%g), want (0,0)", minV, maxV)
+	}
+	minV, maxV = Range([]float32{float32(math.NaN()), 2, float32(math.NaN()), -5})
+	if minV != -5 || maxV != 2 {
+		t.Fatalf("Range with NaNs = (%g,%g), want (-5,2)", minV, maxV)
+	}
+}
+
+func TestRange64(t *testing.T) {
+	minV, maxV := Range64([]float64{math.NaN(), 1.5, -2.5})
+	if minV != -2.5 || maxV != 1.5 {
+		t.Fatalf("Range64 = (%g,%g)", minV, maxV)
+	}
+}
+
+func TestMulRoundMatchesQuantize(t *testing.T) {
+	// The two-sub-stage path (Mul then Round, as scheduled on the WSE
+	// pipeline) must agree exactly with the fused Quantize.
+	q, _ := NewQuantizer(1e-3)
+	src := []float32{0.1, -0.25, 3.75, -100, 0, 42.42, -0.0005, 0.0005}
+	scaled := make([]float64, len(src))
+	staged := make([]int32, len(src))
+	fused := make([]int32, len(src))
+	q.MulF32(scaled, src)
+	if !Round(staged, scaled) {
+		t.Fatal("staged path overflowed")
+	}
+	if !q.Quantize(fused, src) {
+		t.Fatal("fused path overflowed")
+	}
+	for i := range src {
+		if staged[i] != fused[i] {
+			t.Fatalf("element %d: staged %d != fused %d", i, staged[i], fused[i])
+		}
+	}
+}
+
+func TestRoundOverflow(t *testing.T) {
+	dst := make([]int32, 3)
+	ok := Round(dst, []float64{1e20, 0, -1e20})
+	if ok {
+		t.Fatal("Round accepted values beyond int32")
+	}
+	ok = Round(dst, []float64{math.NaN(), 0, 1})
+	if ok {
+		t.Fatal("Round accepted NaN")
+	}
+	ok = Round(dst, []float64{float64(math.MaxInt32), float64(math.MinInt32), 0})
+	if !ok {
+		t.Fatal("Round rejected representable extremes")
+	}
+}
+
+func TestQuantizeOverflowDetection(t *testing.T) {
+	q, _ := NewQuantizer(1e-12)
+	dst := make([]int32, 1)
+	if ok := q.Quantize(dst, []float32{1e6}); ok {
+		t.Fatal("expected overflow for 1e6 at ε=1e-12")
+	}
+	if ok := q.Quantize(dst, []float32{float32(math.NaN())}); ok {
+		t.Fatal("expected overflow flag for NaN input")
+	}
+}
+
+func TestDequantize64(t *testing.T) {
+	q, _ := NewQuantizer(0.5)
+	out := make([]float64, 3)
+	q.Dequantize64(out, []int32{-2, 0, 3})
+	want := []float64{-2, 0, 3}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out[%d] = %g, want %g", i, out[i], want[i])
+		}
+	}
+}
+
+// Property: for any finite float32, the quantize→dequantize round trip
+// respects the error bound in exact (float64) arithmetic. The residual
+// float32 output rounding — up to half a ulp of the value — is handled one
+// layer up, by internal/core's verbatim fallback.
+func TestQuickErrorBound(t *testing.T) {
+	q, _ := NewQuantizer(1e-3)
+	f := func(raw uint32) bool {
+		v := math.Float32frombits(raw)
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) || math.Abs(float64(v)) > 1e5 {
+			return true // out of scope: overflow path covered elsewhere
+		}
+		var code [1]int32
+		if !q.Quantize(code[:], []float32{v}) {
+			return true
+		}
+		var rec [1]float64
+		q.Dequantize64(rec[:], code[:])
+		// Tolerance: ε plus the float64 rounding of the p·2ε product,
+		// which is relative to the value's magnitude.
+		tol := 1e-3 + math.Abs(float64(v))*4e-16
+		return math.Abs(rec[0]-float64(v)) <= tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantization is monotone — larger inputs never produce smaller
+// codes (floor(x+0.5) is monotone in x, and Mul preserves order for ε>0).
+func TestQuickMonotone(t *testing.T) {
+	q, _ := NewQuantizer(1e-2)
+	f := func(a, b float32) bool {
+		if math.IsNaN(float64(a)) || math.IsNaN(float64(b)) ||
+			math.Abs(float64(a)) > 1e6 || math.Abs(float64(b)) > 1e6 {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		var ca, cb [1]int32
+		if !q.Quantize(ca[:], []float32{a}) || !q.Quantize(cb[:], []float32{b}) {
+			return true
+		}
+		return ca[0] <= cb[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewQuantizerRejectsBadEps(t *testing.T) {
+	for _, eps := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewQuantizer(eps); err == nil {
+			t.Fatalf("NewQuantizer(%g) succeeded, want error", eps)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package sdrbench
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ceresz/internal/lorenzo"
+)
+
+func TestParseName(t *testing.T) {
+	cases := []struct {
+		path  string
+		name  string
+		dims  lorenzo.Dims
+		isF64 bool
+		err   bool
+	}{
+		{"CLDHGH_1_1800_3600.f32", "CLDHGH", lorenzo.Dims2(3600, 1800), false, false},
+		{"velocity_x_512_512_512.f32", "velocity_x", lorenzo.Dims3(512, 512, 512), false, false},
+		{"xx_280953867.f32", "xx", lorenzo.Dims1(280953867), false, false},
+		{"einspline_288_115_69_69.f64", "einspline_288", lorenzo.Dims3(69, 69, 115), true, false},
+		{"plain.f32", "plain", lorenzo.Dims{}, false, false},
+		{"whatever.txt", "", lorenzo.Dims{}, false, true},
+		{"QCLOUDf48_500_500_100.bin", "QCLOUDf48", lorenzo.Dims3(100, 500, 500), false, false},
+	}
+	for _, c := range cases {
+		name, dims, isF64, err := ParseName(c.path)
+		if c.err {
+			if err == nil {
+				t.Fatalf("%s: expected error", c.path)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", c.path, err)
+		}
+		if name != c.name || dims != c.dims || isF64 != c.isF64 {
+			t.Fatalf("%s: got (%q, %+v, %v), want (%q, %+v, %v)",
+				c.path, name, dims, isF64, c.name, c.dims, c.isF64)
+		}
+	}
+}
+
+func TestRoundTripFiles(t *testing.T) {
+	dir := t.TempDir()
+	f32 := []float32{1.5, -2.25, 0, float32(math.Pi)}
+	p32 := filepath.Join(dir, "field_1_2_2.f32")
+	if err := WriteF32(p32, f32); err != nil {
+		t.Fatal(err)
+	}
+	field, data, err := Load(p32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if field.Name != "field" || field.Dims != lorenzo.Dims2(2, 2) {
+		t.Fatalf("field %+v", field)
+	}
+	for i := range f32 {
+		if data[i] != f32[i] {
+			t.Fatalf("f32 roundtrip differs at %d", i)
+		}
+	}
+
+	f64 := []float64{math.E, -1e300, 42}
+	p64 := filepath.Join(dir, "double_3.f64")
+	if err := WriteF64(p64, f64); err != nil {
+		t.Fatal(err)
+	}
+	field64, data64, err := Load64(p64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !field64.Float64 || field64.Dims != lorenzo.Dims1(3) {
+		t.Fatalf("field64 %+v", field64)
+	}
+	for i := range f64 {
+		if data64[i] != f64[i] {
+			t.Fatalf("f64 roundtrip differs at %d", i)
+		}
+	}
+
+	// Wrong loader for the type.
+	if _, _, err := Load(p64); err == nil {
+		t.Fatal("Load accepted an f64 file")
+	}
+	if _, _, err := Load64(p32); err == nil {
+		t.Fatal("Load64 accepted an f32 file")
+	}
+}
+
+func TestLoadSizeMismatch(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "bad_4_4.f32")
+	if err := WriteF32(p, make([]float32, 10)); err != nil { // name says 16
+		t.Fatal(err)
+	}
+	if _, _, err := Load(p); err == nil {
+		t.Fatal("accepted dims/size mismatch")
+	}
+	// Non-multiple-of-4 file.
+	p2 := filepath.Join(dir, "odd_3.f32")
+	if err := os.WriteFile(p2, []byte{1, 2, 3, 4, 5}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadF32(p2); err == nil {
+		t.Fatal("accepted 5-byte f32 file")
+	}
+}
+
+func TestScan(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteF32(filepath.Join(dir, "a_2_2.f32"), make([]float32, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteF64(filepath.Join(dir, "b_3.f64"), make([]float64, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "README.md"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	fields, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fields) != 2 {
+		t.Fatalf("scanned %d fields, want 2", len(fields))
+	}
+	if _, err := Scan(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("Scan accepted a missing directory")
+	}
+}

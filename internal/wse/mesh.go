@@ -1,0 +1,370 @@
+package wse
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Config describes a simulated wafer.
+type Config struct {
+	// Rows and Cols give the mesh geometry. The full CS-2 exposes
+	// 750×994 usable PEs (§5.1.1).
+	Rows, Cols int
+	// MemPerPE is the local memory budget in bytes (default 48 KB).
+	MemPerPE int
+	// LinkLatency is the fixed per-hop cycle cost before a message's
+	// wavelets stream across a link (default 1).
+	LinkLatency int64
+	// RampLatency is the fixed cost of moving a message between local
+	// memory and the fabric (default 4); it is why C₂ > C₁ in §4.3.
+	RampLatency int64
+	// MsgOverhead is the per-message processor cost of receiving and
+	// re-issuing a fabric transfer (task activation + DSD setup, §2.1's
+	// data-triggering mechanism). It is charged on every Forward in
+	// addition to the wavelet streaming time. Default 0; the CereSZ
+	// mapping sets its own calibrated value.
+	MsgOverhead int64
+	// ClockHz converts cycles to seconds (default 850 MHz, §5.1.1).
+	ClockHz float64
+	// MaxEvents aborts a runaway simulation (default 500M events).
+	MaxEvents int64
+}
+
+// FullWSE is the usable mesh geometry of the CS-2 (§5.1.1).
+var FullWSE = Config{Rows: 750, Cols: 994}
+
+// WithDefaults returns the config with unset fields defaulted.
+func (c Config) WithDefaults() Config {
+	if c.MemPerPE == 0 {
+		c.MemPerPE = 48 * 1024
+	}
+	if c.LinkLatency == 0 {
+		c.LinkLatency = 1
+	}
+	if c.RampLatency == 0 {
+		c.RampLatency = 4
+	}
+	if c.ClockHz == 0 {
+		c.ClockHz = 850e6
+	}
+	if c.MaxEvents == 0 {
+		c.MaxEvents = 500_000_000
+	}
+	return c
+}
+
+// Mesh is a simulated 2D grid of PEs with a discrete-event engine.
+type Mesh struct {
+	cfg Config
+	pes []*PE
+
+	// routes[pe][color] = outgoing direction for router pass-through.
+	routes map[int]map[Color]Dir
+
+	events    eventQueue
+	seq       int64
+	processed int64
+
+	emissions []Emission
+	emitTo    func(Emission)
+	tracer    *Tracer
+
+	// linkFree[r][c][dir] is the cycle at which the outgoing link of PE
+	// (r,c) toward dir becomes free; messages on one link serialize.
+	linkFree [][][4]int64
+
+	ran bool
+}
+
+// NewMesh builds a mesh of idle PEs.
+func NewMesh(cfg Config) (*Mesh, error) {
+	cfg = cfg.WithDefaults()
+	if cfg.Rows <= 0 || cfg.Cols <= 0 {
+		return nil, fmt.Errorf("wse: invalid mesh %dx%d", cfg.Rows, cfg.Cols)
+	}
+	if cfg.Rows*cfg.Cols > 4_000_000 {
+		return nil, fmt.Errorf("wse: mesh %dx%d exceeds simulator capacity", cfg.Rows, cfg.Cols)
+	}
+	m := &Mesh{cfg: cfg}
+	m.pes = make([]*PE, cfg.Rows*cfg.Cols)
+	for r := 0; r < cfg.Rows; r++ {
+		for c := 0; c < cfg.Cols; c++ {
+			m.pes[r*cfg.Cols+c] = &PE{coord: Coord{Row: r, Col: c}, mesh: m}
+		}
+	}
+	m.linkFree = make([][][4]int64, cfg.Rows)
+	for r := range m.linkFree {
+		m.linkFree[r] = make([][4]int64, cfg.Cols)
+	}
+	return m, nil
+}
+
+// Config returns the mesh configuration (with defaults applied).
+func (m *Mesh) Config() Config { return m.cfg }
+
+// PE returns the PE at (row, col).
+func (m *Mesh) PE(row, col int) *PE {
+	if row < 0 || row >= m.cfg.Rows || col < 0 || col >= m.cfg.Cols {
+		panic(fmt.Sprintf("wse: PE(%d,%d) outside %dx%d mesh", row, col, m.cfg.Rows, m.cfg.Cols))
+	}
+	return m.pes[row*m.cfg.Cols+col]
+}
+
+// SetProgram installs a program on a PE. Must be called before Run.
+func (m *Mesh) SetProgram(row, col int, p Program) {
+	if m.ran {
+		panic("wse: SetProgram after Run")
+	}
+	m.PE(row, col).program = p
+}
+
+// SetRoute configures the PE's fabric router to forward messages of the
+// given color toward out without involving the processor — the static
+// color routing of paper Fig. 3. Routed messages cost only link time;
+// they are never delivered to the PE's program. Must be called before Run.
+func (m *Mesh) SetRoute(row, col int, color Color, out Dir) {
+	if m.ran {
+		panic("wse: SetRoute after Run")
+	}
+	if !color.Valid() {
+		panic(fmt.Sprintf("wse: invalid color %d", color))
+	}
+	if out == Ramp {
+		panic("wse: route toward Ramp would be a normal delivery; omit the route instead")
+	}
+	pe := m.PE(row, col)
+	if _, ok := m.neighbor(pe.coord, out); !ok {
+		panic(fmt.Sprintf("wse: route at %v toward %v leaves the mesh", pe.coord, out))
+	}
+	if m.routes == nil {
+		m.routes = make(map[int]map[Color]Dir)
+	}
+	idx := row*m.cfg.Cols + col
+	if m.routes[idx] == nil {
+		m.routes[idx] = make(map[Color]Dir)
+	}
+	m.routes[idx][color] = out
+}
+
+// routeOf returns the router pass-through direction for a color at a PE.
+func (m *Mesh) routeOf(pe *PE, color Color) (Dir, bool) {
+	if m.routes == nil {
+		return 0, false
+	}
+	r, ok := m.routes[pe.coord.Row*m.cfg.Cols+pe.coord.Col][color]
+	return r, ok
+}
+
+// Inject schedules an external message delivery to a PE at the given cycle
+// — the simulator's stand-in for data flowing onto the wafer from the host
+// (the paper assumes "the input data is generated on the first PE of each
+// row", §4.3). The message arrives from direction West.
+func (m *Mesh) Inject(row, col int, msg Message, at int64) {
+	if at < 0 {
+		panic("wse: Inject at negative time")
+	}
+	msg.From = West
+	msg.Src = Coord{Row: row, Col: col}
+	m.push(event{at: at, kind: evDeliver, pe: m.PE(row, col), msg: msg})
+}
+
+// OnEmit registers a callback invoked for every emission as it happens,
+// in addition to the Emissions log.
+func (m *Mesh) OnEmit(f func(Emission)) { m.emitTo = f }
+
+// Emissions returns everything programs handed off the wafer, in emission
+// order.
+func (m *Mesh) Emissions() []Emission { return m.emissions }
+
+// neighbor returns the coordinate adjacent to c in direction d, if any.
+func (m *Mesh) neighbor(c Coord, d Dir) (Coord, bool) {
+	switch d {
+	case North:
+		c.Row--
+	case South:
+		c.Row++
+	case East:
+		c.Col++
+	case West:
+		c.Col--
+	default:
+		return c, false
+	}
+	if c.Row < 0 || c.Row >= m.cfg.Rows || c.Col < 0 || c.Col >= m.cfg.Cols {
+		return c, false
+	}
+	return c, true
+}
+
+// Run executes the simulation until no events remain. It returns the
+// number of cycles at which the last PE finished (the paper's runtime
+// measurement: "the clock cycles needed for the last PE to finish
+// processing its data", §4.1).
+func (m *Mesh) Run() (int64, error) {
+	m.ran = true
+	// Init programs at cycle 0.
+	for _, pe := range m.pes {
+		if pe.program == nil {
+			continue
+		}
+		ctx := &Context{pe: pe, start: 0}
+		pe.program.Init(ctx)
+		m.finishHandler(pe, ctx, 0)
+	}
+	for len(m.events) > 0 {
+		m.processed++
+		if m.processed > m.cfg.MaxEvents {
+			return 0, fmt.Errorf("wse: exceeded %d events; likely livelock", m.cfg.MaxEvents)
+		}
+		ev := heap.Pop(&m.events).(event)
+		switch ev.kind {
+		case evDeliver:
+			pe := ev.pe
+			if out, ok := m.routeOf(pe, ev.msg.Color); ok {
+				// Router pass-through: re-emit on the configured link with
+				// no processor involvement (only link serialization).
+				m.tracer.record(TraceEntry{At: ev.at, PE: pe.coord, Kind: TraceRoute,
+					Color: ev.msg.Color, Wavelets: ev.msg.Wavelets})
+				m.routeForward(pe, ev.msg, out, ev.at)
+				continue
+			}
+			pe.queue = append(pe.queue, ev.msg)
+			if !pe.running {
+				m.dispatch(pe, ev.at)
+			}
+		case evReady:
+			pe := ev.pe
+			pe.running = false
+			if len(pe.queue) > 0 {
+				m.dispatch(pe, ev.at)
+			}
+		}
+	}
+	return m.Elapsed(), nil
+}
+
+// Elapsed returns the completion cycle of the busiest PE so far.
+func (m *Mesh) Elapsed() int64 {
+	var last int64
+	for _, pe := range m.pes {
+		if pe.stats.LastActive > last {
+			last = pe.stats.LastActive
+		}
+	}
+	return last
+}
+
+// Seconds converts cycles to seconds at the configured clock.
+func (m *Mesh) Seconds(cycles int64) float64 {
+	return float64(cycles) / m.cfg.ClockHz
+}
+
+// routeForward re-emits a routed message toward out at time t, paying only
+// link occupancy (the router moves wavelets in hardware).
+func (m *Mesh) routeForward(pe *PE, msg Message, out Dir, t int64) {
+	dst, ok := m.neighbor(pe.coord, out)
+	if !ok {
+		panic(fmt.Sprintf("wse: route off mesh at %v", pe.coord))
+	}
+	free := m.linkFree[pe.coord.Row][pe.coord.Col][out]
+	depart := t
+	if free > depart {
+		depart = free
+	}
+	arrive := depart + m.cfg.LinkLatency + int64(msg.Wavelets)
+	m.linkFree[pe.coord.Row][pe.coord.Col][out] = arrive
+	fwd := msg
+	fwd.From = out.Opposite()
+	fwd.Src = pe.coord
+	pe.stats.Routed++
+	m.push(event{at: arrive, kind: evDeliver, pe: m.PE(dst.Row, dst.Col), msg: fwd})
+}
+
+// dispatch pops the next queued message on pe and runs its handler at time t.
+func (m *Mesh) dispatch(pe *PE, t int64) {
+	if pe.program == nil {
+		// No program: drop silently (matches fabric behavior for unrouted
+		// colors — but flag it, since it is almost always a harness bug).
+		panic(fmt.Sprintf("wse: message delivered to programless PE %v", pe.coord))
+	}
+	msg := pe.queue[0]
+	pe.queue = pe.queue[1:]
+	pe.running = true
+	ctx := &Context{pe: pe, start: t}
+	pe.program.OnMessage(ctx, msg)
+	pe.stats.Handled++
+	end := m.finishHandler(pe, ctx, t)
+	m.tracer.record(TraceEntry{At: t, PE: pe.coord, Kind: TraceDispatch,
+		Color: msg.Color, Wavelets: msg.Wavelets, Cycles: end - t})
+	m.push(event{at: end, kind: evReady, pe: pe})
+}
+
+// finishHandler applies a completed handler's effects: schedules its sends
+// and updates the PE's busy window. Returns the handler's end time.
+func (m *Mesh) finishHandler(pe *PE, ctx *Context, t int64) int64 {
+	end := t + ctx.cost
+	if end > pe.stats.LastActive {
+		pe.stats.LastActive = end
+	}
+	pe.busyUntil = end
+	for _, s := range ctx.sends {
+		dst, ok := m.neighbor(pe.coord, s.dir)
+		if !ok {
+			panic(fmt.Sprintf("wse: queued send off mesh from %v", pe.coord))
+		}
+		// The message occupies the outgoing link for its wavelet count;
+		// back-to-back messages on one link serialize.
+		free := m.linkFree[pe.coord.Row][pe.coord.Col][s.dir]
+		depart := end
+		if free > depart {
+			depart = free
+		}
+		arrive := depart + m.cfg.LinkLatency + int64(s.msg.Wavelets)
+		m.linkFree[pe.coord.Row][pe.coord.Col][s.dir] = arrive
+		msg := s.msg
+		msg.From = s.dir.Opposite()
+		m.push(event{at: arrive, kind: evDeliver, pe: m.PE(dst.Row, dst.Col), msg: msg})
+	}
+	ctx.sends = nil
+	for _, p := range ctx.emits {
+		e := Emission{From: pe.coord, At: end, Payload: p}
+		m.emissions = append(m.emissions, e)
+		m.tracer.record(TraceEntry{At: end, PE: pe.coord, Kind: TraceEmit})
+		if m.emitTo != nil {
+			m.emitTo(e)
+		}
+	}
+	ctx.emits = nil
+	return end
+}
+
+// Event machinery.
+
+type evKind int
+
+const (
+	evDeliver evKind = iota
+	evReady
+)
+
+type event struct {
+	at   int64
+	seq  int64
+	kind evKind
+	pe   *PE
+	msg  Message
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+func (m *Mesh) push(ev event)      { ev.seq = m.seq; m.seq++; heap.Push(&m.events, ev) }

@@ -1,0 +1,167 @@
+package wse
+
+import "fmt"
+
+// Program is the code installed on a PE. OnMessage is invoked once per
+// delivered message, when the PE's processor is free — messages queue in
+// arrival order while the processor is busy, which is how the simulator
+// realizes the paper's serial relay-plus-compute accounting.
+type Program interface {
+	// Init runs at cycle 0, before any message is delivered.
+	Init(ctx *Context)
+	// OnMessage handles one delivered message.
+	OnMessage(ctx *Context, msg Message)
+}
+
+// ProgramFunc adapts a function to the Program interface with a no-op Init.
+type ProgramFunc func(ctx *Context, msg Message)
+
+// Init implements Program.
+func (f ProgramFunc) Init(*Context) {}
+
+// OnMessage implements Program.
+func (f ProgramFunc) OnMessage(ctx *Context, msg Message) { f(ctx, msg) }
+
+// PE is one processing element.
+type PE struct {
+	coord   Coord
+	mesh    *Mesh
+	program Program
+
+	queue     []Message // pending deliveries, FIFO
+	busyUntil int64
+	running   bool
+
+	memUsed int
+	stats   Stats
+}
+
+// Coord returns the PE's mesh coordinate.
+func (p *PE) Coord() Coord { return p.coord }
+
+// Stats returns a copy of the PE's cycle accounting.
+func (p *PE) Stats() Stats { return p.stats }
+
+// MemUsed returns the currently allocated local memory in bytes.
+func (p *PE) MemUsed() int { return p.memUsed }
+
+// Context is the API a Program uses during one OnMessage (or Init)
+// invocation. All effects are accounted against the PE's processor time:
+// Spend for computation, Send for memory→fabric transfers, Forward for
+// fabric→fabric relaying. Outgoing messages depart when the handler
+// finishes.
+type Context struct {
+	pe    *PE
+	start int64
+	cost  int64
+
+	sends []pendingSend
+	emits []any
+}
+
+type pendingSend struct {
+	dir     Dir
+	msg     Message
+	forward bool
+}
+
+// Now returns the cycle at which the current handler began.
+func (c *Context) Now() int64 { return c.start }
+
+// Coord returns the executing PE's coordinate.
+func (c *Context) Coord() Coord { return c.pe.coord }
+
+// Mesh geometry helpers.
+
+// Rows returns the mesh height.
+func (c *Context) Rows() int { return c.pe.mesh.cfg.Rows }
+
+// Cols returns the mesh width.
+func (c *Context) Cols() int { return c.pe.mesh.cfg.Cols }
+
+// Spend charges cycles of computation to the PE.
+func (c *Context) Spend(cycles int64) {
+	if cycles < 0 {
+		panic(fmt.Sprintf("wse: negative Spend(%d) on %v", cycles, c.pe.coord))
+	}
+	c.cost += cycles
+	c.pe.stats.ComputeCycles += cycles
+}
+
+// Send transmits a message from local memory toward the neighbor in
+// direction d. It charges RampLatency + Wavelets cycles (moving the data
+// from memory through the RAMP onto the fabric — the C₂ cost of §4.3).
+// Sending off the mesh edge is an error; use Emit for wafer egress.
+func (c *Context) Send(d Dir, msg Message) {
+	c.queueSend(d, msg, false)
+}
+
+// Forward relays a message that just arrived on the fabric to the neighbor
+// in direction d without a round trip through local memory. It charges
+// Wavelets cycles (the C₁ cost of §4.3 — the relay term of Formula (2)).
+func (c *Context) Forward(d Dir, msg Message) {
+	c.queueSend(d, msg, true)
+}
+
+func (c *Context) queueSend(d Dir, msg Message, forward bool) {
+	if d == Ramp {
+		panic("wse: cannot send toward Ramp; that is the local processor")
+	}
+	if !msg.Color.Valid() {
+		panic(fmt.Sprintf("wse: invalid color %d (the fabric has %d)", msg.Color, NumColors))
+	}
+	if msg.Wavelets < 1 {
+		panic(fmt.Sprintf("wse: message with %d wavelets", msg.Wavelets))
+	}
+	if _, ok := c.pe.mesh.neighbor(c.pe.coord, d); !ok {
+		panic(fmt.Sprintf("wse: send from %v toward %v leaves the mesh; use Emit", c.pe.coord, d))
+	}
+	w := int64(msg.Wavelets)
+	if forward {
+		w += c.pe.mesh.cfg.MsgOverhead
+		c.pe.stats.RelayCycles += w
+	} else {
+		w += c.pe.mesh.cfg.RampLatency
+		c.pe.stats.SendCycles += w
+	}
+	c.cost += w
+	msg.Src = c.pe.coord
+	c.sends = append(c.sends, pendingSend{dir: d, msg: msg, forward: forward})
+}
+
+// Emit hands a payload off the wafer (the simulator's stand-in for the
+// routing PEs that move data on and off the WSE, which the paper excludes
+// from computation, §5.1.1). It charges Wavelets cycles.
+func (c *Context) Emit(payload any, wavelets int) {
+	if wavelets < 1 {
+		panic("wse: Emit with no wavelets")
+	}
+	c.cost += int64(wavelets)
+	c.pe.stats.SendCycles += int64(wavelets)
+	c.emits = append(c.emits, payload)
+}
+
+// Alloc reserves bytes of the PE's local memory, failing when the 48 KB
+// budget would be exceeded.
+func (c *Context) Alloc(bytes int) error {
+	if bytes < 0 {
+		panic("wse: negative Alloc")
+	}
+	if c.pe.memUsed+bytes > c.pe.mesh.cfg.MemPerPE {
+		return fmt.Errorf("wse: PE %v out of memory: %d + %d > %d bytes",
+			c.pe.coord, c.pe.memUsed, bytes, c.pe.mesh.cfg.MemPerPE)
+	}
+	c.pe.memUsed += bytes
+	if c.pe.memUsed > c.pe.stats.MemPeak {
+		c.pe.stats.MemPeak = c.pe.memUsed
+	}
+	return nil
+}
+
+// Free releases bytes of local memory.
+func (c *Context) Free(bytes int) {
+	if bytes < 0 || bytes > c.pe.memUsed {
+		panic(fmt.Sprintf("wse: bad Free(%d) with %d allocated on %v", bytes, c.pe.memUsed, c.pe.coord))
+	}
+	c.pe.memUsed -= bytes
+}

@@ -1,0 +1,95 @@
+package wse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSummary(t *testing.T) {
+	m, _ := NewMesh(Config{Rows: 2, Cols: 3})
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 3; c++ {
+			m.SetProgram(r, c, &echoProgram{cost: 100})
+		}
+	}
+	for b := 0; b < 6; b++ {
+		m.Inject(b%2, 0, Message{Color: 0, Payload: b, Wavelets: 8}, 0)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Summary()
+	if s.ActivePEs != 6 {
+		t.Fatalf("active PEs %d, want 6", s.ActivePEs)
+	}
+	if s.Elapsed <= 0 || s.TotalCompute != 6*3*100 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.BusiestCycles <= 0 {
+		t.Fatal("no busiest PE")
+	}
+	if s.MeanUtilization <= 0 || s.MeanUtilization > 1 {
+		t.Fatalf("utilization %g", s.MeanUtilization)
+	}
+}
+
+func TestSummaryIdleMesh(t *testing.T) {
+	m, _ := NewMesh(Config{Rows: 2, Cols: 2})
+	s := m.Summary()
+	if s.ActivePEs != 0 || s.MeanUtilization != 0 {
+		t.Fatalf("idle mesh summary %+v", s)
+	}
+}
+
+func TestRowProfileAndUtilization(t *testing.T) {
+	m, _ := NewMesh(Config{Rows: 1, Cols: 4})
+	for c := 0; c < 4; c++ {
+		m.SetProgram(0, c, &echoProgram{cost: int64(10 * (c + 1))})
+	}
+	for b := 0; b < 4; b++ {
+		m.Inject(0, 0, Message{Color: 0, Payload: b, Wavelets: 4}, 0)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	prof := m.RowProfile(0)
+	if len(prof) != 4 {
+		t.Fatalf("profile length %d", len(prof))
+	}
+	for c, st := range prof {
+		if st.Handled != 4 {
+			t.Fatalf("col %d handled %d messages, want 4", c, st.Handled)
+		}
+		if st.ComputeCycles != int64(4*10*(c+1)) {
+			t.Fatalf("col %d compute %d", c, st.ComputeCycles)
+		}
+	}
+	var buf bytes.Buffer
+	m.WriteUtilization(&buf, 0)
+	out := buf.String()
+	if !strings.Contains(out, "row 0 utilization") || strings.Count(out, "\n") < 6 {
+		t.Fatalf("utilization output:\n%s", out)
+	}
+}
+
+func TestTopBusiest(t *testing.T) {
+	m, _ := NewMesh(Config{Rows: 1, Cols: 3})
+	for c := 0; c < 3; c++ {
+		m.SetProgram(0, c, &echoProgram{cost: int64(100 * (3 - c))})
+	}
+	m.Inject(0, 0, Message{Color: 0, Wavelets: 2}, 0)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	top := m.TopBusiest(2)
+	if len(top) != 2 {
+		t.Fatalf("top %d", len(top))
+	}
+	if top[0].Stats().BusyCycles() < top[1].Stats().BusyCycles() {
+		t.Fatal("TopBusiest not sorted")
+	}
+	if got := m.TopBusiest(100); len(got) != 3 {
+		t.Fatalf("TopBusiest clamped to %d", len(got))
+	}
+}

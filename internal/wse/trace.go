@@ -1,0 +1,104 @@
+package wse
+
+import (
+	"fmt"
+	"io"
+)
+
+// TraceKind classifies a traced event.
+type TraceKind uint8
+
+// Trace event kinds.
+const (
+	// TraceDispatch is a program handler invocation.
+	TraceDispatch TraceKind = iota
+	// TraceRoute is a router pass-through (SetRoute).
+	TraceRoute
+	// TraceEmit is a wafer-egress emission.
+	TraceEmit
+)
+
+func (k TraceKind) String() string {
+	switch k {
+	case TraceDispatch:
+		return "dispatch"
+	case TraceRoute:
+		return "route"
+	case TraceEmit:
+		return "emit"
+	default:
+		return fmt.Sprintf("TraceKind(%d)", uint8(k))
+	}
+}
+
+// TraceEntry records one scheduler event — the simulator's analogue of the
+// CS-2's hardware trace buffers.
+type TraceEntry struct {
+	// At is the event's start cycle.
+	At int64
+	// PE is where it happened.
+	PE Coord
+	// Kind classifies the event.
+	Kind TraceKind
+	// Color is the triggering message's channel (dispatch/route only).
+	Color Color
+	// Cycles is the handler's total cost (dispatch only).
+	Cycles int64
+	// Wavelets is the message size (dispatch/route).
+	Wavelets int
+}
+
+// Tracer captures up to Cap entries; further events are counted but
+// dropped (trace buffers are finite on the real hardware too).
+type Tracer struct {
+	// Cap is the maximum retained entries.
+	Cap int
+	// Entries are the retained events in occurrence order.
+	Entries []TraceEntry
+	// Dropped counts events past the cap.
+	Dropped int64
+}
+
+// AttachTracer installs a tracer capturing up to capEntries events.
+// Must be called before Run. Returns the tracer for inspection afterwards.
+func (m *Mesh) AttachTracer(capEntries int) *Tracer {
+	if m.ran {
+		panic("wse: AttachTracer after Run")
+	}
+	if capEntries <= 0 {
+		capEntries = 1 << 16
+	}
+	m.tracer = &Tracer{Cap: capEntries}
+	return m.tracer
+}
+
+// record appends an entry, honoring the cap.
+func (tr *Tracer) record(e TraceEntry) {
+	if tr == nil {
+		return
+	}
+	if len(tr.Entries) >= tr.Cap {
+		tr.Dropped++
+		return
+	}
+	tr.Entries = append(tr.Entries, e)
+}
+
+// Write renders the trace as one line per event.
+func (tr *Tracer) Write(w io.Writer) {
+	for _, e := range tr.Entries {
+		switch e.Kind {
+		case TraceDispatch:
+			fmt.Fprintf(w, "%10d %v dispatch color=%d wavelets=%d cycles=%d\n",
+				e.At, e.PE, e.Color, e.Wavelets, e.Cycles)
+		case TraceRoute:
+			fmt.Fprintf(w, "%10d %v route    color=%d wavelets=%d\n",
+				e.At, e.PE, e.Color, e.Wavelets)
+		case TraceEmit:
+			fmt.Fprintf(w, "%10d %v emit\n", e.At, e.PE)
+		}
+	}
+	if tr.Dropped > 0 {
+		fmt.Fprintf(w, "(+%d events dropped past the %d-entry cap)\n", tr.Dropped, tr.Cap)
+	}
+}

@@ -1,0 +1,224 @@
+package ceresz
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"ceresz/internal/core"
+)
+
+// Compress64 appends the CereSZ stream for float64 data to dst. Double
+// precision admits error bounds far below float32's representable
+// resolution (several SDRBench archives are double precision).
+func Compress64(dst []byte, data []float64, bound Bound, opts Options) ([]byte, *Stats, error) {
+	return core.Compress64(dst, data, opts.coreOptions(bound))
+}
+
+// Compress64WithEps is Compress64 with a pre-resolved absolute ε.
+func Compress64WithEps(dst []byte, data []float64, eps float64, opts Options) ([]byte, *Stats, error) {
+	return core.Compress64WithEps(dst, data, eps, opts.coreOptions(Bound{}))
+}
+
+// Decompress64 reconstructs float64 data from a Compress64 stream.
+func Decompress64(dst []float64, comp []byte) ([]float64, error) {
+	out, _, err := core.Decompress64(dst, comp, 0)
+	return out, err
+}
+
+// Elem identifies a stream's element type (Float32 or Float64).
+type Elem = core.Elem
+
+// Element types.
+const (
+	Float32 = core.Float32
+	Float64 = core.Float64
+)
+
+// ElemOf reports a stream's element type without parsing the rest of it.
+func ElemOf(comp []byte) (Elem, error) { return core.ElemOf(comp) }
+
+// Framed streaming: each chunk is an independent CereSZ stream wrapped in
+// a small frame, so an unbounded instrument feed can be compressed as it
+// arrives and any chunk can be decoded without the others — the inline
+// compression scenario of the paper's introduction (LCLS produces raw
+// snapshots at 250 GB/s; RTM emits terabytes per timestamp).
+//
+// Frame layout: 4-byte magic "CSZF", uint32 little-endian payload length,
+// payload (one CereSZ container). A REL bound resolves per chunk — each
+// chunk's ε follows its own value range; use ABS for a uniform guarantee.
+
+var frameMagic = [4]byte{'C', 'S', 'Z', 'F'}
+
+// frameHeaderSize is the per-chunk framing overhead in bytes.
+const frameHeaderSize = 8
+
+// maxFramePayload bounds a single chunk's compressed size.
+const maxFramePayload = 1 << 31
+
+// ErrStreamClosed is returned by operations on a closed StreamWriter.
+var ErrStreamClosed = errors.New("ceresz: stream writer closed")
+
+// StreamWriter frames independently-decodable compressed chunks onto an
+// io.Writer. Not safe for concurrent use.
+type StreamWriter struct {
+	w      io.Writer
+	bound  Bound
+	opts   Options
+	buf    []byte
+	closed bool
+	// Chunks counts frames written so far.
+	Chunks int
+	// RawBytes and CompressedBytes accumulate totals.
+	RawBytes, CompressedBytes int64
+}
+
+// NewStreamWriter returns a StreamWriter compressing each chunk under
+// bound with opts.
+func NewStreamWriter(w io.Writer, bound Bound, opts Options) *StreamWriter {
+	return &StreamWriter{w: w, bound: bound, opts: opts}
+}
+
+// WriteChunk compresses one float32 chunk and writes its frame.
+func (sw *StreamWriter) WriteChunk(data []float32) (*Stats, error) {
+	if sw.closed {
+		return nil, ErrStreamClosed
+	}
+	var stats *Stats
+	var err error
+	sw.buf, stats, err = Compress(sw.buf[:0], data, sw.bound, sw.opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := sw.writeFrame(sw.buf); err != nil {
+		return nil, err
+	}
+	sw.RawBytes += int64(4 * len(data))
+	sw.CompressedBytes += int64(frameHeaderSize + len(sw.buf))
+	sw.Chunks++
+	return stats, nil
+}
+
+// WriteChunk64 compresses one float64 chunk and writes its frame.
+func (sw *StreamWriter) WriteChunk64(data []float64) (*Stats, error) {
+	if sw.closed {
+		return nil, ErrStreamClosed
+	}
+	var stats *Stats
+	var err error
+	sw.buf, stats, err = Compress64(sw.buf[:0], data, sw.bound, sw.opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := sw.writeFrame(sw.buf); err != nil {
+		return nil, err
+	}
+	sw.RawBytes += int64(8 * len(data))
+	sw.CompressedBytes += int64(frameHeaderSize + len(sw.buf))
+	sw.Chunks++
+	return stats, nil
+}
+
+func (sw *StreamWriter) writeFrame(payload []byte) error {
+	if len(payload) >= maxFramePayload {
+		return fmt.Errorf("ceresz: chunk payload %d exceeds frame limit", len(payload))
+	}
+	var hdr [frameHeaderSize]byte
+	copy(hdr[:4], frameMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	if _, err := sw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := sw.w.Write(payload)
+	return err
+}
+
+// Ratio returns the stream-wide compression ratio so far (framing
+// included).
+func (sw *StreamWriter) Ratio() float64 {
+	if sw.CompressedBytes == 0 {
+		return 0
+	}
+	return float64(sw.RawBytes) / float64(sw.CompressedBytes)
+}
+
+// Close marks the writer closed. It does not close the underlying writer.
+func (sw *StreamWriter) Close() error {
+	sw.closed = true
+	return nil
+}
+
+// StreamReader iterates over the frames written by StreamWriter.
+// Not safe for concurrent use.
+type StreamReader struct {
+	r   io.Reader
+	buf []byte
+	out []float32
+}
+
+// NewStreamReader returns a StreamReader over r.
+func NewStreamReader(r io.Reader) *StreamReader {
+	return &StreamReader{r: r}
+}
+
+// next reads one frame payload into the internal buffer.
+func (sr *StreamReader) next() ([]byte, error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(sr.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("ceresz: reading frame header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != frameMagic {
+		return nil, fmt.Errorf("ceresz: bad frame magic %q", hdr[:4])
+	}
+	n := binary.LittleEndian.Uint32(hdr[4:])
+	if n >= maxFramePayload {
+		return nil, fmt.Errorf("ceresz: frame length %d exceeds limit", n)
+	}
+	if cap(sr.buf) < int(n) {
+		sr.buf = make([]byte, n)
+	}
+	sr.buf = sr.buf[:n]
+	if _, err := io.ReadFull(sr.r, sr.buf); err != nil {
+		return nil, fmt.Errorf("ceresz: reading %d-byte frame: %w", n, err)
+	}
+	return sr.buf, nil
+}
+
+// Next decodes the next float32 chunk. It returns io.EOF after the last
+// frame. The returned slice is owned by the caller.
+func (sr *StreamReader) Next() ([]float32, error) {
+	payload, err := sr.next()
+	if err != nil {
+		return nil, err
+	}
+	sr.out, err = Decompress(sr.out[:0], payload)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float32, len(sr.out))
+	copy(out, sr.out)
+	return out, nil
+}
+
+// Next64 decodes the next float64 chunk.
+func (sr *StreamReader) Next64() ([]float64, error) {
+	payload, err := sr.next()
+	if err != nil {
+		return nil, err
+	}
+	return Decompress64(nil, payload)
+}
+
+// Skip advances past the next frame without decoding it, returning its
+// metadata — random access within a recorded stream.
+func (sr *StreamReader) Skip() (Meta, error) {
+	payload, err := sr.next()
+	if err != nil {
+		return Meta{}, err
+	}
+	return Parse(payload)
+}
