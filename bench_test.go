@@ -48,6 +48,26 @@ func BenchmarkHostCompress(b *testing.B) {
 	}
 }
 
+// BenchmarkHostCompressTelemetry is BenchmarkHostCompress with the
+// host-path registry recording — pairs with it to verify the <5% enabled
+// overhead contract (the disabled case is the plain benchmark, since the
+// registry starts off).
+func BenchmarkHostCompressTelemetry(b *testing.B) {
+	EnableTelemetry()
+	defer DisableTelemetry()
+	data := benchField(b, "NYX", 3)
+	var comp []byte
+	b.SetBytes(int64(4 * len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		comp, _, err = Compress(comp[:0], data, REL(1e-3), Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkHostCompressSequential(b *testing.B) {
 	data := benchField(b, "NYX", 3)
 	var comp []byte

@@ -8,6 +8,13 @@ import (
 
 	"ceresz/internal/core"
 	"ceresz/internal/lorenzo"
+	"ceresz/internal/telemetry"
+)
+
+// Bundle instruments (Default registry; active after EnableTelemetry).
+var (
+	telBundleAdd  = telemetry.T("bundle.add_field")
+	telBundleRead = telemetry.T("bundle.read_field")
 )
 
 // Bundles: a whole multi-field dataset (Table 4 datasets have up to 79
@@ -68,6 +75,7 @@ func NewBundleWriter() *BundleWriter {
 
 // AddField compresses a float32 field under bound and indexes it.
 func (bw *BundleWriter) AddField(name string, dims Dims, data []float32, bound Bound, opts Options) (*Stats, error) {
+	defer telBundleAdd.Start().End()
 	if err := bw.checkName(name); err != nil {
 		return nil, err
 	}
@@ -84,6 +92,7 @@ func (bw *BundleWriter) AddField(name string, dims Dims, data []float32, bound B
 
 // AddField64 compresses a float64 field under bound and indexes it.
 func (bw *BundleWriter) AddField64(name string, dims Dims, data []float64, bound Bound, opts Options) (*Stats, error) {
+	defer telBundleAdd.Start().End()
 	if err := bw.checkName(name); err != nil {
 		return nil, err
 	}
@@ -252,6 +261,7 @@ func (br *BundleReader) member(name string) ([]byte, BundleField, error) {
 
 // ReadField decompresses a float32 member.
 func (br *BundleReader) ReadField(name string) ([]float32, BundleField, error) {
+	defer telBundleRead.Start().End()
 	stream, f, err := br.member(name)
 	if err != nil {
 		return nil, f, err
@@ -265,6 +275,7 @@ func (br *BundleReader) ReadField(name string) ([]float32, BundleField, error) {
 
 // ReadField64 decompresses a float64 member.
 func (br *BundleReader) ReadField64(name string) ([]float64, BundleField, error) {
+	defer telBundleRead.Start().End()
 	stream, f, err := br.member(name)
 	if err != nil {
 		return nil, f, err

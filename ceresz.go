@@ -125,6 +125,11 @@ type SimResult struct {
 	Seconds float64
 	// ThroughputGBps is uncompressed bytes / Seconds / 1e9.
 	ThroughputGBps float64
+	// Telemetry is the run's instrument snapshot: simulated cycle totals
+	// split by compute/relay/send, active-PE and memory gauges, estimated
+	// versus measured per-stage-group load, and the host wall time of the
+	// simulation. Always populated — each run has a private registry.
+	Telemetry Telemetry
 }
 
 // SimulateCompress runs CereSZ compression on a simulated WSE mesh. The
@@ -164,6 +169,7 @@ func SimulateCompress(data []float32, bound Bound, mesh MeshConfig) (*SimResult,
 		Cycles:         res.Cycles,
 		Seconds:        res.Seconds,
 		ThroughputGBps: res.ThroughputGBps,
+		Telemetry:      res.Telemetry,
 	}, nil
 }
 
@@ -205,6 +211,7 @@ func SimulateDecompress(comp []byte, mesh MeshConfig) (*SimResult, error) {
 		Cycles:         res.Cycles,
 		Seconds:        res.Seconds,
 		ThroughputGBps: res.ThroughputGBps,
+		Telemetry:      res.Telemetry,
 	}, nil
 }
 

@@ -36,16 +36,23 @@ func main() {
 	bundle := flag.Bool("bundle", false, "compress a directory of field files into one bundle")
 	unbundle := flag.Bool("unbundle", false, "extract a bundle into a directory of raw field files")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = all cores)")
+	stats := flag.Bool("stats", false, "print internal telemetry (stage timings, worker occupancy) after the run")
 	flag.Parse()
 
-	if *bundle || *unbundle {
-		if err := runBundle(*bundle, *rel, *abs, *block, *szp, *workers, flag.Args()); err != nil {
-			fmt.Fprintln(os.Stderr, "ceresz:", err)
-			os.Exit(1)
-		}
-		return
+	if *stats {
+		ceresz.EnableTelemetry()
 	}
-	if err := run(*compress, *decompress, *info, *rel, *abs, *block, *szp, *f64, *workers, flag.Args()); err != nil {
+	err := func() error {
+		if *bundle || *unbundle {
+			return runBundle(*bundle, *rel, *abs, *block, *szp, *workers, flag.Args())
+		}
+		return run(*compress, *decompress, *info, *rel, *abs, *block, *szp, *f64, *workers, flag.Args())
+	}()
+	if *stats {
+		fmt.Print("\ntelemetry:\n")
+		ceresz.HostTelemetry().WriteTo(os.Stdout)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ceresz:", err)
 		os.Exit(1)
 	}

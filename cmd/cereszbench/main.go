@@ -15,22 +15,33 @@
 //	-scale small|medium|full   dataset scale (default small)
 //	-seed N                    generator seed (default 7)
 //	-maxfields N               fields per dataset (0 = all)
+//	-json                      emit one JSON object per experiment instead
+//	                           of formatted tables
+//	-debug-addr host:port      serve net/http/pprof, expvar and the live
+//	                           telemetry snapshot while experiments run
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"ceresz/internal/datasets"
 	"ceresz/internal/experiments"
 	"ceresz/internal/stages"
+	"ceresz/internal/telemetry"
 )
 
 func main() {
 	scale := flag.String("scale", "small", "dataset scale: small, medium or full")
 	seed := flag.Int64("seed", 7, "dataset generator seed")
 	maxFields := flag.Int("maxfields", 0, "limit fields per dataset (0 = all)")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON results (one object per experiment)")
+	debugAddr := flag.String("debug-addr", "", "serve pprof/expvar/telemetry on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	cfg := experiments.Config{Seed: *seed, MaxFieldsPerDataset: *maxFields}
@@ -44,6 +55,21 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
 		os.Exit(2)
+	}
+
+	if *debugAddr != "" {
+		// pprof registers itself on DefaultServeMux via its import; expvar
+		// does the same from the telemetry package. The telemetry handler
+		// serves the full typed snapshot.
+		telemetry.Enable()
+		telemetry.Default.PublishExpvar("ceresz")
+		http.Handle("/debug/telemetry", telemetry.Default.Handler())
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "debug server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/ (also /debug/vars, /debug/telemetry)\n", *debugAddr)
 	}
 
 	args := flag.Args()
@@ -72,109 +98,129 @@ func main() {
 	}
 
 	for _, exp := range todo {
-		if err := run(exp, cfg); err != nil {
+		if err := run(os.Stdout, exp, cfg, *asJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", exp, err)
 			os.Exit(1)
 		}
 	}
 }
 
-func run(exp string, cfg experiments.Config) error {
-	w := os.Stdout
+// run executes one experiment and emits it to out either as a formatted
+// table or, with -json, as a single {"experiment": ..., "result": ...}
+// JSON object per line.
+func run(out io.Writer, exp string, cfg experiments.Config, asJSON bool) error {
+	var result any
+	var print func(io.Writer)
+	var checkErr error
 	switch exp {
 	case "table1":
 		rows, err := experiments.StageProfiles(cfg)
 		if err != nil {
 			return err
 		}
-		experiments.PrintStageProfiles(w, rows)
+		result = rows
+		print = func(w io.Writer) { experiments.PrintStageProfiles(w, rows) }
 	case "fig7":
 		r, err := experiments.Fig7(cfg)
 		if err != nil {
 			return err
 		}
-		experiments.PrintFig7(w, r)
+		result = r
+		print = func(w io.Writer) { experiments.PrintFig7(w, r) }
 	case "fig10":
 		r, err := experiments.Fig10(cfg)
 		if err != nil {
 			return err
 		}
-		experiments.PrintFig10(w, r)
+		result = r
+		print = func(w io.Writer) { experiments.PrintFig10(w, r) }
 	case "fig11":
 		r, err := experiments.Throughput(cfg, stages.Compress)
 		if err != nil {
 			return err
 		}
-		experiments.PrintThroughput(w, r)
+		result = r
+		print = func(w io.Writer) { experiments.PrintThroughput(w, r) }
 	case "fig12":
 		r, err := experiments.Throughput(cfg, stages.Decompress)
 		if err != nil {
 			return err
 		}
-		experiments.PrintThroughput(w, r)
+		result = r
+		print = func(w io.Writer) { experiments.PrintThroughput(w, r) }
 	case "fig13":
 		r, err := experiments.Fig13(cfg)
 		if err != nil {
 			return err
 		}
-		experiments.PrintFig13(w, r)
+		result = r
+		print = func(w io.Writer) { experiments.PrintFig13(w, r) }
 	case "fig14":
 		r, err := experiments.Fig14(cfg)
 		if err != nil {
 			return err
 		}
-		experiments.PrintFig14(w, r)
+		result = r
+		print = func(w io.Writer) { experiments.PrintFig14(w, r) }
 	case "table5":
 		r, err := experiments.Table5(cfg)
 		if err != nil {
 			return err
 		}
-		experiments.PrintTable5(w, r)
+		result = r
+		print = func(w io.Writer) { experiments.PrintTable5(w, r) }
 	case "fig15":
 		r, err := experiments.Fig15(cfg)
 		if err != nil {
 			return err
 		}
-		experiments.PrintFig15(w, r)
+		result = r
+		print = func(w io.Writer) { experiments.PrintFig15(w, r) }
 	case "alg1":
 		r, err := experiments.Alg1(cfg)
 		if err != nil {
 			return err
 		}
-		experiments.PrintAlg1(w, r)
+		result = r
+		print = func(w io.Writer) { experiments.PrintAlg1(w, r) }
 	case "check":
 		r, err := experiments.Check(cfg)
 		if err != nil {
 			return err
 		}
-		experiments.PrintCheck(w, r)
+		result = r
+		print = func(w io.Writer) { experiments.PrintCheck(w, r) }
 		if !r.OK() {
-			return fmt.Errorf("self-check failed")
+			checkErr = fmt.Errorf("self-check failed")
 		}
 	case "extras":
 		r, err := experiments.Extras(cfg)
 		if err != nil {
 			return err
 		}
-		experiments.PrintExtras(w, r)
+		result = r
+		print = func(w io.Writer) { experiments.PrintExtras(w, r) }
 	case "quality":
 		r, err := experiments.Quality(cfg)
 		if err != nil {
 			return err
 		}
-		experiments.PrintQuality(w, r)
+		result = r
+		print = func(w io.Writer) { experiments.PrintQuality(w, r) }
 	case "util":
 		r, err := experiments.Utilization(cfg)
 		if err != nil {
 			return err
 		}
-		experiments.PrintUtilization(w, r)
+		result = r
+		print = func(w io.Writer) { experiments.PrintUtilization(w, r) }
 	case "ratedist":
 		r, err := experiments.RateDistortion(cfg)
 		if err != nil {
 			return err
 		}
-		experiments.PrintRateDistortion(w, r)
+		result = r
+		print = func(w io.Writer) { experiments.PrintRateDistortion(w, r) }
 	case "ablations":
 		blocks, err := experiments.BlockSizeAblation(cfg)
 		if err != nil {
@@ -196,9 +242,22 @@ func run(exp string, cfg experiments.Config) error {
 		if err != nil {
 			return err
 		}
-		experiments.PrintAblations(w, blocks, headers, enc, zero, tuner)
+		result = map[string]any{
+			"blocks": blocks, "headers": headers, "encodings": enc,
+			"zero": zero, "tuner": tuner,
+		}
+		print = func(w io.Writer) { experiments.PrintAblations(w, blocks, headers, enc, zero, tuner) }
 	default:
 		return fmt.Errorf("unhandled experiment %q", exp)
 	}
-	return nil
+
+	if asJSON {
+		enc := json.NewEncoder(out)
+		if err := enc.Encode(map[string]any{"experiment": exp, "result": result}); err != nil {
+			return err
+		}
+	} else {
+		print(out)
+	}
+	return checkErr
 }

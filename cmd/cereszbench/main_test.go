@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ceresz/internal/datasets"
+	"ceresz/internal/experiments"
+)
+
+func TestRunJSON(t *testing.T) {
+	cfg := experiments.Config{Seed: 7, Scale: datasets.Small, MaxFieldsPerDataset: 1}
+	var buf bytes.Buffer
+	if err := run(&buf, "fig7", cfg, true); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("-json emitted %d lines, want 1:\n%s", len(lines), buf.String())
+	}
+	var obj struct {
+		Experiment string          `json:"experiment"`
+		Result     json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &obj); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, lines[0])
+	}
+	if obj.Experiment != "fig7" {
+		t.Fatalf("experiment name %q, want fig7", obj.Experiment)
+	}
+	if len(obj.Result) == 0 || string(obj.Result) == "null" {
+		t.Fatal("result payload empty")
+	}
+}
+
+func TestRunTable(t *testing.T) {
+	cfg := experiments.Config{Seed: 7, Scale: datasets.Small, MaxFieldsPerDataset: 1}
+	var buf bytes.Buffer
+	if err := run(&buf, "fig7", cfg, false); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("formatted output empty")
+	}
+}

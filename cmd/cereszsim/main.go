@@ -5,10 +5,16 @@
 // Usage:
 //
 //	cereszsim [-rows N] [-cols N] [-pl N] [-blocks N] [-rel λ] [-decompress]
+//	          [-trace out.json] [-heatmap out.csv] [-events N]
+//
+// -trace writes the run's full event schedule as Chrome trace-event JSON —
+// open it in Perfetto (ui.perfetto.dev) to see one track per PE with
+// dispatch/route/emit slices. -heatmap writes a rows×cols CSV of per-PE
+// processor utilization (and prints the ASCII shading to stdout).
 //
 // Example:
 //
-//	cereszsim -rows 4 -cols 12 -pl 3 -blocks 4096
+//	cereszsim -rows 4 -cols 12 -pl 3 -blocks 4096 -trace out.json
 package main
 
 import (
@@ -24,33 +30,53 @@ import (
 	"ceresz/internal/wse"
 )
 
+// simOpts collects the CLI knobs for one simulated run.
+type simOpts struct {
+	rows, cols, pl, blocks int
+	rel                    float64
+	decompress             bool
+	seed                   int64
+	// traceFile writes the run's schedule as Chrome trace-event JSON.
+	traceFile string
+	// heatmapFile writes per-PE utilization as a rows×cols CSV.
+	heatmapFile string
+	// events prints the first N simulator events as text.
+	events int
+}
+
 func main() {
-	rows := flag.Int("rows", 2, "mesh rows")
-	cols := flag.Int("cols", 8, "mesh columns")
-	pl := flag.Int("pl", 1, "pipeline length")
-	blocks := flag.Int("blocks", 2048, "number of 32-element blocks to stream")
-	rel := flag.Float64("rel", 1e-3, "REL error bound")
-	decompress := flag.Bool("decompress", false, "simulate the decompression direction")
-	seed := flag.Int64("seed", 7, "data seed")
-	trace := flag.Int("trace", 0, "print the first N simulator events")
+	var o simOpts
+	flag.IntVar(&o.rows, "rows", 2, "mesh rows")
+	flag.IntVar(&o.cols, "cols", 8, "mesh columns")
+	flag.IntVar(&o.pl, "pl", 1, "pipeline length")
+	flag.IntVar(&o.blocks, "blocks", 2048, "number of 32-element blocks to stream")
+	flag.Float64Var(&o.rel, "rel", 1e-3, "REL error bound")
+	flag.BoolVar(&o.decompress, "decompress", false, "simulate the decompression direction")
+	flag.Int64Var(&o.seed, "seed", 7, "data seed")
+	flag.StringVar(&o.traceFile, "trace", "", "write the event schedule as Chrome trace-event JSON to this file")
+	flag.StringVar(&o.heatmapFile, "heatmap", "", "write per-PE utilization CSV to this file")
+	flag.IntVar(&o.events, "events", 0, "print the first N simulator events")
 	flag.Parse()
 
-	if err := run(*rows, *cols, *pl, *blocks, *rel, *decompress, *seed, *trace); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "cereszsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(rows, cols, pl, blocks int, rel float64, decompress bool, seed int64, trace int) error {
+// traceRetain bounds the tracer when a full trace file was requested.
+const traceRetain = 1 << 20
+
+func run(o simOpts) error {
 	// Synthesize a smooth field with mild noise.
-	data := make([]float32, 32*blocks)
-	phase := float64(seed)
+	data := make([]float32, 32*o.blocks)
+	phase := float64(o.seed)
 	for i := range data {
 		x := float64(i) * 0.003
 		data[i] = float32(math.Sin(x+phase)*2 + 0.25*math.Sin(11*x) + 0.02*math.Sin(191*x))
 	}
 	minV, maxV := quant.Range(data)
-	eps, err := quant.REL(rel).Resolve(minV, maxV)
+	eps, err := quant.REL(o.rel).Resolve(minV, maxV)
 	if err != nil {
 		return err
 	}
@@ -59,10 +85,20 @@ func run(rows, cols, pl, blocks int, rel float64, decompress bool, seed int64, t
 		return err
 	}
 
-	mesh := wse.Config{Rows: rows, Cols: cols}
+	// The tracer must be attached before Run, so the cap is decided here:
+	// the whole schedule for a trace file, just the head for -events.
+	traceCap := 0
+	if o.traceFile != "" {
+		traceCap = traceRetain
+	} else if o.events > 0 {
+		traceCap = o.events
+	}
+
+	mesh := wse.Config{Rows: o.rows, Cols: o.cols}
 	var res *mapping.Result
 	var plan *mapping.Plan
-	if decompress {
+	var tr *wse.Tracer
+	if o.decompress {
 		comp, _, err := core.CompressWithEps(nil, data, eps, core.Options{})
 		if err != nil {
 			return err
@@ -71,11 +107,11 @@ func run(rows, cols, pl, blocks int, rel float64, decompress bool, seed int64, t
 		if err != nil {
 			return err
 		}
-		plan, err = mapping.NewPlan(chain, mapping.PlanConfig{Mesh: mesh, PipelineLen: pl})
+		plan, err = mapping.NewPlan(chain, mapping.PlanConfig{Mesh: mesh, PipelineLen: o.pl})
 		if err != nil {
 			return err
 		}
-		res, err = plan.Decompress(comp)
+		tr, res, err = plan.DecompressTraced(comp, traceCap)
 		if err != nil {
 			return err
 		}
@@ -84,22 +120,22 @@ func run(rows, cols, pl, blocks int, rel float64, decompress bool, seed int64, t
 		if err != nil {
 			return err
 		}
-		plan, err = mapping.NewPlan(chain, mapping.PlanConfig{Mesh: mesh, PipelineLen: pl})
+		plan, err = mapping.NewPlan(chain, mapping.PlanConfig{Mesh: mesh, PipelineLen: o.pl})
 		if err != nil {
 			return err
 		}
-		res, err = plan.Compress(data)
+		tr, res, err = plan.CompressTraced(data, traceCap)
 		if err != nil {
 			return err
 		}
 	}
 
 	dir := "compression"
-	if decompress {
+	if o.decompress {
 		dir = "decompression"
 	}
 	fmt.Printf("%s of %d blocks (%d KB) on a %dx%d mesh, ε=%.3g (fl estimate %d)\n",
-		dir, blocks, 4*len(data)/1024, rows, cols, eps, estWidth)
+		dir, o.blocks, 4*len(data)/1024, o.rows, o.cols, eps, estWidth)
 	fmt.Print(plan.Describe())
 	fmt.Printf("\nelapsed: %d cycles = %.3f ms at 850 MHz -> %.2f MB/s\n",
 		res.Cycles, res.Seconds*1e3, res.ThroughputGBps*1000)
@@ -109,31 +145,52 @@ func run(rows, cols, pl, blocks int, rel float64, decompress bool, seed int64, t
 		s.ActivePEs, s.BusiestPE, s.BusiestCycles, 100*s.MeanUtilization, s.MemPeak)
 	fmt.Printf("cycle totals: compute %d, relay %d, send %d\n\n", s.TotalCompute, s.TotalRelay, s.TotalSend)
 	res.Mesh.WriteUtilization(os.Stdout, 0)
-	if trace > 0 && !decompress {
-		fmt.Print("\nfirst events of a small traced rerun:\n")
-		// The tracer must be attached before Run; re-simulate briefly with
-		// one attached, bounded by the requested entry count.
-		if err := traceRun(plan, blocks, trace); err != nil {
+
+	fmt.Print("\nrun telemetry:\n")
+	res.Telemetry.WriteTo(os.Stdout)
+
+	if o.traceFile != "" {
+		if err := writeTrace(tr, mesh, o.traceFile); err != nil {
 			return err
 		}
+		fmt.Printf("\nwrote %d trace events to %s (open in ui.perfetto.dev)\n",
+			len(tr.Events()), o.traceFile)
+	}
+	if o.heatmapFile != "" {
+		if err := writeHeatmap(res.Mesh, o.heatmapFile); err != nil {
+			return err
+		}
+		fmt.Println()
+		res.Mesh.WriteHeatmapASCII(os.Stdout)
+		fmt.Printf("wrote utilization heatmap to %s\n", o.heatmapFile)
+	}
+	if o.events > 0 && o.traceFile == "" {
+		fmt.Printf("\nfirst %d simulator events:\n", o.events)
+		tr.Write(os.Stdout)
 	}
 	return nil
 }
 
-// traceRun repeats a small slice of the simulation with a tracer attached
-// and prints the first n events.
-func traceRun(plan *mapping.Plan, blocks, n int) error {
-	if blocks > 64 {
-		blocks = 64
-	}
-	data := make([]float32, 32*blocks)
-	for i := range data {
-		data[i] = float32(math.Sin(float64(i) * 0.01))
-	}
-	tr, _, err := plan.CompressTraced(data, n)
+func writeTrace(tr *wse.Tracer, cfg wse.Config, path string) error {
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	tr.Write(os.Stdout)
-	return nil
+	if err := tr.WriteChromeTrace(f, cfg); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeHeatmap(m *wse.Mesh, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteHeatmapCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,25 +1,88 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestSimRunCompress(t *testing.T) {
-	if err := run(2, 6, 2, 128, 1e-3, false, 7, 4); err != nil {
+	if err := run(simOpts{rows: 2, cols: 6, pl: 2, blocks: 128, rel: 1e-3, seed: 7, events: 4}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestSimRunDecompress(t *testing.T) {
-	if err := run(1, 4, 1, 64, 1e-3, true, 7, 0); err != nil {
+	if err := run(simOpts{rows: 1, cols: 4, pl: 1, blocks: 64, rel: 1e-3, decompress: true, seed: 7}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestSimRunBadConfig(t *testing.T) {
 	// Pipeline longer than columns is rejected by the planner.
-	if err := run(1, 2, 5, 32, 1e-3, false, 7, 0); err == nil {
+	if err := run(simOpts{rows: 1, cols: 2, pl: 5, blocks: 32, rel: 1e-3, seed: 7}); err == nil {
 		t.Fatal("accepted pipeline longer than the mesh")
 	}
-	if err := run(1, 2, 1, 32, 0, false, 7, 0); err == nil {
+	if err := run(simOpts{rows: 1, cols: 2, pl: 1, blocks: 32, rel: 0, seed: 7}); err == nil {
 		t.Fatal("accepted zero bound")
+	}
+}
+
+// TestSimRunTraceAndHeatmap exercises the export path end to end: the
+// trace file must be valid Chrome trace-event JSON (an array of ph:"X"
+// slices plus metadata, one track per PE) and the heatmap a rows×cols CSV.
+func TestSimRunTraceAndHeatmap(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "out.json")
+	heatPath := filepath.Join(dir, "out.csv")
+	rows, cols := 2, 4
+	if err := run(simOpts{
+		rows: rows, cols: cols, pl: 1, blocks: 64, rel: 1e-3, seed: 7,
+		traceFile: tracePath, heatmapFile: heatPath,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("trace is not a JSON array: %v", err)
+	}
+	var slices int
+	tids := map[float64]bool{}
+	for _, ev := range events {
+		switch ev["ph"] {
+		case "X":
+			slices++
+			tids[ev["tid"].(float64)] = true
+		case "M":
+		default:
+			t.Fatalf("unexpected event phase %v", ev["ph"])
+		}
+	}
+	if slices == 0 {
+		t.Fatal("trace holds no slices")
+	}
+	if len(tids) < 2 {
+		t.Fatalf("expected multiple PE tracks, got %d", len(tids))
+	}
+
+	heat, err := os.ReadFile(heatPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(heat)), "\n")
+	if len(lines) != rows {
+		t.Fatalf("heatmap has %d rows, want %d", len(lines), rows)
+	}
+	for _, line := range lines {
+		if got := len(strings.Split(line, ",")); got != cols {
+			t.Fatalf("heatmap row %q has %d cells, want %d", line, got, cols)
+		}
 	}
 }

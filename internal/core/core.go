@@ -29,11 +29,40 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"ceresz/internal/flenc"
 	"ceresz/internal/lorenzo"
 	"ceresz/internal/quant"
+	"ceresz/internal/telemetry"
 )
+
+// Telemetry instruments for the host path (telemetry.Default, disabled
+// unless a CLI opts in). Per-block cost when disabled is one predictable
+// branch; per-stage timings are sampled (one block in stageSampleEvery)
+// so the enabled path stays well under the 5% overhead budget.
+var (
+	telCompress           = telemetry.T("core.compress")
+	telDecompress         = telemetry.T("core.decompress")
+	telCompressBlocks     = telemetry.C("core.compress.blocks")
+	telCompressBytesIn    = telemetry.C("core.compress.bytes_in")
+	telCompressBytesOut   = telemetry.C("core.compress.bytes_out")
+	telCompressZero       = telemetry.C("core.compress.zero_blocks")
+	telCompressVerbatim   = telemetry.C("core.compress.verbatim_blocks")
+	telDecompressBlocks   = telemetry.C("core.decompress.blocks")
+	telDecompressBytesIn  = telemetry.C("core.decompress.bytes_in")
+	telDecompressBytesOut = telemetry.C("core.decompress.bytes_out")
+	telWorkers            = telemetry.G("core.workers.active")
+	telStageQuantNs       = telemetry.C("core.stage.quantize_ns")
+	telStageLorenzoNs     = telemetry.C("core.stage.lorenzo_ns")
+	telStageEncodeNs      = telemetry.C("core.stage.encode_ns")
+	telStageSampled       = telemetry.C("core.stage.sampled_blocks")
+)
+
+// stageSampleEvery is the per-stage timing sample period (a power of two):
+// one block in 1024 pays the four clock reads, every other block pays one
+// branch.
+const stageSampleEvery = 1024
 
 // Magic identifies a CereSZ stream.
 var Magic = [4]byte{'C', 'S', 'Z', '1'}
@@ -175,6 +204,7 @@ func CompressWithEps(dst []byte, data []float32, eps float64, opts Options) ([]b
 }
 
 func compressEps(dst []byte, data []float32, eps float64, opts Options) ([]byte, *Stats, error) {
+	defer telCompress.Start().End()
 	q, err := quant.NewQuantizer(eps)
 	if err != nil {
 		return dst, nil, err
@@ -207,7 +237,9 @@ func compressEps(dst []byte, data []float32, eps float64, opts Options) ([]byte,
 		for b := 0; b < nBlocks; b++ {
 			dst = enc.encode(dst, blockSlice(data, b, L), stats)
 		}
+		enc.flushTelemetry()
 		stats.CompressedBytes = len(dst) - start
+		recordCompressTelemetry(stats)
 		return dst, stats, nil
 	}
 
@@ -226,6 +258,8 @@ func compressEps(dst []byte, data []float32, eps float64, opts Options) ([]byte,
 		wg.Add(1)
 		go func(wkr, lo, hi int) {
 			defer wg.Done()
+			telWorkers.Add(1)
+			defer telWorkers.Add(-1)
 			enc := newBlockEncoder(L, opts.HeaderBytes, q)
 			c := &chunks[wkr]
 			// Worst case: every block verbatim.
@@ -233,6 +267,7 @@ func compressEps(dst []byte, data []float32, eps float64, opts Options) ([]byte,
 			for b := lo; b < hi; b++ {
 				c.buf = enc.encode(c.buf, blockSlice(data, b, L), &c.stats)
 			}
+			enc.flushTelemetry()
 		}(wkr, lo, hi)
 	}
 	wg.Wait()
@@ -245,7 +280,21 @@ func compressEps(dst []byte, data []float32, eps float64, opts Options) ([]byte,
 		}
 	}
 	stats.CompressedBytes = len(dst) - start
+	recordCompressTelemetry(stats)
 	return dst, stats, nil
+}
+
+// recordCompressTelemetry publishes a finished pass's aggregates. One call
+// per pass, so its cost is independent of the data size.
+func recordCompressTelemetry(stats *Stats) {
+	if !telemetry.Enabled() {
+		return
+	}
+	telCompressBlocks.Add(int64(stats.Blocks))
+	telCompressBytesIn.Add(int64(4 * stats.Elements))
+	telCompressBytesOut.Add(int64(stats.CompressedBytes))
+	telCompressZero.Add(int64(stats.ZeroBlocks))
+	telCompressVerbatim.Add(int64(stats.VerbatimBlocks))
 }
 
 // blockSlice returns block b of data (length ≤ L; the caller pads).
@@ -258,7 +307,9 @@ func blockSlice(data []float32, b, L int) []float32 {
 	return data[lo:hi]
 }
 
-// blockEncoder holds the per-worker scratch state for encoding blocks.
+// blockEncoder holds the per-worker scratch state for encoding blocks,
+// plus local (unsynchronized) telemetry accumulators flushed once per
+// worker by flushTelemetry.
 type blockEncoder struct {
 	L       int
 	hdr     int
@@ -267,6 +318,11 @@ type blockEncoder struct {
 	scaled  []float64
 	codes   []int32
 	scratch *flenc.Block
+
+	sample                       bool // telemetry enabled when created
+	n                            int  // blocks encoded so far
+	quantNs, lorenzoNs, encodeNs int64
+	sampled                      int64
 }
 
 func newBlockEncoder(L, headerBytes int, q *quant.Quantizer) *blockEncoder {
@@ -278,11 +334,32 @@ func newBlockEncoder(L, headerBytes int, q *quant.Quantizer) *blockEncoder {
 		scaled:  make([]float64, L),
 		codes:   make([]int32, L),
 		scratch: flenc.NewBlock(L),
+		sample:  telemetry.Enabled(),
 	}
+}
+
+// flushTelemetry publishes the sampled stage timings accumulated by this
+// encoder — one batch of atomic adds per worker, not per block.
+func (e *blockEncoder) flushTelemetry() {
+	if e.sampled == 0 {
+		return
+	}
+	telStageQuantNs.Add(e.quantNs)
+	telStageLorenzoNs.Add(e.lorenzoNs)
+	telStageEncodeNs.Add(e.encodeNs)
+	telStageSampled.Add(e.sampled)
 }
 
 // encode appends one encoded block to dst, updating stats.
 func (e *blockEncoder) encode(dst []byte, block []float32, stats *Stats) []byte {
+	// Sampled per-stage timing: one block in stageSampleEvery pays four
+	// clock reads; the rest pay one predictable branch per stage.
+	timed := e.sample && e.n&(stageSampleEvery-1) == 0
+	e.n++
+	var t0, t1, t2 time.Time
+	if timed {
+		t0 = time.Now()
+	}
 	src := block
 	if len(block) < e.L {
 		copy(e.padded, block)
@@ -313,14 +390,27 @@ func (e *blockEncoder) encode(dst []byte, block []float32, stats *Stats) []byte 
 			return appendVerbatim(dst, src, e.hdr)
 		}
 	}
+	if timed {
+		t1 = time.Now()
+	}
 	// Stage ②: 1D Lorenzo prediction (first-order difference).
 	lorenzo.Forward(e.codes, e.codes)
+	if timed {
+		t2 = time.Now()
+	}
 	// Stage ③: fixed-length encoding.
 	var w uint
 	dst, w = flenc.EncodeBlock(dst, e.codes, e.hdr, e.scratch)
 	stats.WidthHistogram[w]++
 	if w == 0 {
 		stats.ZeroBlocks++
+	}
+	if timed {
+		t3 := time.Now()
+		e.quantNs += t1.Sub(t0).Nanoseconds()
+		e.lorenzoNs += t2.Sub(t1).Nanoseconds()
+		e.encodeNs += t3.Sub(t2).Nanoseconds()
+		e.sampled++
 	}
 	return dst
 }
@@ -440,6 +530,7 @@ func ParseHeader(comp []byte) (Meta, error) {
 // to dst (which may be nil). workers bounds host parallelism (≤ 0 means
 // GOMAXPROCS).
 func Decompress(dst []float32, comp []byte, workers int) ([]float32, Meta, error) {
+	defer telDecompress.Start().End()
 	// Pass 1: locate block boundaries. Headers are self-describing, so this
 	// is a cheap sequential scan (the paper's "pre-known fixed-length"
 	// decompression advantage, §3).
@@ -473,6 +564,7 @@ func Decompress(dst []float32, comp []byte, workers int) ([]float32, Meta, error
 				return dst, m, fmt.Errorf("%w: block %d: %v", ErrBadStream, b, err)
 			}
 		}
+		recordDecompressTelemetry(m, len(comp))
 		return dst, m, nil
 	}
 
@@ -484,6 +576,8 @@ func Decompress(dst []float32, comp []byte, workers int) ([]float32, Meta, error
 		wg.Add(1)
 		go func(wkr, lo, hi int) {
 			defer wg.Done()
+			telWorkers.Add(1)
+			defer telWorkers.Add(-1)
 			dec := newBlockDecoder(L, m.HeaderBytes, q)
 			for b := lo; b < hi; b++ {
 				if err := dec.decode(outBlock(out, b, L), body[offsets[b]:offsets[b+1]]); err != nil {
@@ -499,7 +593,18 @@ func Decompress(dst []float32, comp []byte, workers int) ([]float32, Meta, error
 			return dst, m, e
 		}
 	}
+	recordDecompressTelemetry(m, len(comp))
 	return dst, m, nil
+}
+
+// recordDecompressTelemetry publishes a finished pass's aggregates.
+func recordDecompressTelemetry(m Meta, compBytes int) {
+	if !telemetry.Enabled() {
+		return
+	}
+	telDecompressBlocks.Add(int64(m.Blocks()))
+	telDecompressBytesIn.Add(int64(compBytes))
+	telDecompressBytesOut.Add(int64(4 * m.Elements))
 }
 
 func outBlock(out []float32, b, L int) []float32 {

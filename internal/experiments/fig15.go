@@ -73,24 +73,16 @@ func Fig15(cfg Config) (*Fig15Result, error) {
 			}
 		}
 	}
-	psnr, err := metrics.PSNR(data, cereszRec)
-	if err != nil {
-		return nil, err
-	}
-	ssim, err := metrics.SSIM(data, cereszRec, field.Dims)
-	if err != nil {
-		return nil, err
-	}
-	maxErr, err := metrics.MaxAbsError(data, cereszRec)
+	rep, err := metrics.NewReport(data, cereszRec, len(comp), field.Dims)
 	if err != nil {
 		return nil, err
 	}
 	return &Fig15Result{
 		CereSZRatio: stats.Ratio(),
 		CuSZpRatio:  czComp.Ratio(),
-		PSNR:        psnr,
-		SSIM:        ssim,
-		MaxError:    maxErr,
+		PSNR:        rep.PSNR,
+		SSIM:        rep.SSIM,
+		MaxError:    rep.MaxAbsErr,
 		Eps:         eps,
 		Identical:   identical,
 	}, nil

@@ -4,8 +4,13 @@ import (
 	"fmt"
 
 	"ceresz/internal/stages"
+	"ceresz/internal/telemetry"
 	"ceresz/internal/wse"
 )
+
+// telPlanBuild times Algorithm 1 planning on the host path (Default
+// registry; disabled unless a CLI opts in).
+var telPlanBuild = telemetry.T("mapping.plan_build")
 
 // DefaultMsgOverhead is the calibrated per-message relay overhead (cycles
 // of task activation + DSD setup per forwarded block, §2.1). It is what
@@ -61,6 +66,7 @@ type Plan struct {
 // NewPlan distributes the chain's sub-stages over PipelineLen PEs with
 // Algorithm 1 and validates geometry and per-PE memory.
 func NewPlan(chain *stages.Chain, cfg PlanConfig) (*Plan, error) {
+	defer telPlanBuild.Start().End()
 	if chain == nil {
 		return nil, fmt.Errorf("mapping: nil chain")
 	}

@@ -3,9 +3,11 @@ package mapping
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"ceresz/internal/core"
 	"ceresz/internal/stages"
+	"ceresz/internal/telemetry"
 	"ceresz/internal/wse"
 )
 
@@ -136,6 +138,11 @@ type Result struct {
 	Mesh *wse.Mesh
 	// Meta is the stream metadata.
 	Meta core.Meta
+	// Telemetry is the run's private instrument snapshot: simulated cycle
+	// accounting, relay occupancy, per-stage-group load, and the host-side
+	// cost of the simulation itself. Each run gets its own registry, so
+	// concurrent simulations never mix.
+	Telemetry telemetry.Snapshot
 }
 
 // install wires the plan's programs onto rows [0, rows) of the mesh.
@@ -201,6 +208,13 @@ func (p *Plan) CompressTraced(data []float32, capEntries int) (*wse.Tracer, *Res
 	return tr, res, err
 }
 
+// DecompressTraced is Decompress with a wse.Tracer attached (capturing up
+// to capEntries events).
+func (p *Plan) DecompressTraced(comp []byte, capEntries int) (*wse.Tracer, *Result, error) {
+	res, tr, err := p.decompress(comp, capEntries)
+	return tr, res, err
+}
+
 // Compress runs the plan on data and returns the compressed stream, which
 // is byte-identical to internal/core's for the same parameters.
 func (p *Plan) Compress(data []float32) (*Result, error) {
@@ -253,10 +267,12 @@ func (p *Plan) compress(data []float32, traceCap int) (*Result, *wse.Tracer, err
 		}
 	}
 
+	runStart := time.Now()
 	cycles, err := m.Run()
 	if err != nil {
 		return nil, nil, err
 	}
+	wall := time.Since(runStart)
 
 	meta := core.Meta{
 		HeaderBytes: p.Chain.Cfg.HeaderBytes,
@@ -272,7 +288,7 @@ func (p *Plan) compress(data []float32, traceCap int) (*Result, *wse.Tracer, err
 	for _, fb := range encoded {
 		out = append(out, fb.st.Encoded...)
 	}
-	res := p.newResult(m, cycles, int64(4*len(data)), meta)
+	res := p.newResult(m, cycles, int64(4*len(data)), meta, wall)
 	res.Bytes = out
 	return res, tr, nil
 }
@@ -280,28 +296,37 @@ func (p *Plan) compress(data []float32, traceCap int) (*Result, *wse.Tracer, err
 // Decompress runs the plan on a compressed stream and reconstructs the
 // data, exactly as internal/core.Decompress would.
 func (p *Plan) Decompress(comp []byte) (*Result, error) {
+	res, _, err := p.decompress(comp, 0)
+	return res, err
+}
+
+func (p *Plan) decompress(comp []byte, traceCap int) (*Result, *wse.Tracer, error) {
 	if p.Chain.Dir != stages.Decompress {
-		return nil, fmt.Errorf("mapping: Decompress on a %v chain", p.Chain.Dir)
+		return nil, nil, fmt.Errorf("mapping: Decompress on a %v chain", p.Chain.Dir)
 	}
 	meta, offsets, err := core.BlockOffsets(comp)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if meta.BlockLen != p.Chain.Cfg.BlockLen {
-		return nil, fmt.Errorf("mapping: stream block length %d does not match plan's %d", meta.BlockLen, p.Chain.Cfg.BlockLen)
+		return nil, nil, fmt.Errorf("mapping: stream block length %d does not match plan's %d", meta.BlockLen, p.Chain.Cfg.BlockLen)
 	}
 	if meta.HeaderBytes != p.Chain.Cfg.HeaderBytes {
-		return nil, fmt.Errorf("mapping: stream header size %d does not match plan's %d", meta.HeaderBytes, p.Chain.Cfg.HeaderBytes)
+		return nil, nil, fmt.Errorf("mapping: stream header size %d does not match plan's %d", meta.HeaderBytes, p.Chain.Cfg.HeaderBytes)
 	}
 	if meta.Eps != p.Chain.Cfg.Eps {
-		return nil, fmt.Errorf("mapping: stream ε %g does not match plan's %g", meta.Eps, p.Chain.Cfg.Eps)
+		return nil, nil, fmt.Errorf("mapping: stream ε %g does not match plan's %g", meta.Eps, p.Chain.Cfg.Eps)
 	}
 	body := comp[core.StreamHeaderSize:]
 	nBlocks := meta.Blocks()
 
 	m, err := wse.NewMesh(p.Cfg.Mesh)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	var tr *wse.Tracer
+	if traceCap > 0 {
+		tr = m.AttachTracer(traceCap)
 	}
 	rows := p.Cfg.Mesh.Rows
 	if rows > nBlocks && nBlocks > 0 {
@@ -326,13 +351,15 @@ func (p *Plan) Decompress(comp []byte) (*Result, error) {
 		}
 	}
 
+	runStart := time.Now()
 	cycles, err := m.Run()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	wall := time.Since(runStart)
 	decoded, err := collectBlocks(m, nBlocks)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	L := meta.BlockLen
 	out := make([]float32, meta.Elements)
@@ -344,12 +371,12 @@ func (p *Plan) Decompress(comp []byte) (*Result, error) {
 		}
 		copy(out[lo:hi], fb.st.Raw)
 	}
-	res := p.newResult(m, cycles, int64(4*meta.Elements), meta)
+	res := p.newResult(m, cycles, int64(4*meta.Elements), meta, wall)
 	res.Data = out
-	return res, nil
+	return res, tr, nil
 }
 
-func (p *Plan) newResult(m *wse.Mesh, cycles, inputBytes int64, meta core.Meta) *Result {
+func (p *Plan) newResult(m *wse.Mesh, cycles, inputBytes int64, meta core.Meta, wall time.Duration) *Result {
 	secs := m.Seconds(cycles)
 	tput := 0.0
 	if secs > 0 {
@@ -361,7 +388,42 @@ func (p *Plan) newResult(m *wse.Mesh, cycles, inputBytes int64, meta core.Meta) 
 		ThroughputGBps: tput,
 		Mesh:           m,
 		Meta:           meta,
+		Telemetry:      p.runTelemetry(m, cycles, wall),
 	}
+}
+
+// runTelemetry fills a fresh registry with the run's accounting: simulated
+// cycle totals split by kind, relay occupancy, estimated versus measured
+// per-stage-group load, and the host wall time the simulation itself took.
+func (p *Plan) runTelemetry(m *wse.Mesh, cycles int64, wall time.Duration) telemetry.Snapshot {
+	reg := telemetry.NewRegistry()
+	reg.Timer("sim.run_wall").Observe(wall)
+	reg.Counter("sim.events").Add(m.Processed())
+	reg.Counter("sim.cycles").Add(cycles)
+	s := m.Summary()
+	reg.Counter("sim.cycles.compute").Add(s.TotalCompute)
+	reg.Counter("sim.cycles.relay").Add(s.TotalRelay)
+	reg.Counter("sim.cycles.send").Add(s.TotalSend)
+	reg.Gauge("sim.active_pes").Set(int64(s.ActivePEs))
+	reg.Gauge("sim.mem_peak_bytes").Set(int64(s.MemPeak))
+	reg.Gauge("sim.mean_utilization_pct").Set(int64(100 * s.MeanUtilization))
+	if busy := s.TotalCompute + s.TotalRelay + s.TotalSend; busy > 0 {
+		reg.Gauge("sim.relay_share_pct").Set(100 * s.TotalRelay / busy)
+	}
+	// Per-stage-group load: Algorithm 1's estimate next to what the mesh
+	// actually measured. Column c holds pipeline position c mod PipelineLen,
+	// so summing RowProfile compute per position recovers the group split.
+	perPos := make([]int64, p.Cfg.PipelineLen)
+	for r := 0; r < m.Config().Rows; r++ {
+		for c, st := range m.RowProfile(r) {
+			perPos[c%p.Cfg.PipelineLen] += st.ComputeCycles
+		}
+	}
+	for pos, g := range p.Groups {
+		reg.Counter(fmt.Sprintf("plan.group%02d.est_cycles", pos)).Add(GroupCost(p.EstCosts, g))
+		reg.Counter(fmt.Sprintf("plan.group%02d.compute_cycles", pos)).Add(perPos[pos])
+	}
+	return reg.Snapshot()
 }
 
 // collectBlocks gathers the emitted flow blocks and orders them by id.

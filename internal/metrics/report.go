@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"ceresz/internal/lorenzo"
+)
+
+// Report bundles the paper's per-field evaluation metrics (§5.1.4) into
+// one value: ratio, bit rate, maximum absolute error, PSNR and — for grids
+// tall enough for the 8×8 window — SSIM. Build one with NewReport after a
+// compress/decompress round trip.
+type Report struct {
+	// Elements is the field length.
+	Elements int
+	// OriginalBytes and CompressedBytes size the two representations.
+	OriginalBytes, CompressedBytes int
+	// Ratio is OriginalBytes / CompressedBytes.
+	Ratio float64
+	// BitRate is compressed bits per element.
+	BitRate float64
+	// MaxAbsErr is max_i |orig_i − rec_i|, the bound-constrained quantity.
+	MaxAbsErr float64
+	// PSNR is the peak signal-to-noise ratio in dB (+Inf when lossless).
+	PSNR float64
+	// SSIM is the mean structural similarity; valid only when HasSSIM.
+	SSIM float64
+	// HasSSIM reports whether the grid admitted an SSIM evaluation (needs
+	// Ny ≥ 8 for the sliding window).
+	HasSSIM bool
+}
+
+// NewReport evaluates every metric for one round trip. dims describes the
+// field's grid; 1D fields (Ny < 8) skip SSIM rather than erroring.
+func NewReport(orig, rec []float32, compressedBytes int, dims lorenzo.Dims) (*Report, error) {
+	if len(orig) != len(rec) {
+		return nil, ErrLengthMismatch
+	}
+	maxErr, err := MaxAbsError(orig, rec)
+	if err != nil {
+		return nil, err
+	}
+	psnr, err := PSNR(orig, rec)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{
+		Elements:        len(orig),
+		OriginalBytes:   4 * len(orig),
+		CompressedBytes: compressedBytes,
+		Ratio:           CompressionRatio(4*len(orig), compressedBytes),
+		BitRate:         BitRate(len(orig), compressedBytes),
+		MaxAbsErr:       maxErr,
+		PSNR:            psnr,
+	}
+	if dims.Ny >= 8 {
+		ssim, err := SSIM(orig, rec, dims)
+		if err != nil {
+			return nil, err
+		}
+		r.SSIM = ssim
+		r.HasSSIM = true
+	}
+	return r, nil
+}
+
+// String renders the report as one human-readable line.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d elements: %d -> %d bytes (ratio %.3f, %.3f bits/elem), max|err| %.3g, PSNR %.2f dB",
+		r.Elements, r.OriginalBytes, r.CompressedBytes, r.Ratio, r.BitRate, r.MaxAbsErr, r.PSNR)
+	if r.HasSSIM {
+		fmt.Fprintf(&sb, ", SSIM %.6f", r.SSIM)
+	}
+	return sb.String()
+}

@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ceresz/internal/lorenzo"
+)
+
+func TestReport2D(t *testing.T) {
+	n := 32 * 32
+	orig := make([]float32, n)
+	rec := make([]float32, n)
+	for i := range orig {
+		orig[i] = float32(math.Sin(float64(i) * 0.01))
+		rec[i] = orig[i] + 0.001
+	}
+	r, err := NewReport(orig, rec, n, lorenzo.Dims2(32, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Elements != n || r.OriginalBytes != 4*n || r.CompressedBytes != n {
+		t.Fatalf("sizes %+v", r)
+	}
+	if r.Ratio != 4 || r.BitRate != 8 {
+		t.Fatalf("ratio %g, bit rate %g", r.Ratio, r.BitRate)
+	}
+	if r.MaxAbsErr < 0.0009 || r.MaxAbsErr > 0.0011 {
+		t.Fatalf("max error %g", r.MaxAbsErr)
+	}
+	if r.PSNR <= 0 || math.IsInf(r.PSNR, 1) {
+		t.Fatalf("PSNR %g", r.PSNR)
+	}
+	if !r.HasSSIM || r.SSIM <= 0.9 || r.SSIM > 1 {
+		t.Fatalf("SSIM %g (has %v)", r.SSIM, r.HasSSIM)
+	}
+	s := r.String()
+	for _, frag := range []string{"ratio 4.000", "PSNR", "SSIM"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("String missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestReport1DSkipsSSIM(t *testing.T) {
+	orig := []float32{1, 2, 3, 4}
+	r, err := NewReport(orig, orig, 8, lorenzo.Dims1(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HasSSIM {
+		t.Fatal("SSIM computed on a 1D field")
+	}
+	if !math.IsInf(r.PSNR, 1) {
+		t.Fatalf("lossless PSNR %g, want +Inf", r.PSNR)
+	}
+	if strings.Contains(r.String(), "SSIM") {
+		t.Fatalf("String mentions SSIM without one:\n%s", r.String())
+	}
+}
+
+func TestReportLengthMismatch(t *testing.T) {
+	if _, err := NewReport([]float32{1, 2}, []float32{1}, 4, lorenzo.Dims1(2)); err == nil {
+		t.Fatal("accepted mismatched lengths")
+	}
+}

@@ -1,0 +1,29 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+)
+
+// PublishExpvar exposes the registry as a single expvar variable named
+// name (conventionally "ceresz"), so the standard /debug/vars endpoint
+// carries the full snapshot. Publishing the same name twice panics
+// (expvar's semantics), so call once per process.
+func (r *Registry) PublishExpvar(name string) {
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// Handler returns an http.Handler serving the registry snapshot as
+// indented JSON — the /debug/telemetry endpoint behind cereszbench's
+// -debug-addr flag.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

@@ -1,0 +1,444 @@
+// Package telemetry is the repo-wide instrumentation substrate: a
+// near-zero-overhead registry of counters, gauges, timers and histograms
+// plus a span API, shared by the host compressor (internal/core), the
+// framed/bundled container layers, the mapping planner and the WSE
+// simulator. It is the machine-readable counterpart of the paper's
+// cycle-level accounting (§5.1.1 "hardware cycle counters at each PE"):
+// every pipeline stage reports through it, so performance PRs can be
+// diffed instead of eyeballed.
+//
+// Design constraints (mirroring what cuSZ's kernel profiling and SZ3's
+// modular stage layer provide on their platforms):
+//
+//   - a disabled registry must cost one predictable branch per call site —
+//     instruments stay compiled in, handing out no-ops is unnecessary;
+//   - an enabled registry must be safe for concurrent writers (the host
+//     compressor runs one goroutine per core) and cost only an atomic
+//     add per event;
+//   - snapshots are plain maps, so they serialize to JSON/expvar without
+//     adapters.
+//
+// The package-level Default registry starts disabled; CLIs opt in with
+// Enable (ceresz -stats, cereszbench -debug-addr). Simulator runs build
+// their own private Registry so concurrent simulations never mix.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry holds named instruments. The zero value is not usable; call
+// NewRegistry. All methods are safe for concurrent use.
+type Registry struct {
+	on atomic.Bool
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	timers   map[string]*Timer
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty, enabled registry.
+func NewRegistry() *Registry {
+	r := &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		timers:   map[string]*Timer{},
+		hists:    map[string]*Histogram{},
+	}
+	r.on.Store(true)
+	return r
+}
+
+// Default is the process-wide registry used by the host compression path.
+// It starts disabled, so instrumented hot loops cost a single branch.
+var Default = func() *Registry {
+	r := NewRegistry()
+	r.on.Store(false)
+	return r
+}()
+
+// Enable turns the Default registry on (CLI -stats / -debug-addr paths).
+func Enable() { Default.SetEnabled(true) }
+
+// Disable turns the Default registry off.
+func Disable() { Default.SetEnabled(false) }
+
+// Enabled reports whether the Default registry is recording.
+func Enabled() bool { return Default.Enabled() }
+
+// SetEnabled flips recording. Instruments handed out earlier keep working;
+// they consult this flag on every event.
+func (r *Registry) SetEnabled(on bool) { r.on.Store(on) }
+
+// Enabled reports whether the registry is recording.
+func (r *Registry) Enabled() bool { return r.on.Load() }
+
+// Counter returns (registering if needed) the named monotonic counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{r: r}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (registering if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{r: r}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Timer returns (registering if needed) the named duration recorder.
+func (r *Registry) Timer(name string) *Timer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{r: r}
+		t.minNs.Store(math.MaxInt64)
+		r.timers[name] = t
+	}
+	return t
+}
+
+// Histogram returns (registering if needed) the named value histogram
+// (power-of-two buckets; bucket i counts values with bit length i).
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{r: r}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// C is shorthand for Default.Counter — the form instrumented packages use
+// in package-level vars, so the map lookup happens once at init.
+func C(name string) *Counter { return Default.Counter(name) }
+
+// G is shorthand for Default.Gauge.
+func G(name string) *Gauge { return Default.Gauge(name) }
+
+// T is shorthand for Default.Timer.
+func T(name string) *Timer { return Default.Timer(name) }
+
+// H is shorthand for Default.Histogram.
+func H(name string) *Histogram { return Default.Histogram(name) }
+
+// Counter is a monotonically increasing event count. A nil Counter and a
+// Counter of a disabled registry are both safe no-ops.
+type Counter struct {
+	r *Registry
+	v atomic.Int64
+}
+
+// Add increments the counter by n when the registry is enabled.
+func (c *Counter) Add(n int64) {
+	if c == nil || !c.r.on.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous level (worker occupancy, queue depth).
+type Gauge struct {
+	r   *Registry
+	v   atomic.Int64
+	max atomic.Int64
+}
+
+// Set stores the gauge's value when the registry is enabled.
+func (g *Gauge) Set(v int64) {
+	if g == nil || !g.r.on.Load() {
+		return
+	}
+	g.v.Store(v)
+	updateMax(&g.max, v)
+}
+
+// Add moves the gauge by delta and tracks the high-water mark (call with
+// +1/-1 around a worker's lifetime to expose occupancy).
+func (g *Gauge) Add(delta int64) {
+	if g == nil || !g.r.on.Load() {
+		return
+	}
+	updateMax(&g.max, g.v.Add(delta))
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Max returns the high-water mark since creation.
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max.Load()
+}
+
+func updateMax(m *atomic.Int64, v int64) {
+	for {
+		cur := m.Load()
+		if v <= cur || m.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Timer accumulates durations. Record either with Observe or with the
+// span form:
+//
+//	defer reg.Timer("core.compress").Start().End()
+type Timer struct {
+	r     *Registry
+	count atomic.Int64
+	sumNs atomic.Int64
+	minNs atomic.Int64
+	maxNs atomic.Int64
+}
+
+// Span is an in-flight timed section. The zero Span (from a disabled
+// registry) is a safe no-op.
+type Span struct {
+	t  *Timer
+	t0 time.Time
+}
+
+// Start opens a span; it returns the zero Span when disabled, making the
+// whole Start/End pair one branch plus one atomic load.
+func (t *Timer) Start() Span {
+	if t == nil || !t.r.on.Load() {
+		return Span{}
+	}
+	return Span{t: t, t0: time.Now()}
+}
+
+// End closes the span, recording its wall-clock duration.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.Observe(time.Since(s.t0))
+}
+
+// Observe records one duration when the registry is enabled.
+func (t *Timer) Observe(d time.Duration) {
+	if t == nil || !t.r.on.Load() {
+		return
+	}
+	ns := d.Nanoseconds()
+	t.count.Add(1)
+	t.sumNs.Add(ns)
+	updateMax(&t.maxNs, ns)
+	for {
+		cur := t.minNs.Load()
+		if ns >= cur || t.minNs.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// TimerStats is a timer's aggregate at snapshot time.
+type TimerStats struct {
+	Count int64 `json:"count"`
+	SumNs int64 `json:"sum_ns"`
+	MinNs int64 `json:"min_ns"`
+	MaxNs int64 `json:"max_ns"`
+}
+
+// Mean returns the mean duration, or 0 with no observations.
+func (s TimerStats) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNs / s.Count)
+}
+
+// histBuckets is the bucket count: values are classified by bit length,
+// so bucket i holds values in [2^(i-1), 2^i).
+const histBuckets = 64
+
+// Histogram counts values in power-of-two buckets — enough resolution to
+// see the shape of chunk sizes and latencies without per-event cost.
+type Histogram struct {
+	r       *Registry
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one non-negative value when the registry is enabled.
+func (h *Histogram) Observe(v int64) {
+	if h == nil || !h.r.on.Load() {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bitLen64(v)].Add(1)
+}
+
+func bitLen64(v int64) int {
+	n := 0
+	for v != 0 {
+		v >>= 1
+		n++
+	}
+	if n >= histBuckets {
+		n = histBuckets - 1
+	}
+	return n
+}
+
+// HistStats is a histogram's aggregate at snapshot time. Buckets maps the
+// inclusive upper bound of each non-empty power-of-two bucket to its count.
+type HistStats struct {
+	Count   int64           `json:"count"`
+	Sum     int64           `json:"sum"`
+	Buckets map[int64]int64 `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of every instrument, ready for JSON,
+// expvar, or diffing across runs.
+type Snapshot struct {
+	Counters map[string]int64      `json:"counters,omitempty"`
+	Gauges   map[string]int64      `json:"gauges,omitempty"`
+	Timers   map[string]TimerStats `json:"timers,omitempty"`
+	Hists    map[string]HistStats  `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the registry's current state. Counters that never
+// fired are included at zero, so diffs line up across runs.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters: make(map[string]int64, len(r.counters)),
+		Gauges:   make(map[string]int64, len(r.gauges)),
+		Timers:   make(map[string]TimerStats, len(r.timers)),
+		Hists:    make(map[string]HistStats, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+		s.Gauges[name+".max"] = g.Max()
+	}
+	for name, t := range r.timers {
+		ts := TimerStats{
+			Count: t.count.Load(),
+			SumNs: t.sumNs.Load(),
+			MinNs: t.minNs.Load(),
+			MaxNs: t.maxNs.Load(),
+		}
+		if ts.Count == 0 {
+			ts.MinNs = 0
+		}
+		s.Timers[name] = ts
+	}
+	for name, h := range r.hists {
+		hs := HistStats{Count: h.count.Load(), Sum: h.sum.Load()}
+		for i := range h.buckets {
+			if n := h.buckets[i].Load(); n > 0 {
+				if hs.Buckets == nil {
+					hs.Buckets = map[int64]int64{}
+				}
+				upper := int64(math.MaxInt64)
+				if i < 63 {
+					upper = (int64(1) << i) - 1
+				}
+				hs.Buckets[upper] = n
+			}
+		}
+		s.Hists[name] = hs
+	}
+	return s
+}
+
+// WriteTo renders the snapshot as sorted human-readable lines — the
+// `ceresz -stats` output format.
+func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	emit := func(format string, args ...any) error {
+		n, err := fmt.Fprintf(w, format, args...)
+		total += int64(n)
+		return err
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		if err := emit("counter %-40s %d\n", name, s.Counters[name]); err != nil {
+			return total, err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		if err := emit("gauge   %-40s %d\n", name, s.Gauges[name]); err != nil {
+			return total, err
+		}
+	}
+	for _, name := range sortedKeys(s.Timers) {
+		t := s.Timers[name]
+		if err := emit("timer   %-40s n=%d total=%v mean=%v min=%v max=%v\n",
+			name, t.Count, time.Duration(t.SumNs), t.Mean(),
+			time.Duration(t.MinNs), time.Duration(t.MaxNs)); err != nil {
+			return total, err
+		}
+	}
+	for _, name := range sortedKeys(s.Hists) {
+		h := s.Hists[name]
+		if err := emit("hist    %-40s n=%d sum=%d\n", name, h.Count, h.Sum); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// String renders the snapshot via WriteTo.
+func (s Snapshot) String() string {
+	var sb strings.Builder
+	_, _ = s.WriteTo(&sb)
+	return sb.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

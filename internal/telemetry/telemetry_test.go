@@ -1,0 +1,259 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Add(3)
+	c.Add(4)
+	if got := c.Value(); got != 7 {
+		t.Fatalf("counter %d, want 7", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatal("Counter not idempotent")
+	}
+	g := r.Gauge("g")
+	g.Add(2)
+	g.Add(3)
+	g.Add(-4)
+	if g.Value() != 1 || g.Max() != 5 {
+		t.Fatalf("gauge %d max %d, want 1 max 5", g.Value(), g.Max())
+	}
+	g.Set(9)
+	if g.Value() != 9 || g.Max() != 9 {
+		t.Fatalf("gauge after Set: %d max %d", g.Value(), g.Max())
+	}
+}
+
+func TestDisabledRegistryRecordsNothing(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(false)
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	tm := r.Timer("t")
+	h := r.Histogram("h")
+	c.Add(1)
+	g.Add(1)
+	sp := tm.Start()
+	time.Sleep(time.Millisecond)
+	sp.End()
+	tm.Observe(time.Second)
+	h.Observe(42)
+	s := r.Snapshot()
+	if s.Counters["c"] != 0 || s.Gauges["g"] != 0 || s.Timers["t"].Count != 0 || s.Hists["h"].Count != 0 {
+		t.Fatalf("disabled registry recorded: %+v", s)
+	}
+	// Re-enabling makes previously handed-out instruments live again.
+	r.SetEnabled(true)
+	c.Add(1)
+	if c.Value() != 1 {
+		t.Fatal("instrument dead after re-enable")
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var tm *Timer
+	var h *Histogram
+	c.Add(1)
+	g.Set(1)
+	g.Add(1)
+	tm.Observe(time.Second)
+	tm.Start().End()
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || g.Max() != 0 {
+		t.Fatal("nil instruments not inert")
+	}
+}
+
+func TestTimerStats(t *testing.T) {
+	r := NewRegistry()
+	tm := r.Timer("t")
+	tm.Observe(10 * time.Millisecond)
+	tm.Observe(30 * time.Millisecond)
+	s := r.Snapshot().Timers["t"]
+	if s.Count != 2 || s.SumNs != int64(40*time.Millisecond) {
+		t.Fatalf("timer stats %+v", s)
+	}
+	if s.MinNs != int64(10*time.Millisecond) || s.MaxNs != int64(30*time.Millisecond) {
+		t.Fatalf("timer min/max %+v", s)
+	}
+	if s.Mean() != 20*time.Millisecond {
+		t.Fatalf("mean %v", s.Mean())
+	}
+	if empty := r.Timer("empty"); empty != nil {
+		if st := r.Snapshot().Timers["empty"]; st.MinNs != 0 || st.Count != 0 {
+			t.Fatalf("empty timer stats %+v", st)
+		}
+	}
+}
+
+func TestSpanMeasuresElapsed(t *testing.T) {
+	r := NewRegistry()
+	sp := r.Timer("t").Start()
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	if s := r.Snapshot().Timers["t"]; s.Count != 1 || s.SumNs < int64(time.Millisecond) {
+		t.Fatalf("span recorded %+v", s)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h")
+	h.Observe(0) // bucket 0 (upper bound 0)
+	h.Observe(1) // bit length 1 → upper bound 1
+	h.Observe(5) // bit length 3 → upper bound 7
+	h.Observe(5)
+	h.Observe(-3) // clamped to 0
+	s := r.Snapshot().Hists["h"]
+	if s.Count != 5 || s.Sum != 11 {
+		t.Fatalf("hist %+v", s)
+	}
+	if s.Buckets[0] != 2 || s.Buckets[1] != 1 || s.Buckets[7] != 2 {
+		t.Fatalf("hist buckets %+v", s.Buckets)
+	}
+}
+
+func TestSnapshotJSONAndString(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.calls").Add(2)
+	r.Gauge("a.workers").Add(1)
+	r.Timer("a.dur").Observe(time.Millisecond)
+	r.Histogram("a.bytes").Observe(100)
+	s := r.Snapshot()
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["a.calls"] != 2 {
+		t.Fatalf("round-trip lost counter: %s", b)
+	}
+	out := s.String()
+	for _, want := range []string{"a.calls", "a.workers", "a.dur", "a.bytes"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("c")
+			g := r.Gauge("g")
+			tm := r.Timer("t")
+			for i := 0; i < 1000; i++ {
+				c.Add(1)
+				g.Add(1)
+				g.Add(-1)
+				tm.Observe(time.Duration(i))
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["c"] != 8000 || s.Timers["t"].Count != 8000 {
+		t.Fatalf("lost events: %+v", s)
+	}
+	if s.Gauges["g"] != 0 {
+		t.Fatalf("gauge drifted to %d", s.Gauges["g"])
+	}
+}
+
+func TestHandlerServesSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Add(3)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var s Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["hits"] != 3 {
+		t.Fatalf("handler snapshot %+v", s)
+	}
+}
+
+func TestDefaultEnableDisable(t *testing.T) {
+	if Enabled() {
+		t.Fatal("Default registry should start disabled")
+	}
+	Enable()
+	defer Disable()
+	if !Enabled() {
+		t.Fatal("Enable did not stick")
+	}
+	C("test.default").Add(1)
+	if Default.Snapshot().Counters["test.default"] != 1 {
+		t.Fatal("Default counter lost an event")
+	}
+}
+
+// BenchmarkCounterDisabled measures the per-event cost of an instrument on
+// a disabled registry — the "compiles down to no-op calls" requirement:
+// one atomic load and a branch.
+func BenchmarkCounterDisabled(b *testing.B) {
+	r := NewRegistry()
+	r.SetEnabled(false)
+	c := r.Counter("c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+// BenchmarkCounterEnabled measures the enabled per-event cost (one atomic
+// add).
+func BenchmarkCounterEnabled(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+// BenchmarkSpanDisabled measures a Start/End pair on a disabled registry.
+func BenchmarkSpanDisabled(b *testing.B) {
+	r := NewRegistry()
+	r.SetEnabled(false)
+	tm := r.Timer("t")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tm.Start().End()
+	}
+}
+
+// BenchmarkSpanEnabled measures a live Start/End pair (two clock reads plus
+// four atomics).
+func BenchmarkSpanEnabled(b *testing.B) {
+	r := NewRegistry()
+	tm := r.Timer("t")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tm.Start().End()
+	}
+}

@@ -243,6 +243,10 @@ func (m *Mesh) Run() (int64, error) {
 	return m.Elapsed(), nil
 }
 
+// Processed returns the number of simulator events handled so far — a
+// telemetry measure of how much discrete-event work a run cost the host.
+func (m *Mesh) Processed() int64 { return m.processed }
+
 // Elapsed returns the completion cycle of the busiest PE so far.
 func (m *Mesh) Elapsed() int64 {
 	var last int64

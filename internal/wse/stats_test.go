@@ -73,6 +73,106 @@ func TestRowProfileAndUtilization(t *testing.T) {
 	}
 }
 
+func TestSummarySingleActivePE(t *testing.T) {
+	// One working PE on an otherwise idle mesh: the busiest PE must be the
+	// active one and the mean utilization must average over active PEs
+	// only (not be diluted by the 8 idle ones).
+	m, _ := NewMesh(Config{Rows: 3, Cols: 3})
+	m.SetProgram(1, 1, ProgramFunc(func(ctx *Context, msg Message) {
+		ctx.Spend(500)
+	}))
+	m.Inject(1, 1, Message{Color: 0, Wavelets: 4}, 0)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Summary()
+	if s.ActivePEs != 1 {
+		t.Fatalf("active PEs %d, want 1", s.ActivePEs)
+	}
+	if s.BusiestPE != (Coord{Row: 1, Col: 1}) {
+		t.Fatalf("busiest %v, want (1,1)", s.BusiestPE)
+	}
+	if s.BusiestCycles != 500 || s.TotalCompute != 500 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.MeanUtilization != 1.0 {
+		t.Fatalf("mean utilization %g, want 1.0 (the only active PE is busy the whole run)", s.MeanUtilization)
+	}
+}
+
+func TestWriteUtilizationGolden(t *testing.T) {
+	// Deterministic single-PE run → byte-exact utilization table.
+	m, _ := NewMesh(Config{Rows: 1, Cols: 2})
+	m.SetProgram(0, 0, ProgramFunc(func(ctx *Context, msg Message) {
+		ctx.Spend(75)
+	}))
+	m.SetProgram(0, 1, ProgramFunc(func(*Context, Message) {}))
+	m.Inject(0, 0, Message{Color: 0, Wavelets: 4}, 0)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	m.WriteUtilization(&buf, 0)
+	want := "row 0 utilization over 75 cycles:\n" +
+		"  col      compute        relay         send    busy%     msgs\n" +
+		"    0           75            0            0   100.0%        1\n" +
+		"    1            0            0            0     0.0%        0\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("utilization table:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestWriteUtilizationIdleMesh(t *testing.T) {
+	// Zero elapsed cycles must not divide by zero.
+	m, _ := NewMesh(Config{Rows: 1, Cols: 2})
+	var buf bytes.Buffer
+	m.WriteUtilization(&buf, 0)
+	out := buf.String()
+	if !strings.Contains(out, "over 0 cycles") || !strings.Contains(out, "0.0%") {
+		t.Fatalf("idle utilization table:\n%s", out)
+	}
+}
+
+func TestTopBusiestTieBreak(t *testing.T) {
+	// Equal busy cycles everywhere: ties break by row, then column.
+	m, _ := NewMesh(Config{Rows: 2, Cols: 2})
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 2; c++ {
+			m.SetProgram(r, c, ProgramFunc(func(ctx *Context, msg Message) {
+				ctx.Spend(100)
+			}))
+			m.Inject(r, c, Message{Color: 0, Wavelets: 4}, 0)
+		}
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	top := m.TopBusiest(4)
+	want := []Coord{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	for i, pe := range top {
+		if pe.Coord() != want[i] {
+			t.Fatalf("tie-break order %d: got %v, want %v", i, pe.Coord(), want[i])
+		}
+	}
+}
+
+func TestTopBusiestIdleAndZero(t *testing.T) {
+	m, _ := NewMesh(Config{Rows: 1, Cols: 3})
+	if got := m.TopBusiest(0); len(got) != 0 {
+		t.Fatalf("TopBusiest(0) returned %d PEs", len(got))
+	}
+	// Idle mesh: the request is clamped and every PE reports zero busy.
+	top := m.TopBusiest(5)
+	if len(top) != 3 {
+		t.Fatalf("TopBusiest clamped to %d, want 3", len(top))
+	}
+	for _, pe := range top {
+		if pe.Stats().BusyCycles() != 0 {
+			t.Fatalf("idle PE %v reports busy cycles", pe.Coord())
+		}
+	}
+}
+
 func TestTopBusiest(t *testing.T) {
 	m, _ := NewMesh(Config{Rows: 1, Cols: 3})
 	for c := 0; c < 3; c++ {

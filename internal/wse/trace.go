@@ -48,45 +48,104 @@ type TraceEntry struct {
 	Wavelets int
 }
 
-// Tracer captures up to Cap entries; further events are counted but
-// dropped (trace buffers are finite on the real hardware too).
+// TraceMode selects which events a full Tracer retains.
+type TraceMode uint8
+
+// Tracer retention modes.
+const (
+	// KeepFirst keeps the first Cap events and drops the rest — the
+	// behavior of a hardware trace buffer that fills once.
+	KeepFirst TraceMode = iota
+	// KeepLast keeps the most recent Cap events in a ring, evicting the
+	// oldest — the right mode for inspecting the end of a long run.
+	KeepLast
+)
+
+// Tracer captures up to Cap entries. In KeepFirst mode, events past the
+// cap are dropped; in KeepLast mode the oldest retained events are
+// evicted instead. Either way, Dropped counts the events not retained, so
+// len(Events()) + Dropped is the total number of events observed.
 type Tracer struct {
 	// Cap is the maximum retained entries.
 	Cap int
-	// Entries are the retained events in occurrence order.
+	// Mode selects KeepFirst (default) or KeepLast retention.
+	Mode TraceMode
+	// Entries is the raw retained storage. In KeepLast mode it is a ring
+	// whose oldest element sits at the internal write cursor once full —
+	// use Events for the entries in occurrence order.
 	Entries []TraceEntry
-	// Dropped counts events past the cap.
+	// Dropped counts events not retained (dropped past the cap in
+	// KeepFirst mode, evicted by newer events in KeepLast mode).
 	Dropped int64
+
+	next int // ring write cursor (KeepLast, len(Entries) == Cap)
 }
 
-// AttachTracer installs a tracer capturing up to capEntries events.
-// Must be called before Run. Returns the tracer for inspection afterwards.
+// AttachTracer installs a KeepFirst tracer capturing up to capEntries
+// events. Must be called before Run. Returns the tracer for inspection
+// afterwards.
 func (m *Mesh) AttachTracer(capEntries int) *Tracer {
+	return m.attachTracer(capEntries, KeepFirst)
+}
+
+// AttachRingTracer installs a KeepLast tracer retaining the most recent
+// capEntries events. Must be called before Run.
+func (m *Mesh) AttachRingTracer(capEntries int) *Tracer {
+	return m.attachTracer(capEntries, KeepLast)
+}
+
+func (m *Mesh) attachTracer(capEntries int, mode TraceMode) *Tracer {
 	if m.ran {
 		panic("wse: AttachTracer after Run")
 	}
 	if capEntries <= 0 {
 		capEntries = 1 << 16
 	}
-	m.tracer = &Tracer{Cap: capEntries}
+	m.tracer = &Tracer{Cap: capEntries, Mode: mode}
 	return m.tracer
 }
 
-// record appends an entry, honoring the cap.
+// record appends an entry, honoring the cap and mode.
 func (tr *Tracer) record(e TraceEntry) {
 	if tr == nil {
 		return
 	}
-	if len(tr.Entries) >= tr.Cap {
+	if len(tr.Entries) < tr.Cap {
+		tr.Entries = append(tr.Entries, e)
+		return
+	}
+	if tr.Mode == KeepFirst {
 		tr.Dropped++
 		return
 	}
-	tr.Entries = append(tr.Entries, e)
+	// KeepLast: overwrite the oldest entry.
+	tr.Entries[tr.next] = e
+	tr.next++
+	if tr.next == tr.Cap {
+		tr.next = 0
+	}
+	tr.Dropped++
+}
+
+// Events returns the retained entries in occurrence order (unrotating the
+// ring in KeepLast mode). The returned slice aliases the tracer's storage
+// only when no rotation was needed; treat it as read-only.
+func (tr *Tracer) Events() []TraceEntry {
+	if tr.Mode == KeepFirst || tr.next == 0 || len(tr.Entries) < tr.Cap {
+		return tr.Entries
+	}
+	out := make([]TraceEntry, 0, len(tr.Entries))
+	out = append(out, tr.Entries[tr.next:]...)
+	out = append(out, tr.Entries[:tr.next]...)
+	return out
 }
 
 // Write renders the trace as one line per event.
 func (tr *Tracer) Write(w io.Writer) {
-	for _, e := range tr.Entries {
+	if tr.Mode == KeepLast && tr.Dropped > 0 {
+		fmt.Fprintf(w, "(%d earlier events evicted by the %d-entry ring)\n", tr.Dropped, tr.Cap)
+	}
+	for _, e := range tr.Events() {
 		switch e.Kind {
 		case TraceDispatch:
 			fmt.Fprintf(w, "%10d %v dispatch color=%d wavelets=%d cycles=%d\n",
@@ -98,7 +157,7 @@ func (tr *Tracer) Write(w io.Writer) {
 			fmt.Fprintf(w, "%10d %v emit\n", e.At, e.PE)
 		}
 	}
-	if tr.Dropped > 0 {
+	if tr.Mode == KeepFirst && tr.Dropped > 0 {
 		fmt.Fprintf(w, "(+%d events dropped past the %d-entry cap)\n", tr.Dropped, tr.Cap)
 	}
 }

@@ -1,0 +1,171 @@
+package wse
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON array format,
+// which Perfetto (ui.perfetto.dev) and chrome://tracing open directly.
+// Complete slices use ph "X"; per-track metadata uses ph "M".
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	Ts    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Cname string         `json:"cname,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the trace as a Chrome trace-event JSON array:
+// one track (tid) per PE, one complete slice (ph "X") per dispatch, route
+// or emit, with the message color and wavelet count as slice args.
+// Timestamps are simulator cycles presented as microseconds, so one
+// Perfetto "µs" is one PE clock cycle. cfg must be the configuration of
+// the mesh that produced the trace (the column count assigns track ids).
+func (tr *Tracer) WriteChromeTrace(w io.Writer, cfg Config) error {
+	bw := &errWriter{w: w}
+	bw.writeString("[\n")
+	first := true
+	emit := func(ev chromeEvent) {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			bw.err = err
+			return
+		}
+		if !first {
+			bw.writeString(",\n")
+		}
+		first = false
+		bw.write(b)
+	}
+
+	// One named track per PE appearing in the trace, in first-seen order.
+	tid := func(c Coord) int { return c.Row*cfg.Cols + c.Col }
+	seen := map[int]bool{}
+	events := tr.Events()
+	for _, e := range events {
+		id := tid(e.PE)
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		emit(chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: id,
+			Args: map[string]any{"name": fmt.Sprintf("PE(%d,%d)", e.PE.Row, e.PE.Col)},
+		})
+	}
+
+	for _, e := range events {
+		ev := chromeEvent{
+			Name: e.Kind.String(),
+			Cat:  e.Kind.String(),
+			Ph:   "X",
+			Ts:   e.At,
+			Dur:  1,
+			Pid:  0,
+			Tid:  tid(e.PE),
+		}
+		switch e.Kind {
+		case TraceDispatch:
+			if e.Cycles > 1 {
+				ev.Dur = e.Cycles
+			}
+			ev.Cname = "good"
+			ev.Args = map[string]any{"color": int(e.Color), "wavelets": e.Wavelets}
+		case TraceRoute:
+			if int64(e.Wavelets) > 1 {
+				ev.Dur = int64(e.Wavelets)
+			}
+			ev.Cname = "yellow"
+			ev.Args = map[string]any{"color": int(e.Color), "wavelets": e.Wavelets}
+		case TraceEmit:
+			ev.Cname = "grey"
+		}
+		emit(ev)
+	}
+	bw.writeString("\n]\n")
+	return bw.err
+}
+
+// errWriter folds write errors so the exporter body stays linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) write(b []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(b)
+}
+
+func (e *errWriter) writeString(s string) { e.write([]byte(s)) }
+
+// UtilizationGrid returns each PE's busy fraction (busy cycles / elapsed
+// cycles) as a Rows×Cols grid. An idle mesh yields all zeros.
+func (m *Mesh) UtilizationGrid() [][]float64 {
+	elapsed := m.Elapsed()
+	grid := make([][]float64, m.cfg.Rows)
+	for r := range grid {
+		grid[r] = make([]float64, m.cfg.Cols)
+		if elapsed == 0 {
+			continue
+		}
+		for c := 0; c < m.cfg.Cols; c++ {
+			grid[r][c] = float64(m.pes[r*m.cfg.Cols+c].stats.BusyCycles()) / float64(elapsed)
+		}
+	}
+	return grid
+}
+
+// WriteHeatmapCSV writes the per-PE utilization heatmap as a Rows×Cols
+// CSV of busy fractions — row r of the mesh is line r of the file.
+func (m *Mesh) WriteHeatmapCSV(w io.Writer) error {
+	for _, row := range m.UtilizationGrid() {
+		for c, u := range row {
+			if c > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%.6f", u); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// heatShades maps utilization deciles to terminal shades.
+const heatShades = " .:-=+*#%@"
+
+// WriteHeatmapASCII renders the utilization heatmap as one shade character
+// per PE (space = idle, '@' = ≥90% busy), a quick terminal view of the
+// paper's Fig. 10 balance profile across the whole mesh.
+func (m *Mesh) WriteHeatmapASCII(w io.Writer) {
+	fmt.Fprintf(w, "per-PE utilization (%dx%d mesh, %d cycles; shade ramp %q):\n",
+		m.cfg.Rows, m.cfg.Cols, m.Elapsed(), heatShades)
+	for _, row := range m.UtilizationGrid() {
+		line := make([]byte, len(row))
+		for c, u := range row {
+			idx := int(u * 10)
+			if idx >= len(heatShades) {
+				idx = len(heatShades) - 1
+			}
+			if idx < 0 {
+				idx = 0
+			}
+			line[c] = heatShades[idx]
+		}
+		fmt.Fprintf(w, "|%s|\n", line)
+	}
+}

@@ -7,6 +7,19 @@ import (
 	"io"
 
 	"ceresz/internal/core"
+	"ceresz/internal/telemetry"
+)
+
+// Framed-stream instruments (Default registry; active after
+// EnableTelemetry). One timer observation and a few counter adds per
+// chunk, so the cost is independent of chunk size.
+var (
+	telStreamWrite     = telemetry.T("stream.write_chunk")
+	telStreamRead      = telemetry.T("stream.read_chunk")
+	telStreamChunks    = telemetry.C("stream.chunks")
+	telStreamRawBytes  = telemetry.C("stream.bytes_raw")
+	telStreamCompBytes = telemetry.C("stream.bytes_compressed")
+	telStreamChunkSize = telemetry.H("stream.chunk_compressed_bytes")
 )
 
 // Compress64 appends the CereSZ stream for float64 data to dst. Double
@@ -85,6 +98,7 @@ func (sw *StreamWriter) WriteChunk(data []float32) (*Stats, error) {
 	if sw.closed {
 		return nil, ErrStreamClosed
 	}
+	defer telStreamWrite.Start().End()
 	var stats *Stats
 	var err error
 	sw.buf, stats, err = Compress(sw.buf[:0], data, sw.bound, sw.opts)
@@ -97,6 +111,7 @@ func (sw *StreamWriter) WriteChunk(data []float32) (*Stats, error) {
 	sw.RawBytes += int64(4 * len(data))
 	sw.CompressedBytes += int64(frameHeaderSize + len(sw.buf))
 	sw.Chunks++
+	sw.recordChunk(int64(4 * len(data)))
 	return stats, nil
 }
 
@@ -105,6 +120,7 @@ func (sw *StreamWriter) WriteChunk64(data []float64) (*Stats, error) {
 	if sw.closed {
 		return nil, ErrStreamClosed
 	}
+	defer telStreamWrite.Start().End()
 	var stats *Stats
 	var err error
 	sw.buf, stats, err = Compress64(sw.buf[:0], data, sw.bound, sw.opts)
@@ -117,7 +133,19 @@ func (sw *StreamWriter) WriteChunk64(data []float64) (*Stats, error) {
 	sw.RawBytes += int64(8 * len(data))
 	sw.CompressedBytes += int64(frameHeaderSize + len(sw.buf))
 	sw.Chunks++
+	sw.recordChunk(int64(8 * len(data)))
 	return stats, nil
+}
+
+// recordChunk publishes one frame's accounting to the Default registry.
+func (sw *StreamWriter) recordChunk(rawBytes int64) {
+	if !telemetry.Enabled() {
+		return
+	}
+	telStreamChunks.Add(1)
+	telStreamRawBytes.Add(rawBytes)
+	telStreamCompBytes.Add(int64(frameHeaderSize + len(sw.buf)))
+	telStreamChunkSize.Observe(int64(len(sw.buf)))
 }
 
 func (sw *StreamWriter) writeFrame(payload []byte) error {
@@ -191,6 +219,7 @@ func (sr *StreamReader) next() ([]byte, error) {
 // Next decodes the next float32 chunk. It returns io.EOF after the last
 // frame. The returned slice is owned by the caller.
 func (sr *StreamReader) Next() ([]float32, error) {
+	defer telStreamRead.Start().End()
 	payload, err := sr.next()
 	if err != nil {
 		return nil, err
@@ -206,6 +235,7 @@ func (sr *StreamReader) Next() ([]float32, error) {
 
 // Next64 decodes the next float64 chunk.
 func (sr *StreamReader) Next64() ([]float64, error) {
+	defer telStreamRead.Start().End()
 	payload, err := sr.next()
 	if err != nil {
 		return nil, err
