@@ -82,6 +82,37 @@ func BenchmarkHostCompressSequential(b *testing.B) {
 	}
 }
 
+// BenchmarkHostCompressAlloc asserts the zero-alloc steady-state contract
+// before timing: after one warm-up call sizes the destination and fills
+// the worker pool, sequential CompressInto must stay off the heap.
+func BenchmarkHostCompressAlloc(b *testing.B) {
+	data := benchField(b, "NYX", 3)
+	opts := Options{Workers: 1}
+	var stats Stats
+	comp, err := CompressInto(nil, data, REL(1e-3), opts, &stats)
+	if err != nil {
+		b.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		comp, err = CompressInto(comp[:0], data, REL(1e-3), opts, &stats)
+		if err != nil {
+			b.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		b.Fatalf("steady-state CompressInto allocates %.1f times per op, want 0", allocs)
+	}
+	b.SetBytes(int64(4 * len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		comp, err = CompressInto(comp[:0], data, REL(1e-3), opts, &stats)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkHostDecompress(b *testing.B) {
 	data := benchField(b, "NYX", 3)
 	comp, _, err := Compress(nil, data, REL(1e-3), Options{})

@@ -61,11 +61,16 @@ type BundleField struct {
 }
 
 // BundleWriter accumulates compressed fields and assembles the bundle.
-// Not safe for concurrent use.
+// Member streams are compressed back to back into one contiguous arena —
+// one growing buffer for the whole bundle instead of a fresh slice per
+// field, so adding N fields costs O(log) buffer growths rather than N
+// allocations sized to each stream. Not safe for concurrent use.
 type BundleWriter struct {
-	fields  []BundleField
-	streams [][]byte
-	names   map[string]bool
+	fields []BundleField
+	arena  []byte   // concatenated member streams (the future body)
+	spans  [][2]int // per-field [start, end) into arena
+	stats  Stats    // scratch for the *Into compression calls
+	names  map[string]bool
 }
 
 // NewBundleWriter returns an empty bundle writer.
@@ -82,12 +87,15 @@ func (bw *BundleWriter) AddField(name string, dims Dims, data []float32, bound B
 	if err := dims.Validate(len(data)); err != nil {
 		return nil, err
 	}
-	comp, stats, err := Compress(nil, data, bound, opts)
+	start := len(bw.arena)
+	arena, err := CompressInto(bw.arena, data, bound, opts, &bw.stats)
 	if err != nil {
 		return nil, err
 	}
-	bw.push(name, dims, Float32, comp, stats.Eps)
-	return stats, nil
+	bw.arena = arena
+	bw.push(name, dims, Float32, start, len(arena), bw.stats.Eps)
+	out := bw.stats
+	return &out, nil
 }
 
 // AddField64 compresses a float64 field under bound and indexes it.
@@ -99,12 +107,15 @@ func (bw *BundleWriter) AddField64(name string, dims Dims, data []float64, bound
 	if err := dims.Validate(len(data)); err != nil {
 		return nil, err
 	}
-	comp, stats, err := Compress64(nil, data, bound, opts)
+	start := len(bw.arena)
+	arena, err := Compress64Into(bw.arena, data, bound, opts, &bw.stats)
 	if err != nil {
 		return nil, err
 	}
-	bw.push(name, dims, Float64, comp, stats.Eps)
-	return stats, nil
+	bw.arena = arena
+	bw.push(name, dims, Float64, start, len(arena), bw.stats.Eps)
+	out := bw.stats
+	return &out, nil
 }
 
 func (bw *BundleWriter) checkName(name string) error {
@@ -120,16 +131,17 @@ func (bw *BundleWriter) checkName(name string) error {
 	return nil
 }
 
-func (bw *BundleWriter) push(name string, dims Dims, elem Elem, comp []byte, eps float64) {
+func (bw *BundleWriter) push(name string, dims Dims, elem Elem, start, end int, eps float64) {
 	bw.names[name] = true
 	bw.fields = append(bw.fields, BundleField{
 		Name: name, Dims: dims, Elem: elem,
-		CompressedBytes: len(comp), Eps: eps,
+		CompressedBytes: end - start, Eps: eps,
 	})
-	bw.streams = append(bw.streams, comp)
+	bw.spans = append(bw.spans, [2]int{start, end})
 }
 
-// Bytes assembles the bundle.
+// Bytes assembles the bundle in one exactly-sized allocation: the index is
+// computable from the field table alone and the body is the arena.
 func (bw *BundleWriter) Bytes() ([]byte, error) {
 	if len(bw.fields) == 0 {
 		return nil, fmt.Errorf("ceresz: empty bundle")
@@ -137,22 +149,27 @@ func (bw *BundleWriter) Bytes() ([]byte, error) {
 	if len(bw.fields) >= 1<<24 {
 		return nil, fmt.Errorf("ceresz: too many fields (%d)", len(bw.fields))
 	}
-	out := append([]byte(nil), bundleMagic[:]...)
+	size := 8
+	for _, f := range bw.fields {
+		size += 2 + len(f.Name) + 12 + 16
+	}
+	size += len(bw.arena)
+	out := make([]byte, 0, size)
+	out = append(out, bundleMagic[:]...)
 	out = binary.LittleEndian.AppendUint32(out, uint32(bundleVersion)|uint32(len(bw.fields))<<8)
 	var off uint64
 	for i, f := range bw.fields {
+		n := uint64(bw.spans[i][1] - bw.spans[i][0])
 		out = binary.LittleEndian.AppendUint16(out, uint16(len(f.Name)))
 		out = append(out, f.Name...)
 		out = binary.LittleEndian.AppendUint32(out, uint32(f.Dims.Nx))
 		out = binary.LittleEndian.AppendUint32(out, uint32(f.Dims.Ny))
 		out = binary.LittleEndian.AppendUint32(out, uint32(f.Dims.Nz))
 		out = binary.LittleEndian.AppendUint64(out, off)
-		out = binary.LittleEndian.AppendUint64(out, uint64(len(bw.streams[i])))
-		off += uint64(len(bw.streams[i]))
+		out = binary.LittleEndian.AppendUint64(out, n)
+		off += n
 	}
-	for _, s := range bw.streams {
-		out = append(out, s...)
-	}
+	out = append(out, bw.arena...)
 	return out, nil
 }
 

@@ -83,10 +83,24 @@ func Compress(dst []byte, data []float32, bound Bound, opts Options) ([]byte, *S
 	return core.Compress(dst, data, opts.coreOptions(bound))
 }
 
+// CompressInto is Compress writing its statistics into a caller-provided
+// Stats (overwritten, not accumulated). With Workers: 1 and a dst of
+// sufficient capacity the whole pass performs zero heap allocations, which
+// makes it the right entry point for steady-state ingest loops.
+func CompressInto(dst []byte, data []float32, bound Bound, opts Options, stats *Stats) ([]byte, error) {
+	return core.CompressInto(dst, data, opts.coreOptions(bound), stats)
+}
+
 // CompressWithEps is Compress with a pre-resolved absolute ε, so multiple
 // fields or compressors can share one bound.
 func CompressWithEps(dst []byte, data []float32, eps float64, opts Options) ([]byte, *Stats, error) {
 	return core.CompressWithEps(dst, data, eps, opts.coreOptions(Bound{}))
+}
+
+// CompressWithEpsInto is CompressWithEps writing into a caller-provided
+// Stats, allocation-free in steady state like CompressInto.
+func CompressWithEpsInto(dst []byte, data []float32, eps float64, opts Options, stats *Stats) ([]byte, error) {
+	return core.CompressWithEpsInto(dst, data, eps, opts.coreOptions(Bound{}), stats)
 }
 
 // Decompress reconstructs the float32 data from a CereSZ stream, appending

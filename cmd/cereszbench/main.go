@@ -7,8 +7,9 @@
 //
 // Experiments: table1 (covers Tables 1–3), fig7, fig10, fig11, fig12,
 // fig13, fig14, table5, fig15, alg1, ablations (design-choice ablations
-// beyond the paper's figures), ratedist (§5.4 rate-distortion sweep), or
-// "all".
+// beyond the paper's figures), ratedist (§5.4 rate-distortion sweep), host
+// (wall-clock host-codec throughput: ns/op, ns/element and GB/s per field,
+// also in -json output), or "all".
 //
 // Flags:
 //
@@ -76,7 +77,7 @@ func main() {
 	if len(args) == 0 {
 		args = []string{"all"}
 	}
-	known := []string{"table1", "fig7", "fig10", "fig11", "fig12", "fig13", "fig14", "table5", "fig15", "alg1", "ablations", "ratedist", "util", "quality", "extras", "check"}
+	known := []string{"table1", "fig7", "fig10", "fig11", "fig12", "fig13", "fig14", "table5", "fig15", "alg1", "ablations", "ratedist", "util", "quality", "extras", "host", "check"}
 	var todo []string
 	for _, a := range args {
 		if a == "all" {
@@ -214,6 +215,13 @@ func run(out io.Writer, exp string, cfg experiments.Config, asJSON bool) error {
 		}
 		result = r
 		print = func(w io.Writer) { experiments.PrintUtilization(w, r) }
+	case "host":
+		r, err := experiments.HostBench(cfg)
+		if err != nil {
+			return err
+		}
+		result = r
+		print = func(w io.Writer) { experiments.PrintHostBench(w, r) }
 	case "ratedist":
 		r, err := experiments.RateDistortion(cfg)
 		if err != nil {

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ceresz/internal/quant"
+)
+
+// Steady-state allocation contracts: once the destination buffers have
+// capacity and the worker pools are warm, sequential Compress/Decompress
+// must not touch the heap at all. testing.AllocsPerRun runs with
+// GOMAXPROCS=1, and Workers: 1 pins the sequential path explicitly.
+// Race-detector instrumentation allocates, so the contracts are only
+// checked without it.
+
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; zero-alloc contract checked without -race")
+	}
+}
+
+func allocTestData(n int) []float32 {
+	data := make([]float32, n)
+	for i := range data {
+		data[i] = float32(math.Sin(float64(i)*0.03)) * 40
+	}
+	return data
+}
+
+func TestCompressZeroAllocSteadyState(t *testing.T) {
+	skipUnderRace(t)
+	data := allocTestData(4100) // includes a partial trailing block
+	opts := Options{Workers: 1, Bound: quant.REL(1e-3)}
+	var stats Stats
+	var dst []byte
+	var err error
+	// Warm-up: size dst and populate the encoder pool.
+	dst, err = CompressInto(dst, data, opts, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(stats.Eps > 0) {
+		t.Fatal("warm-up produced no usable stats")
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		dst, err = CompressInto(dst[:0], data, opts, &stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state CompressInto allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestCompressWithEpsZeroAllocSteadyState(t *testing.T) {
+	skipUnderRace(t)
+	data := allocTestData(4096)
+	opts := Options{Workers: 1, HeaderBytes: 1}
+	var stats Stats
+	dst, err := CompressWithEpsInto(nil, data, 1e-3, opts, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		dst, err = CompressWithEpsInto(dst[:0], data, 1e-3, opts, &stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state CompressWithEpsInto allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestDecompressZeroAllocSteadyState(t *testing.T) {
+	skipUnderRace(t)
+	data := allocTestData(4100)
+	var stats Stats
+	comp, err := CompressInto(nil, data, Options{Workers: 1, Bound: quant.REL(1e-3)}, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := Decompress(nil, comp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		out, _, err = Decompress(out[:0], comp, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Decompress allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestCompress64ZeroAllocSteadyState(t *testing.T) {
+	skipUnderRace(t)
+	data := make([]float64, 4100)
+	for i := range data {
+		data[i] = math.Cos(float64(i) * 0.01)
+	}
+	opts := Options{Workers: 1, Bound: quant.ABS(1e-6)}
+	var stats Stats
+	dst, err := Compress64Into(nil, data, opts, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		dst, err = Compress64Into(dst[:0], data, opts, &stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Compress64Into allocates %.1f times per run, want 0", allocs)
+	}
+	out, _, err := Decompress64(nil, dst, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(20, func() {
+		out, _, err = Decompress64(out[:0], dst, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Decompress64 allocates %.1f times per run, want 0", allocs)
+	}
+}

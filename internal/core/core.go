@@ -5,6 +5,15 @@
 // by the simulated Cerebras WSE pipeline (internal/wse, internal/mapping),
 // whose output is bit-identical to this package's.
 //
+// The host hot path runs the three stages as one fused pass per block
+// (fusedForward: quantize, strictness check, Lorenzo delta, sign split and
+// width in a single loop, then a word-parallel bit shuffle straight into
+// the output), with pooled per-worker scratch so steady-state compression
+// and decompression perform zero allocations. The unfused stage-by-stage
+// pipeline is retained (encodeRef) both as the differential-testing
+// reference and as the body run for telemetry-sampled blocks, because the
+// per-stage timing split it produces models the WSE sub-stage pipeline.
+//
 // The compressed stream is self-describing:
 //
 //	offset size  field
@@ -28,6 +37,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"slices"
 	"sync"
 	"time"
 
@@ -60,8 +70,8 @@ var (
 )
 
 // stageSampleEvery is the per-stage timing sample period (a power of two):
-// one block in 1024 pays the four clock reads, every other block pays one
-// branch.
+// one block in 1024 runs the stage-by-stage reference pipeline under four
+// clock reads, every other block runs the fused kernel behind one branch.
 const stageSampleEvery = 1024
 
 // Magic identifies a CereSZ stream.
@@ -87,7 +97,8 @@ type Options struct {
 	// Zero selects flenc.HeaderU32.
 	HeaderBytes int
 	// Workers bounds host-side parallelism. 0 uses GOMAXPROCS; 1 forces the
-	// sequential reference path. Output bytes are identical regardless.
+	// sequential path (which is also the zero-allocation path). Output
+	// bytes are identical regardless.
 	Workers int
 }
 
@@ -178,41 +189,64 @@ var ErrBadStream = errors.New("core: malformed stream")
 // Compress appends the CereSZ stream for data to dst (which may be nil) and
 // returns the extended slice together with compression statistics.
 func Compress(dst []byte, data []float32, opts Options) ([]byte, *Stats, error) {
+	stats := new(Stats)
+	dst, err := CompressInto(dst, data, opts, stats)
+	if err != nil {
+		return dst, nil, err
+	}
+	return dst, stats, nil
+}
+
+// CompressInto is Compress writing its statistics into a caller-provided
+// Stats (overwritten, not accumulated). With Workers ≤ 1 and a dst of
+// sufficient capacity it performs zero allocations in steady state.
+func CompressInto(dst []byte, data []float32, opts Options, stats *Stats) ([]byte, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
-		return dst, nil, err
+		return dst, err
 	}
 	minV, maxV := quant.Range(data)
 	eps, err := opts.Bound.Resolve(minV, maxV)
 	if err != nil {
-		return dst, nil, err
+		return dst, err
 	}
-	return compressEps(dst, data, eps, opts)
+	return compressEps(dst, data, eps, opts, stats)
 }
 
 // CompressWithEps is Compress with a pre-resolved absolute bound; the
 // baselines use it to guarantee all compressors see the same ε.
 func CompressWithEps(dst []byte, data []float32, eps float64, opts Options) ([]byte, *Stats, error) {
-	opts = opts.withDefaults()
-	if err := opts.validate(); err != nil {
-		return dst, nil, err
-	}
-	if !(eps > 0) {
-		return dst, nil, quant.ErrNonPositiveBound
-	}
-	return compressEps(dst, data, eps, opts)
-}
-
-func compressEps(dst []byte, data []float32, eps float64, opts Options) ([]byte, *Stats, error) {
-	defer telCompress.Start().End()
-	q, err := quant.NewQuantizer(eps)
+	stats := new(Stats)
+	dst, err := CompressWithEpsInto(dst, data, eps, opts, stats)
 	if err != nil {
 		return dst, nil, err
+	}
+	return dst, stats, nil
+}
+
+// CompressWithEpsInto is CompressWithEps writing into a caller-provided
+// Stats, allocation-free in steady state like CompressInto.
+func CompressWithEpsInto(dst []byte, data []float32, eps float64, opts Options, stats *Stats) ([]byte, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return dst, err
+	}
+	if !(eps > 0) {
+		return dst, quant.ErrNonPositiveBound
+	}
+	return compressEps(dst, data, eps, opts, stats)
+}
+
+func compressEps(dst []byte, data []float32, eps float64, opts Options, stats *Stats) ([]byte, error) {
+	defer telCompress.Start().End()
+	q, err := quant.MakeQuantizer(eps)
+	if err != nil {
+		return dst, err
 	}
 	L := opts.BlockLen
 	nBlocks := (len(data) + L - 1) / L
 
-	stats := &Stats{Elements: len(data), Blocks: nBlocks, Eps: eps}
+	*stats = Stats{Elements: len(data), Blocks: nBlocks, Eps: eps}
 
 	// Container header.
 	start := len(dst)
@@ -225,7 +259,7 @@ func compressEps(dst []byte, data []float32, eps float64, opts Options) ([]byte,
 
 	if nBlocks == 0 {
 		stats.CompressedBytes = len(dst) - start
-		return dst, stats, nil
+		return dst, nil
 	}
 
 	workers := opts.Workers
@@ -233,14 +267,14 @@ func compressEps(dst []byte, data []float32, eps float64, opts Options) ([]byte,
 		workers = nBlocks
 	}
 	if workers <= 1 {
-		enc := newBlockEncoder(L, opts.HeaderBytes, q)
+		enc := getEncoder(L, opts.HeaderBytes, q)
 		for b := 0; b < nBlocks; b++ {
 			dst = enc.encode(dst, blockSlice(data, b, L), stats)
 		}
-		enc.flushTelemetry()
+		putEncoder(enc)
 		stats.CompressedBytes = len(dst) - start
 		recordCompressTelemetry(stats)
-		return dst, stats, nil
+		return dst, nil
 	}
 
 	// Parallel path: split the block range into one contiguous chunk per
@@ -260,14 +294,14 @@ func compressEps(dst []byte, data []float32, eps float64, opts Options) ([]byte,
 			defer wg.Done()
 			telWorkers.Add(1)
 			defer telWorkers.Add(-1)
-			enc := newBlockEncoder(L, opts.HeaderBytes, q)
+			enc := getEncoder(L, opts.HeaderBytes, q)
 			c := &chunks[wkr]
 			// Worst case: every block verbatim.
 			c.buf = make([]byte, 0, (hi-lo)*flenc.VerbatimSize(L, opts.HeaderBytes))
 			for b := lo; b < hi; b++ {
 				c.buf = enc.encode(c.buf, blockSlice(data, b, L), &c.stats)
 			}
-			enc.flushTelemetry()
+			putEncoder(enc)
 		}(wkr, lo, hi)
 	}
 	wg.Wait()
@@ -281,7 +315,7 @@ func compressEps(dst []byte, data []float32, eps float64, opts Options) ([]byte,
 	}
 	stats.CompressedBytes = len(dst) - start
 	recordCompressTelemetry(stats)
-	return dst, stats, nil
+	return dst, nil
 }
 
 // recordCompressTelemetry publishes a finished pass's aggregates. One call
@@ -309,11 +343,12 @@ func blockSlice(data []float32, b, L int) []float32 {
 
 // blockEncoder holds the per-worker scratch state for encoding blocks,
 // plus local (unsynchronized) telemetry accumulators flushed once per
-// worker by flushTelemetry.
+// worker. Encoders are recycled through encoderPool; getEncoder resets the
+// per-pass state and rebuilds the buffers only when L changes.
 type blockEncoder struct {
 	L       int
 	hdr     int
-	q       *quant.Quantizer
+	q       quant.Quantizer
 	padded  []float32
 	scaled  []float64
 	codes   []int32
@@ -325,7 +360,7 @@ type blockEncoder struct {
 	sampled                      int64
 }
 
-func newBlockEncoder(L, headerBytes int, q *quant.Quantizer) *blockEncoder {
+func newBlockEncoder(L, headerBytes int, q quant.Quantizer) *blockEncoder {
 	return &blockEncoder{
 		L:       L,
 		hdr:     headerBytes,
@@ -338,43 +373,126 @@ func newBlockEncoder(L, headerBytes int, q *quant.Quantizer) *blockEncoder {
 	}
 }
 
-// flushTelemetry publishes the sampled stage timings accumulated by this
-// encoder — one batch of atomic adds per worker, not per block.
-func (e *blockEncoder) flushTelemetry() {
-	if e.sampled == 0 {
-		return
+var encoderPool sync.Pool
+
+func getEncoder(L, headerBytes int, q quant.Quantizer) *blockEncoder {
+	e, _ := encoderPool.Get().(*blockEncoder)
+	if e == nil || e.L != L {
+		return newBlockEncoder(L, headerBytes, q)
 	}
-	telStageQuantNs.Add(e.quantNs)
-	telStageLorenzoNs.Add(e.lorenzoNs)
-	telStageEncodeNs.Add(e.encodeNs)
-	telStageSampled.Add(e.sampled)
+	e.hdr = headerBytes
+	e.q = q
+	e.sample = telemetry.Enabled()
+	e.n = 0
+	e.quantNs, e.lorenzoNs, e.encodeNs, e.sampled = 0, 0, 0, 0
+	return e
+}
+
+// putEncoder flushes the encoder's sampled stage timings — one batch of
+// atomic adds per worker, not per block — and recycles it.
+func putEncoder(e *blockEncoder) {
+	if e.sampled != 0 {
+		telStageQuantNs.Add(e.quantNs)
+		telStageLorenzoNs.Add(e.lorenzoNs)
+		telStageEncodeNs.Add(e.encodeNs)
+		telStageSampled.Add(e.sampled)
+	}
+	encoderPool.Put(e)
 }
 
 // encode appends one encoded block to dst, updating stats.
 func (e *blockEncoder) encode(dst []byte, block []float32, stats *Stats) []byte {
-	// Sampled per-stage timing: one block in stageSampleEvery pays four
-	// clock reads; the rest pay one predictable branch per stage.
-	timed := e.sample && e.n&(stageSampleEvery-1) == 0
-	e.n++
-	var t0, t1, t2 time.Time
-	if timed {
-		t0 = time.Now()
-	}
 	src := block
 	if len(block) < e.L {
 		copy(e.padded, block)
-		for i := len(block); i < e.L; i++ {
-			e.padded[i] = 0
-		}
+		clear(e.padded[len(block):])
 		src = e.padded
 	}
+	// Sampled per-stage timing: one block in stageSampleEvery runs the
+	// stage-by-stage reference pipeline (byte-identical output) under four
+	// clock reads; the rest run the fused kernel behind one branch.
+	if e.sample && e.n&(stageSampleEvery-1) == 0 {
+		e.n++
+		return e.encodeRef(dst, src, stats)
+	}
+	e.n++
+	w, ok := e.fusedForward(src)
+	if !ok {
+		stats.VerbatimBlocks++
+		return appendVerbatim(dst, src, e.hdr)
+	}
+	stats.WidthHistogram[w]++
+	if w == 0 {
+		stats.ZeroBlocks++
+	}
+	return flenc.AppendEncoded(dst, e.scratch.Abs[:e.L], e.scratch.Signs[:e.L/8], w, e.hdr)
+}
+
+// fusedForward runs stages ①+② and the Sign/Max/GetLength sub-stages of ③
+// in a single pass over one padded block: quantize (multiply + floor),
+// strictness check, Lorenzo delta, branchless sign split into
+// scratch.Abs/Signs, and width via OR-accumulation
+// (bits.Len32(a|b) == max(bits.Len32(a), bits.Len32(b))).
+//
+// ok == false means the block must be stored verbatim. The decision is
+// identical to the unfused pipeline's: that one stores verbatim iff any
+// element fails the int32-range check or the strictness check, so exiting
+// at the first failure — before the later checks run — selects the same
+// blocks, and verbatim payloads are the raw floats regardless.
+func (e *blockEncoder) fusedForward(src []float32) (w uint, ok bool) {
+	abs := e.scratch.Abs[:e.L]
+	signs := e.scratch.Signs[:e.L/8]
+	recip, twoE, eps := e.q.Recip(), e.q.TwoEps(), e.q.Eps()
+	var acc uint32
+	var prev int32
+	for j := range signs {
+		v := src[8*j : 8*j+8 : 8*j+8]
+		a := abs[8*j : 8*j+8 : 8*j+8]
+		var sb uint32
+		for i, x := range v {
+			// ① quantize: p = floor(x/(2ε) + 0.5). The negated range
+			// check also fails NaN (all comparisons false), matching
+			// quant.Round's explicit IsNaN test.
+			f := math.Floor(float64(x)*recip + 0.5)
+			if !(f >= math.MinInt32 && f <= math.MaxInt32) {
+				return 0, false
+			}
+			p := int32(f)
+			// Strictness: the float32 rounding of p·2ε can exceed ε when
+			// ε < ulp(x)/2; such blocks go verbatim (see encodeRef).
+			rec := float32(float64(p) * twoE)
+			if !(math.Abs(float64(rec)-float64(x)) <= eps) {
+				return 0, false
+			}
+			// ② Lorenzo delta, ③ sign split (branchless |d|).
+			d := p - prev
+			prev = p
+			neg := uint32(d) >> 31
+			u := (uint32(d) ^ -neg) + neg
+			sb |= neg << i
+			a[i] = u
+			acc |= u
+		}
+		signs[j] = byte(sb)
+	}
+	return flenc.Width(acc), true
+}
+
+// encodeRef is the retained stage-by-stage pipeline: Mul, Round, the
+// strictness sweep, lorenzo.Forward and flenc.EncodeBlockRef as separate
+// loops, exactly the sub-stage decomposition the WSE mapping schedules.
+// Its output is byte-identical to the fused path (differential fuzz
+// asserts this), which is why telemetry-sampled blocks can run it without
+// perturbing the stream: the per-stage timing split it records keeps
+// modeling the pipeline stages that the fused kernel collapses.
+func (e *blockEncoder) encodeRef(dst []byte, src []float32, stats *Stats) []byte {
+	t0 := time.Now()
 	// Stage ①: pre-quantization (Mul then Round, paper Table 2).
 	e.q.MulF32(e.scaled, src)
 	if !quant.Round(e.codes, e.scaled) {
 		// Quantization overflow (or NaN/Inf): store the block verbatim.
 		stats.VerbatimBlocks++
-		dst = appendVerbatim(dst, src, e.hdr)
-		return dst
+		return appendVerbatim(dst, src, e.hdr)
 	}
 	// Strictness check: p·2ε is within ε of the input in float64, but the
 	// final float32 rounding of the reconstruction can add up to half a ulp
@@ -390,29 +508,44 @@ func (e *blockEncoder) encode(dst []byte, block []float32, stats *Stats) []byte 
 			return appendVerbatim(dst, src, e.hdr)
 		}
 	}
-	if timed {
-		t1 = time.Now()
-	}
+	t1 := time.Now()
 	// Stage ②: 1D Lorenzo prediction (first-order difference).
 	lorenzo.Forward(e.codes, e.codes)
-	if timed {
-		t2 = time.Now()
-	}
+	t2 := time.Now()
 	// Stage ③: fixed-length encoding.
 	var w uint
-	dst, w = flenc.EncodeBlock(dst, e.codes, e.hdr, e.scratch)
+	dst, w = flenc.EncodeBlockRef(dst, e.codes, e.hdr, e.scratch)
+	t3 := time.Now()
 	stats.WidthHistogram[w]++
 	if w == 0 {
 		stats.ZeroBlocks++
 	}
-	if timed {
-		t3 := time.Now()
-		e.quantNs += t1.Sub(t0).Nanoseconds()
-		e.lorenzoNs += t2.Sub(t1).Nanoseconds()
-		e.encodeNs += t3.Sub(t2).Nanoseconds()
-		e.sampled++
-	}
+	e.quantNs += t1.Sub(t0).Nanoseconds()
+	e.lorenzoNs += t2.Sub(t1).Nanoseconds()
+	e.encodeNs += t3.Sub(t2).Nanoseconds()
+	e.sampled++
 	return dst
+}
+
+// quantizeStrict32 quantizes one block into codes and verifies every
+// reconstruction honors ε, reporting false (verbatim) on the first
+// failure. Same fused check as fusedForward, shared with the tiled
+// (2D-Lorenzo) variant whose prediction cannot fuse into the scan order.
+func quantizeStrict32(q *quant.Quantizer, codes []int32, src []float32) bool {
+	recip, twoE, eps := q.Recip(), q.TwoEps(), q.Eps()
+	for i, x := range src {
+		f := math.Floor(float64(x)*recip + 0.5)
+		if !(f >= math.MinInt32 && f <= math.MaxInt32) {
+			return false
+		}
+		p := int32(f)
+		rec := float32(float64(p) * twoE)
+		if !(math.Abs(float64(rec)-float64(x)) <= eps) {
+			return false
+		}
+		codes[i] = p
+	}
+	return true
 }
 
 func appendVerbatim(dst []byte, block []float32, headerBytes int) []byte {
@@ -426,10 +559,9 @@ func appendVerbatim(dst []byte, block []float32, headerBytes int) []byte {
 	default:
 		panic(fmt.Sprintf("core: unsupported header size %d", headerBytes))
 	}
-	var b [4]byte
+	dst = slices.Grow(dst, 4*len(block))
 	for _, v := range block {
-		binary.LittleEndian.PutUint32(b[:], math.Float32bits(v))
-		dst = append(dst, b[:]...)
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(v))
 	}
 	return dst
 }
@@ -448,6 +580,52 @@ func AppendStreamHeader(dst []byte, m Meta) []byte {
 	return append(dst, hdr[:]...)
 }
 
+// scanOffsets walks the stream body filling offsets (length blocks+1) with
+// the byte offset of every block plus a final end offset. elemSize is the
+// verbatim payload element width (4 for float32, 8 for float64).
+func scanOffsets(body []byte, m Meta, offsets []int, elemSize int) error {
+	nBlocks := m.Blocks()
+	pos := 0
+	for b := 0; b < nBlocks; b++ {
+		offsets[b] = pos
+		v, n, err := flenc.Header(body[pos:], m.HeaderBytes)
+		if err != nil {
+			return fmt.Errorf("%w: block %d: %v", ErrBadStream, b, err)
+		}
+		switch {
+		case v == flenc.ZeroMarker:
+			pos += n
+		case v == flenc.VerbatimU32:
+			pos += m.HeaderBytes + elemSize*m.BlockLen
+		case v <= flenc.MaxWidth:
+			pos += flenc.EncodedSize(uint(v), m.BlockLen, m.HeaderBytes)
+		default:
+			return fmt.Errorf("%w: block %d: invalid fixed length %d", ErrBadStream, b, v)
+		}
+		if pos > len(body) {
+			return fmt.Errorf("%w: block %d overruns stream", ErrBadStream, b)
+		}
+	}
+	offsets[nBlocks] = pos
+	return nil
+}
+
+// offsetsPool recycles block-offset tables between Decompress calls.
+var offsetsPool sync.Pool
+
+func getOffsets(n int) *[]int {
+	p, _ := offsetsPool.Get().(*[]int)
+	if p == nil {
+		s := make([]int, n)
+		return &s
+	}
+	if cap(*p) < n {
+		*p = make([]int, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
 // BlockOffsets parses the container header and scans the stream body,
 // returning the parsed metadata and the byte offsets (relative to the body
 // start, StreamHeaderSize) of every block plus a final end offset —
@@ -461,31 +639,10 @@ func BlockOffsets(comp []byte) (Meta, []int, error) {
 	if m.Elem != Float32 {
 		return m, nil, fmt.Errorf("%w: stream holds %s elements, expected float32", ErrBadStream, m.Elem)
 	}
-	body := comp[StreamHeaderSize:]
-	nBlocks := m.Blocks()
-	offsets := make([]int, nBlocks+1)
-	pos := 0
-	for b := 0; b < nBlocks; b++ {
-		offsets[b] = pos
-		v, n, err := flenc.Header(body[pos:], m.HeaderBytes)
-		if err != nil {
-			return m, nil, fmt.Errorf("%w: block %d: %v", ErrBadStream, b, err)
-		}
-		switch {
-		case v == flenc.ZeroMarker:
-			pos += n
-		case v == flenc.VerbatimU32:
-			pos += flenc.VerbatimSize(m.BlockLen, m.HeaderBytes)
-		case v <= flenc.MaxWidth:
-			pos += flenc.EncodedSize(uint(v), m.BlockLen, m.HeaderBytes)
-		default:
-			return m, nil, fmt.Errorf("%w: block %d: invalid fixed length %d", ErrBadStream, b, v)
-		}
-		if pos > len(body) {
-			return m, nil, fmt.Errorf("%w: block %d overruns stream", ErrBadStream, b)
-		}
+	offsets := make([]int, m.Blocks()+1)
+	if err := scanOffsets(comp[StreamHeaderSize:], m, offsets, 4); err != nil {
+		return m, nil, err
 	}
-	offsets[nBlocks] = pos
 	return m, offsets, nil
 }
 
@@ -528,42 +685,55 @@ func ParseHeader(comp []byte) (Meta, error) {
 
 // Decompress reconstructs the float32 data from a CereSZ stream, appending
 // to dst (which may be nil). workers bounds host parallelism (≤ 0 means
-// GOMAXPROCS).
+// GOMAXPROCS). With workers 1 and a dst of sufficient capacity it performs
+// zero allocations in steady state.
 func Decompress(dst []float32, comp []byte, workers int) ([]float32, Meta, error) {
 	defer telDecompress.Start().End()
-	// Pass 1: locate block boundaries. Headers are self-describing, so this
-	// is a cheap sequential scan (the paper's "pre-known fixed-length"
-	// decompression advantage, §3).
-	m, offsets, err := BlockOffsets(comp)
+	m, err := ParseHeader(comp)
 	if err != nil {
 		return dst, m, err
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if m.Elem != Float32 {
+		return dst, m, fmt.Errorf("%w: stream holds %s elements, expected float32", ErrBadStream, m.Elem)
 	}
 	body := comp[StreamHeaderSize:]
 	nBlocks := m.Blocks()
 	L := m.BlockLen
 
-	q, err := quant.NewQuantizer(m.Eps)
+	// Pass 1: locate block boundaries. Headers are self-describing, so this
+	// is a cheap sequential scan (the paper's "pre-known fixed-length"
+	// decompression advantage, §3).
+	op := getOffsets(nBlocks + 1)
+	defer offsetsPool.Put(op)
+	offsets := *op
+	if err := scanOffsets(body, m, offsets, 4); err != nil {
+		return dst, m, err
+	}
+
+	q, err := quant.MakeQuantizer(m.Eps)
 	if err != nil {
 		return dst, m, err
 	}
 
 	start := len(dst)
-	dst = append(dst, make([]float32, m.Elements)...)
+	dst = slices.Grow(dst, m.Elements)[:start+m.Elements]
 	out := dst[start:]
 
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > nBlocks {
 		workers = nBlocks
 	}
 	if workers <= 1 {
-		dec := newBlockDecoder(L, m.HeaderBytes, q)
+		dec := getDecoder(L, m.HeaderBytes, q)
 		for b := 0; b < nBlocks; b++ {
 			if err := dec.decode(outBlock(out, b, L), body[offsets[b]:offsets[b+1]]); err != nil {
+				putDecoder(dec)
 				return dst, m, fmt.Errorf("%w: block %d: %v", ErrBadStream, b, err)
 			}
 		}
+		putDecoder(dec)
 		recordDecompressTelemetry(m, len(comp))
 		return dst, m, nil
 	}
@@ -578,7 +748,8 @@ func Decompress(dst []float32, comp []byte, workers int) ([]float32, Meta, error
 			defer wg.Done()
 			telWorkers.Add(1)
 			defer telWorkers.Add(-1)
-			dec := newBlockDecoder(L, m.HeaderBytes, q)
+			dec := getDecoder(L, m.HeaderBytes, q)
+			defer putDecoder(dec)
 			for b := lo; b < hi; b++ {
 				if err := dec.decode(outBlock(out, b, L), body[offsets[b]:offsets[b+1]]); err != nil {
 					errs[wkr] = fmt.Errorf("%w: block %d: %v", ErrBadStream, b, err)
@@ -616,27 +787,48 @@ func outBlock(out []float32, b, L int) []float32 {
 	return out[lo:hi]
 }
 
+func outBlock64(out []float64, b, L int) []float64 {
+	lo := b * L
+	hi := lo + L
+	if hi > len(out) {
+		hi = len(out)
+	}
+	return out[lo:hi]
+}
+
+// blockDecoder holds per-worker decode scratch, recycled via decoderPool.
 type blockDecoder struct {
 	L       int
 	hdr     int
-	q       *quant.Quantizer
-	codes   []int32
+	q       quant.Quantizer
 	full    []float32
 	scratch *flenc.Block
 }
 
-func newBlockDecoder(L, headerBytes int, q *quant.Quantizer) *blockDecoder {
-	return &blockDecoder{
-		L:       L,
-		hdr:     headerBytes,
-		q:       q,
-		codes:   make([]int32, L),
-		full:    make([]float32, L),
-		scratch: flenc.NewBlock(L),
+var decoderPool sync.Pool
+
+func getDecoder(L, headerBytes int, q quant.Quantizer) *blockDecoder {
+	d, _ := decoderPool.Get().(*blockDecoder)
+	if d == nil || d.L != L {
+		d = &blockDecoder{
+			L:       L,
+			full:    make([]float32, L),
+			scratch: flenc.NewBlock(L),
+		}
 	}
+	d.hdr = headerBytes
+	d.q = q
+	return d
 }
 
-// decode reconstructs one block (len(out) ≤ L for the trailing block).
+func putDecoder(d *blockDecoder) { decoderPool.Put(d) }
+
+// decode reconstructs one block (len(out) ≤ L for the trailing block),
+// fusing the reverse stages: after the word-parallel unshuffle, one loop
+// merges signs, runs the Lorenzo prefix sum and dequantizes — the same
+// int32 wraparound arithmetic and float64→float32 rounding as the unfused
+// MergeSigns → lorenzo.Inverse → Dequantize sequence, so output bits are
+// identical (DecodeBlockRef-based differential fuzz asserts it).
 func (d *blockDecoder) decode(out []float32, src []byte) error {
 	v, n, err := flenc.Header(src, d.hdr)
 	if err != nil {
@@ -652,18 +844,36 @@ func (d *blockDecoder) decode(out []float32, src []byte) error {
 		}
 		return nil
 	}
-	// Reverse stage ③: fixed-length decode.
-	if _, err := flenc.DecodeBlock(d.codes, src, d.hdr, d.scratch); err != nil {
+	// Reverse stage ③: validate and split the body, then unshuffle all
+	// planes in one pass.
+	signs, planes, w, _, err := flenc.DecodeBody(src, d.L, d.hdr)
+	if err != nil {
 		return err
 	}
-	// Reverse stage ②: prefix sum.
-	lorenzo.Inverse(d.codes, d.codes)
-	// Reverse stage ①: dequantization.
-	if len(out) == d.L {
-		d.q.Dequantize(out, d.codes)
+	if w == 0 {
+		// Zero block: every code is 0 and 0·2ε is +0 exactly.
+		clear(out)
 		return nil
 	}
-	d.q.Dequantize(d.full, d.codes)
-	copy(out, d.full[:len(out)])
+	full := out
+	if len(out) < d.L {
+		full = d.full
+	}
+	abs := d.scratch.Abs[:d.L]
+	flenc.Unshuffle(abs, planes, w)
+	// Reverse stages ③ (sign merge), ② (prefix sum) and ① (dequantize).
+	twoE := d.q.TwoEps()
+	var acc int32
+	for i, u := range abs {
+		dlt := int32(u)
+		if signs[i>>3]&(1<<(i&7)) != 0 {
+			dlt = int32(-int64(u))
+		}
+		acc += dlt
+		full[i] = float32(float64(acc) * twoE)
+	}
+	if len(out) < d.L {
+		copy(out, full[:len(out)])
+	}
 	return nil
 }

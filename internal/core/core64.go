@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"slices"
 	"sync"
 
 	"ceresz/internal/flenc"
@@ -17,7 +18,10 @@ import (
 // fixed-length block format are identical, only the verbatim payloads and
 // the reconstruction multiply differ. Several SDRBench archives (QMCPack
 // among them) ship double-precision fields, so a usable reproduction needs
-// this path even though the paper's evaluation runs on float32.
+// this path even though the paper's evaluation runs on float32. The hot
+// path mirrors the float32 one: a fused single-pass forward kernel, a
+// fused decode loop, and pooled per-worker scratch for zero steady-state
+// allocations.
 
 const (
 	elemF32 byte = 0
@@ -54,16 +58,28 @@ func (e Elem) Size() int {
 
 // Compress64 appends the CereSZ stream for float64 data to dst.
 func Compress64(dst []byte, data []float64, opts Options) ([]byte, *Stats, error) {
+	stats := new(Stats)
+	dst, err := Compress64Into(dst, data, opts, stats)
+	if err != nil {
+		return dst, nil, err
+	}
+	return dst, stats, nil
+}
+
+// Compress64Into is Compress64 writing its statistics into a
+// caller-provided Stats; with Workers ≤ 1 and sufficient dst capacity it
+// performs zero allocations in steady state.
+func Compress64Into(dst []byte, data []float64, opts Options, stats *Stats) ([]byte, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
-		return dst, nil, err
+		return dst, err
 	}
 	minV, maxV := quant.Range64(data)
 	eps, err := opts.Bound.Resolve(minV, maxV)
 	if err != nil {
-		return dst, nil, err
+		return dst, err
 	}
-	return compressEps64(dst, data, eps, opts)
+	return compressEps64(dst, data, eps, opts, stats)
 }
 
 // Compress64WithEps is Compress64 with a pre-resolved absolute bound.
@@ -75,23 +91,28 @@ func Compress64WithEps(dst []byte, data []float64, eps float64, opts Options) ([
 	if !(eps > 0) {
 		return dst, nil, quant.ErrNonPositiveBound
 	}
-	return compressEps64(dst, data, eps, opts)
-}
-
-func compressEps64(dst []byte, data []float64, eps float64, opts Options) ([]byte, *Stats, error) {
-	q, err := quant.NewQuantizer(eps)
+	stats := new(Stats)
+	dst, err := compressEps64(dst, data, eps, opts, stats)
 	if err != nil {
 		return dst, nil, err
 	}
+	return dst, stats, nil
+}
+
+func compressEps64(dst []byte, data []float64, eps float64, opts Options, stats *Stats) ([]byte, error) {
+	q, err := quant.MakeQuantizer(eps)
+	if err != nil {
+		return dst, err
+	}
 	L := opts.BlockLen
 	nBlocks := (len(data) + L - 1) / L
-	stats := &Stats{Elements: len(data), Blocks: nBlocks, Eps: eps}
+	*stats = Stats{Elements: len(data), Blocks: nBlocks, Eps: eps}
 
 	start := len(dst)
 	dst = appendStreamHeader64(dst, opts.HeaderBytes, L, len(data), eps)
 	if nBlocks == 0 {
 		stats.CompressedBytes = len(dst) - start
-		return dst, stats, nil
+		return dst, nil
 	}
 
 	workers := opts.Workers
@@ -99,12 +120,13 @@ func compressEps64(dst []byte, data []float64, eps float64, opts Options) ([]byt
 		workers = nBlocks
 	}
 	if workers <= 1 {
-		enc := newBlockEncoder64(L, opts.HeaderBytes, q)
+		enc := getEncoder64(L, opts.HeaderBytes, q)
 		for b := 0; b < nBlocks; b++ {
 			dst = enc.encode(dst, blockSlice64(data, b, L), stats)
 		}
+		putEncoder64(enc)
 		stats.CompressedBytes = len(dst) - start
-		return dst, stats, nil
+		return dst, nil
 	}
 
 	type chunk struct {
@@ -119,12 +141,13 @@ func compressEps64(dst []byte, data []float64, eps float64, opts Options) ([]byt
 		wg.Add(1)
 		go func(wkr, lo, hi int) {
 			defer wg.Done()
-			enc := newBlockEncoder64(L, opts.HeaderBytes, q)
+			enc := getEncoder64(L, opts.HeaderBytes, q)
 			c := &chunks[wkr]
 			c.buf = make([]byte, 0, (hi-lo)*(opts.HeaderBytes+8*L))
 			for b := lo; b < hi; b++ {
 				c.buf = enc.encode(c.buf, blockSlice64(data, b, L), &c.stats)
 			}
+			putEncoder64(enc)
 		}(wkr, lo, hi)
 	}
 	wg.Wait()
@@ -137,7 +160,7 @@ func compressEps64(dst []byte, data []float64, eps float64, opts Options) ([]byt
 		}
 	}
 	stats.CompressedBytes = len(dst) - start
-	return dst, stats, nil
+	return dst, nil
 }
 
 func appendStreamHeader64(dst []byte, headerBytes, blockLen, elements int, eps float64) []byte {
@@ -163,14 +186,14 @@ func blockSlice64(data []float64, b, L int) []float64 {
 type blockEncoder64 struct {
 	L       int
 	hdr     int
-	q       *quant.Quantizer
+	q       quant.Quantizer
 	padded  []float64
 	scaled  []float64
 	codes   []int32
 	scratch *flenc.Block
 }
 
-func newBlockEncoder64(L, headerBytes int, q *quant.Quantizer) *blockEncoder64 {
+func newBlockEncoder64(L, headerBytes int, q quant.Quantizer) *blockEncoder64 {
 	return &blockEncoder64{
 		L:       L,
 		hdr:     headerBytes,
@@ -182,22 +205,86 @@ func newBlockEncoder64(L, headerBytes int, q *quant.Quantizer) *blockEncoder64 {
 	}
 }
 
+var encoder64Pool sync.Pool
+
+func getEncoder64(L, headerBytes int, q quant.Quantizer) *blockEncoder64 {
+	e, _ := encoder64Pool.Get().(*blockEncoder64)
+	if e == nil || e.L != L {
+		return newBlockEncoder64(L, headerBytes, q)
+	}
+	e.hdr = headerBytes
+	e.q = q
+	return e
+}
+
+func putEncoder64(e *blockEncoder64) { encoder64Pool.Put(e) }
+
 func (e *blockEncoder64) encode(dst []byte, block []float64, stats *Stats) []byte {
 	src := block
 	if len(block) < e.L {
 		copy(e.padded, block)
-		for i := len(block); i < e.L; i++ {
-			e.padded[i] = 0
-		}
+		clear(e.padded[len(block):])
 		src = e.padded
 	}
+	w, ok := e.fusedForward(src)
+	if !ok {
+		stats.VerbatimBlocks++
+		return appendVerbatim64(dst, src, e.hdr)
+	}
+	stats.WidthHistogram[w]++
+	if w == 0 {
+		stats.ZeroBlocks++
+	}
+	return flenc.AppendEncoded(dst, e.scratch.Abs[:e.L], e.scratch.Signs[:e.L/8], w, e.hdr)
+}
+
+// fusedForward is the float64 twin of blockEncoder.fusedForward: quantize,
+// strictness check (through the float64 reconstruction — p·2ε can still
+// land outside ε when ε is below half a ulp of the value), Lorenzo delta,
+// sign split and width in one pass. Verbatim selection matches encodeRef
+// for the same early-exit reasons as the float32 kernel.
+func (e *blockEncoder64) fusedForward(src []float64) (w uint, ok bool) {
+	abs := e.scratch.Abs[:e.L]
+	signs := e.scratch.Signs[:e.L/8]
+	recip, twoE, eps := e.q.Recip(), e.q.TwoEps(), e.q.Eps()
+	var acc uint32
+	var prev int32
+	for j := range signs {
+		v := src[8*j : 8*j+8 : 8*j+8]
+		a := abs[8*j : 8*j+8 : 8*j+8]
+		var sb uint32
+		for i, x := range v {
+			f := math.Floor(x*recip + 0.5)
+			if !(f >= math.MinInt32 && f <= math.MaxInt32) {
+				return 0, false
+			}
+			p := int32(f)
+			rec := float64(p) * twoE
+			if !(math.Abs(rec-x) <= eps) {
+				return 0, false
+			}
+			d := p - prev
+			prev = p
+			neg := uint32(d) >> 31
+			u := (uint32(d) ^ -neg) + neg
+			sb |= neg << i
+			a[i] = u
+			acc |= u
+		}
+		signs[j] = byte(sb)
+	}
+	return flenc.Width(acc), true
+}
+
+// encodeRef is the retained stage-by-stage float64 pipeline (Mul, Round,
+// strictness sweep, lorenzo.Forward, flenc.EncodeBlockRef), kept as the
+// differential-testing reference for the fused kernel.
+func (e *blockEncoder64) encodeRef(dst []byte, src []float64, stats *Stats) []byte {
 	e.q.Mul(e.scaled, src)
 	if !quant.Round(e.codes, e.scaled) {
 		stats.VerbatimBlocks++
 		return appendVerbatim64(dst, src, e.hdr)
 	}
-	// Strict bound through the float64 reconstruction: p·2ε can still land
-	// outside ε when ε is below half a ulp of the value.
 	for i, p := range e.codes {
 		rec := float64(p) * e.q.TwoEps()
 		if !(math.Abs(rec-src[i]) <= e.q.Eps()) {
@@ -207,7 +294,7 @@ func (e *blockEncoder64) encode(dst []byte, block []float64, stats *Stats) []byt
 	}
 	lorenzo.Forward(e.codes, e.codes)
 	var w uint
-	dst, w = flenc.EncodeBlock(dst, e.codes, e.hdr, e.scratch)
+	dst, w = flenc.EncodeBlockRef(dst, e.codes, e.hdr, e.scratch)
 	stats.WidthHistogram[w]++
 	if w == 0 {
 		stats.ZeroBlocks++
@@ -224,57 +311,58 @@ func appendVerbatim64(dst []byte, block []float64, headerBytes int) []byte {
 	default:
 		panic(fmt.Sprintf("core: unsupported header size %d", headerBytes))
 	}
-	var b [8]byte
+	dst = slices.Grow(dst, 8*len(block))
 	for _, v := range block {
-		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
-		dst = append(dst, b[:]...)
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
 	}
 	return dst
 }
 
 // Decompress64 reconstructs float64 data from a CereSZ stream produced by
-// Compress64.
+// Compress64. With workers 1 and sufficient dst capacity it performs zero
+// allocations in steady state.
 func Decompress64(dst []float64, comp []byte, workers int) ([]float64, Meta, error) {
-	m, offsets, err := blockOffsets64(comp)
+	m, err := ParseHeader(comp)
 	if err != nil {
 		return dst, m, err
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if m.Elem != Float64 {
+		return dst, m, fmt.Errorf("%w: stream holds %s elements, expected float64", ErrBadStream, m.Elem)
 	}
 	body := comp[StreamHeaderSize:]
 	nBlocks := m.Blocks()
 	L := m.BlockLen
 
-	q, err := quant.NewQuantizer(m.Eps)
+	op := getOffsets(nBlocks + 1)
+	defer offsetsPool.Put(op)
+	offsets := *op
+	if err := scanOffsets(body, m, offsets, 8); err != nil {
+		return dst, m, err
+	}
+
+	q, err := quant.MakeQuantizer(m.Eps)
 	if err != nil {
 		return dst, m, err
 	}
 	start := len(dst)
-	dst = append(dst, make([]float64, m.Elements)...)
+	dst = slices.Grow(dst, m.Elements)[:start+m.Elements]
 	out := dst[start:]
 
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > nBlocks {
 		workers = nBlocks
 	}
-	decodeRange := func(lo, hi int) error {
-		dec := newBlockDecoder64(L, m.HeaderBytes, q)
-		for b := lo; b < hi; b++ {
-			blockLo := b * L
-			blockHi := blockLo + L
-			if blockHi > len(out) {
-				blockHi = len(out)
-			}
-			if err := dec.decode(out[blockLo:blockHi], body[offsets[b]:offsets[b+1]]); err != nil {
-				return fmt.Errorf("%w: block %d: %v", ErrBadStream, b, err)
-			}
-		}
-		return nil
-	}
 	if workers <= 1 {
-		if err := decodeRange(0, nBlocks); err != nil {
-			return dst, m, err
+		dec := getDecoder64(L, m.HeaderBytes, q)
+		for b := 0; b < nBlocks; b++ {
+			if err := dec.decode(outBlock64(out, b, L), body[offsets[b]:offsets[b+1]]); err != nil {
+				putDecoder64(dec)
+				return dst, m, fmt.Errorf("%w: block %d: %v", ErrBadStream, b, err)
+			}
 		}
+		putDecoder64(dec)
 		return dst, m, nil
 	}
 	var wg sync.WaitGroup
@@ -285,7 +373,14 @@ func Decompress64(dst []float64, comp []byte, workers int) ([]float64, Meta, err
 		wg.Add(1)
 		go func(wkr, lo, hi int) {
 			defer wg.Done()
-			errs[wkr] = decodeRange(lo, hi)
+			dec := getDecoder64(L, m.HeaderBytes, q)
+			defer putDecoder64(dec)
+			for b := lo; b < hi; b++ {
+				if err := dec.decode(outBlock64(out, b, L), body[offsets[b]:offsets[b+1]]); err != nil {
+					errs[wkr] = fmt.Errorf("%w: block %d: %v", ErrBadStream, b, err)
+					return
+				}
+			}
 		}(wkr, lo, hi)
 	}
 	wg.Wait()
@@ -306,31 +401,10 @@ func blockOffsets64(comp []byte) (Meta, []int, error) {
 	if m.Elem != Float64 {
 		return m, nil, fmt.Errorf("%w: stream holds %s elements, expected float64", ErrBadStream, m.Elem)
 	}
-	body := comp[StreamHeaderSize:]
-	nBlocks := m.Blocks()
-	offsets := make([]int, nBlocks+1)
-	pos := 0
-	for b := 0; b < nBlocks; b++ {
-		offsets[b] = pos
-		v, n, err := flenc.Header(body[pos:], m.HeaderBytes)
-		if err != nil {
-			return m, nil, fmt.Errorf("%w: block %d: %v", ErrBadStream, b, err)
-		}
-		switch {
-		case v == flenc.ZeroMarker:
-			pos += n
-		case v == flenc.VerbatimU32:
-			pos += m.HeaderBytes + 8*m.BlockLen
-		case v <= flenc.MaxWidth:
-			pos += flenc.EncodedSize(uint(v), m.BlockLen, m.HeaderBytes)
-		default:
-			return m, nil, fmt.Errorf("%w: block %d: invalid fixed length %d", ErrBadStream, b, v)
-		}
-		if pos > len(body) {
-			return m, nil, fmt.Errorf("%w: block %d overruns stream", ErrBadStream, b)
-		}
+	offsets := make([]int, m.Blocks()+1)
+	if err := scanOffsets(comp[StreamHeaderSize:], m, offsets, 8); err != nil {
+		return m, nil, err
 	}
-	offsets[nBlocks] = pos
 	return m, offsets, nil
 }
 
@@ -352,23 +426,31 @@ func ElemOf(comp []byte) (Elem, error) {
 type blockDecoder64 struct {
 	L       int
 	hdr     int
-	q       *quant.Quantizer
-	codes   []int32
+	q       quant.Quantizer
 	full    []float64
 	scratch *flenc.Block
 }
 
-func newBlockDecoder64(L, headerBytes int, q *quant.Quantizer) *blockDecoder64 {
-	return &blockDecoder64{
-		L:       L,
-		hdr:     headerBytes,
-		q:       q,
-		codes:   make([]int32, L),
-		full:    make([]float64, L),
-		scratch: flenc.NewBlock(L),
+var decoder64Pool sync.Pool
+
+func getDecoder64(L, headerBytes int, q quant.Quantizer) *blockDecoder64 {
+	d, _ := decoder64Pool.Get().(*blockDecoder64)
+	if d == nil || d.L != L {
+		d = &blockDecoder64{
+			L:       L,
+			full:    make([]float64, L),
+			scratch: flenc.NewBlock(L),
+		}
 	}
+	d.hdr = headerBytes
+	d.q = q
+	return d
 }
 
+func putDecoder64(d *blockDecoder64) { decoder64Pool.Put(d) }
+
+// decode mirrors blockDecoder.decode: word-parallel unshuffle, then one
+// fused sign-merge / prefix-sum / dequantize loop.
 func (d *blockDecoder64) decode(out []float64, src []byte) error {
 	v, n, err := flenc.Header(src, d.hdr)
 	if err != nil {
@@ -384,15 +466,32 @@ func (d *blockDecoder64) decode(out []float64, src []byte) error {
 		}
 		return nil
 	}
-	if _, err := flenc.DecodeBlock(d.codes, src, d.hdr, d.scratch); err != nil {
+	signs, planes, w, _, err := flenc.DecodeBody(src, d.L, d.hdr)
+	if err != nil {
 		return err
 	}
-	lorenzo.Inverse(d.codes, d.codes)
-	if len(out) == d.L {
-		d.q.Dequantize64(out, d.codes)
+	if w == 0 {
+		clear(out)
 		return nil
 	}
-	d.q.Dequantize64(d.full, d.codes)
-	copy(out, d.full[:len(out)])
+	full := out
+	if len(out) < d.L {
+		full = d.full
+	}
+	abs := d.scratch.Abs[:d.L]
+	flenc.Unshuffle(abs, planes, w)
+	twoE := d.q.TwoEps()
+	var acc int32
+	for i, u := range abs {
+		dlt := int32(u)
+		if signs[i>>3]&(1<<(i&7)) != 0 {
+			dlt = int32(-int64(u))
+		}
+		acc += dlt
+		full[i] = float64(acc) * twoE
+	}
+	if len(out) < d.L {
+		copy(out, full[:len(out)])
+	}
 	return nil
 }

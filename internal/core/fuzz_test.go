@@ -1,9 +1,13 @@
 package core
 
 import (
+	"bytes"
+	"encoding/binary"
 	"math"
 	"testing"
 
+	"ceresz/internal/flenc"
+	"ceresz/internal/lorenzo"
 	"ceresz/internal/quant"
 )
 
@@ -63,6 +67,186 @@ func FuzzDecompress64(f *testing.F) {
 		}
 		if len(out) != m.Elements {
 			t.Fatalf("decoded %d elements, header says %d", len(out), m.Elements)
+		}
+	})
+}
+
+// compressRef mirrors the sequential compressEps loop but drives every
+// block through the retained stage-by-stage pipeline (encodeRef →
+// flenc.EncodeBlockRef), giving FuzzHostKernels a scalar-reference stream
+// to compare the fused SWAR output against.
+func compressRef(data []float32, eps float64, opts Options) ([]byte, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	q, err := quant.MakeQuantizer(eps)
+	if err != nil {
+		return nil, err
+	}
+	L := opts.BlockLen
+	nBlocks := (len(data) + L - 1) / L
+	dst := AppendStreamHeader(nil, Meta{
+		HeaderBytes: opts.HeaderBytes,
+		BlockLen:    L,
+		Elements:    len(data),
+		Eps:         eps,
+	})
+	var stats Stats
+	enc := newBlockEncoder(L, opts.HeaderBytes, q)
+	for b := 0; b < nBlocks; b++ {
+		block := blockSlice(data, b, L)
+		src := block
+		if len(block) < L {
+			copy(enc.padded, block)
+			clear(enc.padded[len(block):])
+			src = enc.padded
+		}
+		dst = enc.encodeRef(dst, src, &stats)
+	}
+	return dst, nil
+}
+
+// decompressRef decodes a stream block by block through the scalar
+// reference kernels (flenc.DecodeBlockRef → lorenzo.Inverse → Dequantize).
+func decompressRef(comp []byte) ([]float32, error) {
+	m, offsets, err := BlockOffsets(comp)
+	if err != nil {
+		return nil, err
+	}
+	q, err := quant.NewQuantizer(m.Eps)
+	if err != nil {
+		return nil, err
+	}
+	body := comp[StreamHeaderSize:]
+	L := m.BlockLen
+	out := make([]float32, m.Elements)
+	codes := make([]int32, L)
+	full := make([]float32, L)
+	scratch := flenc.NewBlock(L)
+	for b := 0; b < m.Blocks(); b++ {
+		dst := outBlock(out, b, L)
+		src := body[offsets[b]:offsets[b+1]]
+		v, n, err := flenc.Header(src, m.HeaderBytes)
+		if err != nil {
+			return nil, err
+		}
+		if v == flenc.VerbatimU32 {
+			for i := range dst {
+				bits := binary.LittleEndian.Uint32(src[n+4*i:])
+				dst[i] = math.Float32frombits(bits)
+			}
+			continue
+		}
+		if _, err := flenc.DecodeBlockRef(codes, src, m.HeaderBytes, scratch); err != nil {
+			return nil, err
+		}
+		lorenzo.Inverse(codes, codes)
+		q.Dequantize(full, codes)
+		copy(dst, full[:len(dst)])
+	}
+	return out, nil
+}
+
+// FuzzHostKernels is the differential target for the word-parallel host
+// kernels: across random data, block lengths, header widths and partial
+// trailing blocks, the fused SWAR compressor must emit bytes identical to
+// the scalar reference pipeline, and the fused decoder must reproduce the
+// reference decode bit for bit.
+func FuzzHostKernels(f *testing.F) {
+	f.Add([]byte{0, 0, 128, 63, 0, 0, 0, 64, 1, 2, 3, 4}, uint8(0), false, uint8(3))
+	f.Add(make([]byte, 400), uint8(3), true, uint8(2))
+	f.Add([]byte{0xff, 0xff, 0x7f, 0x7f, 0, 0, 0x80, 0xff}, uint8(11), false, uint8(0))
+	f.Fuzz(func(t *testing.T, raw []byte, blockSel uint8, szpHeader bool, epsExp uint8) {
+		n := len(raw) / 4
+		data := make([]float32, n)
+		for i := 0; i < n; i++ {
+			bits := uint32(raw[4*i]) | uint32(raw[4*i+1])<<8 | uint32(raw[4*i+2])<<16 | uint32(raw[4*i+3])<<24
+			data[i] = math.Float32frombits(bits)
+		}
+		opts := Options{
+			BlockLen: 8 * (1 + int(blockSel)%12),
+			Workers:  1,
+		}
+		if szpHeader {
+			opts.HeaderBytes = flenc.HeaderU8
+		} else {
+			opts.HeaderBytes = flenc.HeaderU32
+		}
+		eps := math.Pow(10, -float64(epsExp%7))
+		comp, _, err := CompressWithEps(nil, data, eps, opts)
+		if err != nil {
+			t.Fatalf("compress: %v", err)
+		}
+		ref, err := compressRef(data, eps, opts)
+		if err != nil {
+			t.Fatalf("compressRef: %v", err)
+		}
+		if !bytes.Equal(comp, ref) {
+			t.Fatalf("fused stream differs from scalar reference (n=%d L=%d hdr=%d eps=%g)\n got %x\nwant %x",
+				n, opts.BlockLen, opts.HeaderBytes, eps, comp, ref)
+		}
+		out, _, err := Decompress(nil, comp, 1)
+		if err != nil {
+			t.Fatalf("decompress: %v", err)
+		}
+		refOut, err := decompressRef(comp)
+		if err != nil {
+			t.Fatalf("decompressRef: %v", err)
+		}
+		for i := range out {
+			if math.Float32bits(out[i]) != math.Float32bits(refOut[i]) {
+				t.Fatalf("fused decode differs from reference at %d: %x vs %x",
+					i, math.Float32bits(out[i]), math.Float32bits(refOut[i]))
+			}
+		}
+	})
+}
+
+// FuzzHostKernels64 is the float64 differential twin, driven through the
+// blockEncoder64 reference.
+func FuzzHostKernels64(f *testing.F) {
+	f.Add(make([]byte, 256), uint8(0))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}, uint8(5))
+	f.Fuzz(func(t *testing.T, raw []byte, blockSel uint8) {
+		n := len(raw) / 8
+		data := make([]float64, n)
+		for i := 0; i < n; i++ {
+			data[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+		}
+		opts := Options{BlockLen: 8 * (1 + int(blockSel)%12), Workers: 1}.withDefaults()
+		const eps = 1e-6
+		comp, _, err := Compress64WithEps(nil, data, eps, opts)
+		if err != nil {
+			t.Fatalf("compress64: %v", err)
+		}
+		q, err := quant.MakeQuantizer(eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		L := opts.BlockLen
+		ref := appendStreamHeader64(nil, opts.HeaderBytes, L, n, eps)
+		var stats Stats
+		enc := newBlockEncoder64(L, opts.HeaderBytes, q)
+		for b := 0; b < (n+L-1)/L; b++ {
+			block := blockSlice64(data, b, L)
+			src := block
+			if len(block) < L {
+				copy(enc.padded, block)
+				clear(enc.padded[len(block):])
+				src = enc.padded
+			}
+			ref = enc.encodeRef(ref, src, &stats)
+		}
+		if !bytes.Equal(comp, ref) {
+			t.Fatalf("fused float64 stream differs from scalar reference (n=%d L=%d)", n, L)
+		}
+		out, _, err := Decompress64(nil, comp, 1)
+		if err != nil {
+			t.Fatalf("decompress64: %v", err)
+		}
+		if len(out) != n {
+			t.Fatalf("%d elements out, %d in", len(out), n)
 		}
 	})
 }

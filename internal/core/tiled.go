@@ -88,28 +88,18 @@ func CompressTiled(dst []byte, data []float32, d lorenzo.Dims, eps float64, opts
 
 	var (
 		tile    [tileW * tileH]float32
-		scaled  [tileW * tileH]float64
 		codes   [tileW * tileH]int32
 		resid   [tileW * tileH]int32
 		scratch = flenc.NewBlock(tileW * tileH)
 	)
-tiles:
 	for t := 0; t < nTiles; t++ {
 		gatherTile(data, d, t, tile[:])
-		// Stage ①.
-		q.MulF32(scaled[:], tile[:])
-		if !quant.Round(codes[:], scaled[:]) {
+		// Stage ①: fused quantize + strictness check (shared with the 1D
+		// path's kernels; 2D prediction itself cannot fuse into the scan).
+		if !quantizeStrict32(q, codes[:], tile[:]) {
 			stats.VerbatimBlocks++
 			dst = appendVerbatim(dst, tile[:], opts.HeaderBytes)
 			continue
-		}
-		for i, p := range codes {
-			rec := float32(float64(p) * q.TwoEps())
-			if !(math.Abs(float64(rec)-float64(tile[i])) <= q.Eps()) {
-				stats.VerbatimBlocks++
-				dst = appendVerbatim(dst, tile[:], opts.HeaderBytes)
-				continue tiles
-			}
 		}
 		// Stage ②: 2D Lorenzo within the tile.
 		if err := lorenzo.Forward2D(resid[:], codes[:], tileDims); err != nil {

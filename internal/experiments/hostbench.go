@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ceresz/internal/core"
+	"ceresz/internal/datasets"
+	"ceresz/internal/quant"
+)
+
+// HostBenchRow is one measured host-codec data point: a single field at a
+// single bound in one direction, timed on the real (not modeled) kernels.
+type HostBenchRow struct {
+	Dataset   string
+	Field     string
+	Direction string // "compress" or "decompress"
+	Rel       float64
+	Elements  int
+	NsPerOp   float64
+	NsPerElem float64
+	GBps      float64
+	Ratio     float64
+}
+
+// HostBenchResult reports wall-clock host throughput of the SWAR kernels,
+// complementing the modeled WSE numbers of Figs. 11–12. Rows carry
+// ns/element and GB/s so runs are comparable across field sizes.
+type HostBenchResult struct {
+	Workers int
+	Rows    []HostBenchRow
+}
+
+// hostBenchIters picks an iteration count that keeps each measurement
+// around targetNs without letting tiny fields spin forever.
+func hostBenchIters(onceNs, targetNs float64) int {
+	if onceNs <= 0 {
+		return 1
+	}
+	n := int(targetNs / onceNs)
+	if n < 3 {
+		n = 3
+	}
+	if n > 1000 {
+		n = 1000
+	}
+	return n
+}
+
+// timeBest runs fn iters times and returns the fastest single run in ns —
+// the usual microbenchmark estimator for the noise-free cost.
+func timeBest(iters int, fn func()) float64 {
+	best := float64(0)
+	for i := 0; i < iters; i++ {
+		t0 := time.Now()
+		fn()
+		d := float64(time.Since(t0).Nanoseconds())
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// HostBench times the real host compressor and decompressor (sequential,
+// steady state, reused buffers) over every dataset at the paper's three
+// REL bounds.
+func HostBench(cfg Config) (*HostBenchResult, error) {
+	cfg = cfg.WithDefaults()
+	res := &HostBenchResult{Workers: 1}
+	const targetNs = 30e6 // ~30ms per measurement
+	var comp []byte
+	var out []float32
+	var stats core.Stats
+	for _, ds := range datasets.All(cfg.Scale) {
+		fields := ds.Fields
+		if cfg.MaxFieldsPerDataset > 0 && len(fields) > cfg.MaxFieldsPerDataset {
+			fields = fields[:cfg.MaxFieldsPerDataset]
+		}
+		for i := range fields {
+			f := &fields[i]
+			data := f.Data(cfg.Seed)
+			if len(data) == 0 {
+				continue
+			}
+			bytesIn := float64(4 * len(data))
+			for _, rel := range RelBounds {
+				minV, maxV := quant.Range(data)
+				eps, err := quant.REL(rel).Resolve(minV, maxV)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s: %w", ds.Name, f.Name, err)
+				}
+				opts := core.Options{Workers: res.Workers}
+				compress := func() {
+					var cerr error
+					comp, cerr = core.CompressWithEpsInto(comp[:0], data, eps, opts, &stats)
+					if cerr != nil {
+						err = cerr
+					}
+				}
+				once := timeBest(1, compress) // warm-up sizes comp and fills the pool
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s: %w", ds.Name, f.Name, err)
+				}
+				cNs := timeBest(hostBenchIters(once, targetNs), compress)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s: %w", ds.Name, f.Name, err)
+				}
+				res.Rows = append(res.Rows, HostBenchRow{
+					Dataset:   ds.Name,
+					Field:     f.Name,
+					Direction: "compress",
+					Rel:       rel,
+					Elements:  len(data),
+					NsPerOp:   cNs,
+					NsPerElem: cNs / float64(len(data)),
+					GBps:      bytesIn / cNs, // bytes/ns == GB/s
+					Ratio:     bytesIn / float64(len(comp)),
+				})
+				decompress := func() {
+					var derr error
+					out, _, derr = core.Decompress(out[:0], comp, res.Workers)
+					if derr != nil {
+						err = derr
+					}
+				}
+				once = timeBest(1, decompress)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s: %w", ds.Name, f.Name, err)
+				}
+				dNs := timeBest(hostBenchIters(once, targetNs), decompress)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s: %w", ds.Name, f.Name, err)
+				}
+				res.Rows = append(res.Rows, HostBenchRow{
+					Dataset:   ds.Name,
+					Field:     f.Name,
+					Direction: "decompress",
+					Rel:       rel,
+					Elements:  len(data),
+					NsPerOp:   dNs,
+					NsPerElem: dNs / float64(len(data)),
+					GBps:      bytesIn / dNs,
+					Ratio:     bytesIn / float64(len(comp)),
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// PrintHostBench renders the wall-clock host-codec table.
+func PrintHostBench(w io.Writer, r *HostBenchResult) {
+	section(w, fmt.Sprintf("Host codec wall-clock throughput (SWAR kernels, workers=%d)", r.Workers))
+	fmt.Fprintf(w, "%-12s %-14s %-11s %8s %10s %12s %10s %8s %7s\n",
+		"Dataset", "field", "direction", "REL", "elements", "ns/op", "ns/elem", "GB/s", "ratio")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-12s %-14s %-11s %8.0e %10d %12.0f %10.2f %8.2f %7.2f\n",
+			row.Dataset, row.Field, row.Direction, row.Rel, row.Elements,
+			row.NsPerOp, row.NsPerElem, row.GBps, row.Ratio)
+	}
+}

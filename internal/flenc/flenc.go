@@ -17,13 +17,18 @@
 //
 // The four sub-steps — Sign, Max, GetLength, Bit-shuffle — are exported
 // individually because the WSE mapping schedules them (and the per-bit
-// slices of Bit-shuffle) as separate pipeline sub-stages (Table 3).
+// slices of Bit-shuffle) as separate pipeline sub-stages (Table 3). The
+// host hot path does not use them: it runs the fused word-parallel kernels
+// in swar.go (SplitSignsWidth, Shuffle/Unshuffle via 8×8 bit-matrix
+// transposes), with the scalar composites retained as the reference
+// implementation for differential testing (EncodeBlockRef/DecodeBlockRef).
 package flenc
 
 import (
 	"encoding/binary"
 	"fmt"
 	"math/bits"
+	"slices"
 )
 
 // Header widths supported by the codec.
@@ -60,9 +65,7 @@ func SplitSigns(abs []uint32, signs []byte, src []int32) {
 	if len(abs) != len(src) || len(signs) != len(src)/8 {
 		panic("flenc: SplitSigns buffer size mismatch")
 	}
-	for i := range signs {
-		signs[i] = 0
-	}
+	clear(signs)
 	for i, v := range src {
 		if v < 0 {
 			signs[i>>3] |= 1 << (i & 7)
@@ -111,28 +114,23 @@ func PlaneBytes(blockLen int) int { return blockLen / 8 }
 
 // ShufflePlane extracts bit plane k of abs into dst (LSB-first packing,
 // len(dst) = len(abs)/8). This is the unit of work of the per-bit
-// "1-bit Shuffle" sub-stages the mapping distributes across PEs.
+// "1-bit Shuffle" sub-stages the mapping distributes across PEs. Each
+// output byte is assembled in a register, so dst needs no prior zeroing
+// and the bounds checks hoist to one slice per group of eight.
 func ShufflePlane(dst []byte, abs []uint32, k uint) {
 	if len(dst) != len(abs)/8 {
 		panic("flenc: ShufflePlane buffer size mismatch")
 	}
-	for i := range dst {
-		dst[i] = 0
-	}
-	for i, a := range abs {
-		dst[i>>3] |= byte((a>>k)&1) << (i & 7)
-	}
-}
-
-// Shuffle writes width consecutive bit planes of abs into dst
-// (len(dst) = int(width) · len(abs)/8).
-func Shuffle(dst []byte, abs []uint32, width uint) {
-	pb := PlaneBytes(len(abs))
-	if len(dst) != int(width)*pb {
-		panic("flenc: Shuffle buffer size mismatch")
-	}
-	for k := uint(0); k < width; k++ {
-		ShufflePlane(dst[int(k)*pb:int(k+1)*pb], abs, k)
+	for j := range dst {
+		v := abs[8*j : 8*j+8 : 8*j+8]
+		dst[j] = byte((v[0]>>k)&1) |
+			byte((v[1]>>k)&1)<<1 |
+			byte((v[2]>>k)&1)<<2 |
+			byte((v[3]>>k)&1)<<3 |
+			byte((v[4]>>k)&1)<<4 |
+			byte((v[5]>>k)&1)<<5 |
+			byte((v[6]>>k)&1)<<6 |
+			byte((v[7]>>k)&1)<<7
 	}
 }
 
@@ -141,23 +139,16 @@ func UnshufflePlane(abs []uint32, src []byte, k uint) {
 	if len(src) != len(abs)/8 {
 		panic("flenc: UnshufflePlane buffer size mismatch")
 	}
-	for i := range abs {
-		abs[i] |= uint32((src[i>>3]>>(i&7))&1) << k
-	}
-}
-
-// Unshuffle reconstructs absolute values from width bit planes. abs is
-// zeroed first.
-func Unshuffle(abs []uint32, src []byte, width uint) {
-	pb := PlaneBytes(len(abs))
-	if len(src) != int(width)*pb {
-		panic("flenc: Unshuffle buffer size mismatch")
-	}
-	for i := range abs {
-		abs[i] = 0
-	}
-	for k := uint(0); k < width; k++ {
-		UnshufflePlane(abs, src[int(k)*pb:int(k+1)*pb], k)
+	for j, b := range src {
+		a := abs[8*j : 8*j+8 : 8*j+8]
+		a[0] |= uint32(b&1) << k
+		a[1] |= uint32((b>>1)&1) << k
+		a[2] |= uint32((b>>2)&1) << k
+		a[3] |= uint32((b>>3)&1) << k
+		a[4] |= uint32((b>>4)&1) << k
+		a[5] |= uint32((b>>5)&1) << k
+		a[6] |= uint32((b>>6)&1) << k
+		a[7] |= uint32((b>>7)&1) << k
 	}
 }
 
@@ -220,9 +211,8 @@ func Header(src []byte, headerBytes int) (v uint32, n int, err error) {
 // Block is a reusable scratch area for encoding/decoding one block.
 // It avoids per-block allocation on hot paths.
 type Block struct {
-	Abs    []uint32
-	Signs  []byte
-	Planes []byte
+	Abs   []uint32
+	Signs []byte
 }
 
 // NewBlock returns scratch buffers for blocks of blockLen elements.
@@ -231,28 +221,109 @@ func NewBlock(blockLen int) *Block {
 		panic(fmt.Sprintf("flenc: invalid block length %d", blockLen))
 	}
 	return &Block{
-		Abs:    make([]uint32, blockLen),
-		Signs:  make([]byte, blockLen/8),
-		Planes: make([]byte, MaxWidth*blockLen/8),
+		Abs:   make([]uint32, blockLen),
+		Signs: make([]byte, blockLen/8),
 	}
+}
+
+// Reset re-zeroes the scratch buffers. The encode/decode kernels overwrite
+// every slot they read, so Reset is not required between blocks; it exists
+// for callers that hand scratch to code expecting cleared buffers.
+func (b *Block) Reset() {
+	clear(b.Abs)
+	clear(b.Signs)
+}
+
+// AppendEncoded appends the wire form of a block whose sign-split state is
+// already in abs/signs (as produced by SplitSignsWidth): header, packed
+// signs, then w bit planes shuffled directly into dst's tail — no staging
+// buffer, and no allocation when dst has capacity. w == 0 appends a bare
+// zero-block header.
+func AppendEncoded(dst []byte, abs []uint32, signs []byte, w uint, headerBytes int) []byte {
+	if w == 0 {
+		return putHeader(dst, headerBytes, ZeroMarker)
+	}
+	dst = putHeader(dst, headerBytes, uint32(w))
+	dst = append(dst, signs...)
+	need := int(w) * PlaneBytes(len(abs))
+	dst = slices.Grow(dst, need)
+	n := len(dst)
+	dst = dst[: n+need : cap(dst)]
+	Shuffle(dst[n:], abs, w)
+	return dst
 }
 
 // EncodeBlock appends the fixed-length encoding of codes to dst using the
 // given header size and scratch area, returning the extended slice and the
-// effective width of the block.
+// effective width of the block. The sign split, width computation and
+// bit shuffle all run word-parallel (one fused pass plus per-byte-lane
+// 8×8 transposes).
 func EncodeBlock(dst []byte, codes []int32, headerBytes int, scratch *Block) ([]byte, uint) {
-	SplitSigns(scratch.Abs[:len(codes)], scratch.Signs[:len(codes)/8], codes)
-	m := MaxAbs(scratch.Abs[:len(codes)])
-	w := Width(m)
+	abs := scratch.Abs[:len(codes)]
+	signs := scratch.Signs[:len(codes)/8]
+	w := SplitSignsWidth(abs, signs, codes)
+	return AppendEncoded(dst, abs, signs, w, headerBytes), w
+}
+
+// EncodeBlockRef is the retained scalar reference implementation of
+// EncodeBlock: separate Sign/Max/GetLength passes and a per-plane shuffle,
+// exactly the sub-stage decomposition the WSE pipeline executes.
+// Differential tests assert its output is byte-identical to EncodeBlock's;
+// the core compressor runs it on telemetry-sampled blocks so the per-stage
+// timing split keeps modeling the pipeline stages.
+func EncodeBlockRef(dst []byte, codes []int32, headerBytes int, scratch *Block) ([]byte, uint) {
+	abs := scratch.Abs[:len(codes)]
+	signs := scratch.Signs[:len(codes)/8]
+	SplitSigns(abs, signs, codes)
+	w := Width(MaxAbs(abs))
 	if w == 0 {
 		return putHeader(dst, headerBytes, ZeroMarker), 0
 	}
 	dst = putHeader(dst, headerBytes, uint32(w))
-	dst = append(dst, scratch.Signs[:len(codes)/8]...)
-	pb := PlaneBytes(len(codes))
-	planes := scratch.Planes[:int(w)*pb]
-	Shuffle(planes, scratch.Abs[:len(codes)], w)
-	return append(dst, planes...), w
+	dst = append(dst, signs...)
+	need := int(w) * PlaneBytes(len(abs))
+	dst = slices.Grow(dst, need)
+	n := len(dst)
+	dst = dst[: n+need : cap(dst)]
+	ShuffleScalar(dst[n:], abs, w)
+	return dst, w
+}
+
+// DecodeBody validates a block body and splits it into its packed sign
+// bytes and plane bytes (both aliasing src, not copied), returning the
+// width and total byte count consumed. Zero blocks return w == 0 with nil
+// slices; a verbatim header is an error (the caller must intercept it).
+// Callers that want fused decoding (e.g. the core decompressor's merged
+// sign/prefix-sum/dequantize loop) use this plus Unshuffle instead of
+// DecodeBlock.
+func DecodeBody(src []byte, blockLen, headerBytes int) (signs, planes []byte, w uint, n int, err error) {
+	return decodeBody(src, blockLen, headerBytes)
+}
+
+// decodeBody validates a non-zero, non-verbatim block body and returns its
+// signs, planes, width and total byte count consumed.
+func decodeBody(src []byte, blockLen, headerBytes int) (signs, planes []byte, w uint, n int, err error) {
+	v, n, err := Header(src, headerBytes)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	switch {
+	case v == ZeroMarker:
+		return nil, nil, 0, n, nil
+	case v == VerbatimU32:
+		return nil, nil, 0, 0, fmt.Errorf("flenc: verbatim block must be handled by the caller")
+	case v > MaxWidth:
+		return nil, nil, 0, 0, fmt.Errorf("flenc: invalid fixed length %d", v)
+	}
+	w = uint(v)
+	pb := PlaneBytes(blockLen)
+	need := pb + int(w)*pb
+	if len(src)-n < need {
+		return nil, nil, 0, 0, fmt.Errorf("flenc: truncated block: have %d bytes, need %d", len(src)-n, need)
+	}
+	signs = src[n : n+pb]
+	planes = src[n+pb : n+need]
+	return signs, planes, w, n + need, nil
 }
 
 // DecodeBlock decodes one block of blockLen codes from src, writing them
@@ -260,33 +331,34 @@ func EncodeBlock(dst []byte, codes []int32, headerBytes int, scratch *Block) ([]
 // is an error here — the caller (the core compressor) must intercept it,
 // because its payload is raw floats, not codes.
 func DecodeBlock(codes []int32, src []byte, headerBytes int, scratch *Block) (n int, err error) {
-	blockLen := len(codes)
-	v, n, err := Header(src, headerBytes)
+	signs, planes, w, n, err := decodeBody(src, len(codes), headerBytes)
 	if err != nil {
 		return 0, err
 	}
-	switch {
-	case v == ZeroMarker:
-		for i := range codes {
-			codes[i] = 0
-		}
+	if w == 0 {
+		clear(codes)
 		return n, nil
-	case v == VerbatimU32:
-		return 0, fmt.Errorf("flenc: verbatim block must be handled by the caller")
-	case v > MaxWidth:
-		return 0, fmt.Errorf("flenc: invalid fixed length %d", v)
 	}
-	w := uint(v)
-	pb := PlaneBytes(blockLen)
-	need := pb + int(w)*pb
-	if len(src)-n < need {
-		return 0, fmt.Errorf("flenc: truncated block: have %d bytes, need %d", len(src)-n, need)
+	abs := scratch.Abs[:len(codes)]
+	Unshuffle(abs, planes, w)
+	MergeSigns(codes, abs, signs)
+	return n, nil
+}
+
+// DecodeBlockRef is the retained scalar reference implementation of
+// DecodeBlock (per-plane unshuffle), paired with EncodeBlockRef for
+// differential testing.
+func DecodeBlockRef(codes []int32, src []byte, headerBytes int, scratch *Block) (n int, err error) {
+	signs, planes, w, n, err := decodeBody(src, len(codes), headerBytes)
+	if err != nil {
+		return 0, err
 	}
-	signs := src[n : n+pb]
-	n += pb
-	planes := src[n : n+int(w)*pb]
-	n += int(w) * pb
-	Unshuffle(scratch.Abs[:blockLen], planes, w)
-	MergeSigns(codes, scratch.Abs[:blockLen], signs)
+	if w == 0 {
+		clear(codes)
+		return n, nil
+	}
+	abs := scratch.Abs[:len(codes)]
+	UnshuffleScalar(abs, planes, w)
+	MergeSigns(codes, abs, signs)
 	return n, nil
 }

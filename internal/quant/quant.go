@@ -141,12 +141,22 @@ type Quantizer struct {
 	twoE  float64 // 2ε
 }
 
+// MakeQuantizer returns a quantizer for absolute bound eps (must be > 0)
+// by value, so callers embedding one in pooled state pay no allocation.
+func MakeQuantizer(eps float64) (Quantizer, error) {
+	if !(eps > 0) || math.IsInf(eps, 0) || math.IsNaN(eps) {
+		return Quantizer{}, ErrNonPositiveBound
+	}
+	return Quantizer{eps: eps, recip: 1 / (2 * eps), twoE: 2 * eps}, nil
+}
+
 // NewQuantizer returns a quantizer for absolute bound eps (must be > 0).
 func NewQuantizer(eps float64) (*Quantizer, error) {
-	if !(eps > 0) || math.IsInf(eps, 0) || math.IsNaN(eps) {
-		return nil, ErrNonPositiveBound
+	q, err := MakeQuantizer(eps)
+	if err != nil {
+		return nil, err
 	}
-	return &Quantizer{eps: eps, recip: 1 / (2 * eps), twoE: 2 * eps}, nil
+	return &q, nil
 }
 
 // Eps returns the absolute error bound ε.

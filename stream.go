@@ -29,6 +29,13 @@ func Compress64(dst []byte, data []float64, bound Bound, opts Options) ([]byte, 
 	return core.Compress64(dst, data, opts.coreOptions(bound))
 }
 
+// Compress64Into is Compress64 writing its statistics into a
+// caller-provided Stats; with Workers: 1 and sufficient dst capacity it
+// performs zero allocations in steady state.
+func Compress64Into(dst []byte, data []float64, bound Bound, opts Options, stats *Stats) ([]byte, error) {
+	return core.Compress64Into(dst, data, opts.coreOptions(bound), stats)
+}
+
 // Compress64WithEps is Compress64 with a pre-resolved absolute ε.
 func Compress64WithEps(dst []byte, data []float64, eps float64, opts Options) ([]byte, *Stats, error) {
 	return core.Compress64WithEps(dst, data, eps, opts.coreOptions(Bound{}))
@@ -80,6 +87,7 @@ type StreamWriter struct {
 	bound  Bound
 	opts   Options
 	buf    []byte
+	stats  Stats
 	closed bool
 	// Chunks counts frames written so far.
 	Chunks int
@@ -93,15 +101,16 @@ func NewStreamWriter(w io.Writer, bound Bound, opts Options) *StreamWriter {
 	return &StreamWriter{w: w, bound: bound, opts: opts}
 }
 
-// WriteChunk compresses one float32 chunk and writes its frame.
+// WriteChunk compresses one float32 chunk and writes its frame. After the
+// first chunk the writer's compression buffer is warm, so with Workers: 1
+// the only steady-state allocation is the returned Stats snapshot.
 func (sw *StreamWriter) WriteChunk(data []float32) (*Stats, error) {
 	if sw.closed {
 		return nil, ErrStreamClosed
 	}
 	defer telStreamWrite.Start().End()
-	var stats *Stats
 	var err error
-	sw.buf, stats, err = Compress(sw.buf[:0], data, sw.bound, sw.opts)
+	sw.buf, err = CompressInto(sw.buf[:0], data, sw.bound, sw.opts, &sw.stats)
 	if err != nil {
 		return nil, err
 	}
@@ -112,7 +121,8 @@ func (sw *StreamWriter) WriteChunk(data []float32) (*Stats, error) {
 	sw.CompressedBytes += int64(frameHeaderSize + len(sw.buf))
 	sw.Chunks++
 	sw.recordChunk(int64(4 * len(data)))
-	return stats, nil
+	out := sw.stats
+	return &out, nil
 }
 
 // WriteChunk64 compresses one float64 chunk and writes its frame.
@@ -121,9 +131,8 @@ func (sw *StreamWriter) WriteChunk64(data []float64) (*Stats, error) {
 		return nil, ErrStreamClosed
 	}
 	defer telStreamWrite.Start().End()
-	var stats *Stats
 	var err error
-	sw.buf, stats, err = Compress64(sw.buf[:0], data, sw.bound, sw.opts)
+	sw.buf, err = Compress64Into(sw.buf[:0], data, sw.bound, sw.opts, &sw.stats)
 	if err != nil {
 		return nil, err
 	}
@@ -134,7 +143,8 @@ func (sw *StreamWriter) WriteChunk64(data []float64) (*Stats, error) {
 	sw.CompressedBytes += int64(frameHeaderSize + len(sw.buf))
 	sw.Chunks++
 	sw.recordChunk(int64(8 * len(data)))
-	return stats, nil
+	out := sw.stats
+	return &out, nil
 }
 
 // recordChunk publishes one frame's accounting to the Default registry.
@@ -231,6 +241,19 @@ func (sr *StreamReader) Next() ([]float32, error) {
 	out := make([]float32, len(sr.out))
 	copy(out, sr.out)
 	return out, nil
+}
+
+// NextInto decodes the next float32 chunk appending to dst (which may be
+// nil), returning the extended slice. Unlike Next it performs no final
+// copy into a fresh slice; pass dst[:0] with warm capacity to reuse one
+// buffer across chunks (the steady-state counterpart of WriteChunk).
+func (sr *StreamReader) NextInto(dst []float32) ([]float32, error) {
+	defer telStreamRead.Start().End()
+	payload, err := sr.next()
+	if err != nil {
+		return dst, err
+	}
+	return Decompress(dst, payload)
 }
 
 // Next64 decodes the next float64 chunk.
