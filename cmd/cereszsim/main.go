@@ -5,7 +5,7 @@
 // Usage:
 //
 //	cereszsim [-rows N] [-cols N] [-pl N] [-blocks N] [-rel λ] [-decompress]
-//	          [-trace out.json] [-heatmap out.csv] [-events N]
+//	          [-trace out.json] [-heatmap out.csv] [-events N] [-simworkers N]
 //
 // -trace writes the run's full event schedule as Chrome trace-event JSON —
 // open it in Perfetto (ui.perfetto.dev) to see one track per PE with
@@ -42,6 +42,8 @@ type simOpts struct {
 	heatmapFile string
 	// events prints the first N simulator events as text.
 	events int
+	// simWorkers bounds the row-sharded simulator's worker pool.
+	simWorkers int
 }
 
 func main() {
@@ -56,6 +58,7 @@ func main() {
 	flag.StringVar(&o.traceFile, "trace", "", "write the event schedule as Chrome trace-event JSON to this file")
 	flag.StringVar(&o.heatmapFile, "heatmap", "", "write per-PE utilization CSV to this file")
 	flag.IntVar(&o.events, "events", 0, "print the first N simulator events")
+	flag.IntVar(&o.simWorkers, "simworkers", 0, "simulator workers: 0 = one per CPU, 1 = sequential reference engine (traced runs are always sequential)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -94,7 +97,7 @@ func run(o simOpts) error {
 		traceCap = o.events
 	}
 
-	mesh := wse.Config{Rows: o.rows, Cols: o.cols}
+	mesh := wse.Config{Rows: o.rows, Cols: o.cols, Workers: o.simWorkers}
 	var res *mapping.Result
 	var plan *mapping.Plan
 	var tr *wse.Tracer

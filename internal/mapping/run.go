@@ -2,7 +2,6 @@ package mapping
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"ceresz/internal/core"
@@ -102,6 +101,20 @@ func (pp *peProgram) OnMessage(ctx *wse.Context, msg wse.Message) {
 	default:
 		panic(fmt.Sprintf("mapping: unexpected color %d at %v", msg.Color, ctx.Coord()))
 	}
+}
+
+// ShardProfile implements wse.ShardAware: all of the mapping's row
+// traffic is strictly east-bound (colorRaw relays, colorStage pipeline
+// hand-offs), so every row can simulate as its own shard. In
+// single-ingress mode the column-0 heads additionally receive the
+// colorColumn feed from the row above, which the engine resolves with
+// its deterministic pre-pass.
+func (pp *peProgram) ShardProfile() wse.ShardProfile {
+	prof := wse.ShardProfile{RowLocal: true}
+	if pp.plan.Cfg.SingleIngress {
+		prof.FeedColors = []wse.Color{colorColumn}
+	}
+	return prof
 }
 
 func (pp *peProgram) process(ctx *wse.Context, fb *flowBlock) {
@@ -400,6 +413,8 @@ func (p *Plan) runTelemetry(m *wse.Mesh, cycles int64, wall time.Duration) telem
 	reg.Timer("sim.run_wall").Observe(wall)
 	reg.Counter("sim.events").Add(m.Processed())
 	reg.Counter("sim.cycles").Add(cycles)
+	reg.Gauge("sim.shards").Set(int64(m.Shards()))
+	reg.Gauge("sim.workers").Set(int64(m.Workers()))
 	s := m.Summary()
 	reg.Counter("sim.cycles.compute").Add(s.TotalCompute)
 	reg.Counter("sim.cycles.relay").Add(s.TotalRelay)
@@ -432,19 +447,21 @@ func collectBlocks(m *wse.Mesh, nBlocks int) ([]*flowBlock, error) {
 	if len(ems) != nBlocks {
 		return nil, fmt.Errorf("mapping: %d blocks emitted, want %d", len(ems), nBlocks)
 	}
-	out := make([]*flowBlock, 0, nBlocks)
-	seen := make(map[int]bool, nBlocks)
+	// Block ids are dense 0..nBlocks-1, so the emissions sort by direct
+	// placement: out[id] is the slot, and a filled slot is a duplicate.
+	out := make([]*flowBlock, nBlocks)
 	for _, e := range ems {
 		fb, ok := e.Payload.(*flowBlock)
 		if !ok {
 			return nil, fmt.Errorf("mapping: unexpected emission payload %T", e.Payload)
 		}
-		if seen[fb.id] {
+		if fb.id < 0 || fb.id >= nBlocks {
+			return nil, fmt.Errorf("mapping: emitted block id %d outside [0,%d)", fb.id, nBlocks)
+		}
+		if out[fb.id] != nil {
 			return nil, fmt.Errorf("mapping: block %d emitted twice", fb.id)
 		}
-		seen[fb.id] = true
-		out = append(out, fb)
+		out[fb.id] = fb
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
 	return out, nil
 }

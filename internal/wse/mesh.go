@@ -1,7 +1,6 @@
 package wse
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -28,6 +27,13 @@ type Config struct {
 	ClockHz float64
 	// MaxEvents aborts a runaway simulation (default 500M events).
 	MaxEvents int64
+	// Workers bounds the host worker pool for row-sharded simulation:
+	// 0 runs one worker per available CPU (GOMAXPROCS), 1 forces the
+	// sequential reference engine, N > 1 uses at most N workers.
+	// Sharding changes nothing observable — cycle counts, emission order
+	// and per-PE stats are identical to Workers: 1 (see DESIGN.md,
+	// "Simulator engine").
+	Workers int
 }
 
 // FullWSE is the usable mesh geometry of the CS-2 (§5.1.1).
@@ -56,25 +62,48 @@ func (c Config) WithDefaults() Config {
 // Mesh is a simulated 2D grid of PEs with a discrete-event engine.
 type Mesh struct {
 	cfg Config
-	pes []*PE
+	pes []PE
 
-	// routes[pe][color] = outgoing direction for router pass-through.
-	routes map[int]map[Color]Dir
+	// routes is the dense router table: routes[pe*NumColors+color] is
+	// the pass-through direction, or routeNone. Allocated lazily on the
+	// first SetRoute (~18 MB for the full wafer, nil for meshes that
+	// route nothing).
+	routes []int8
+	// routeColorMask has bit c set when any PE routes color c.
+	routeColorMask uint32
+	// glue[r] marks rows r and r+1 inseparable for sharding because a
+	// North/South route crosses their boundary (programs contribute
+	// their own glue at partition time; see shard.go).
+	glue []bool
 
-	events    eventQueue
-	seq       int64
+	// pending collects work scheduled before the event loops start: host
+	// injections, then everything the Init phase sends. Run bins it into
+	// shards by destination row.
+	pending   []event
+	injectSeq int64
+
 	processed int64
-
 	emissions []Emission
 	emitTo    func(Emission)
 	tracer    *Tracer
 
-	// linkFree[r][c][dir] is the cycle at which the outgoing link of PE
-	// (r,c) toward dir becomes free; messages on one link serialize.
-	linkFree [][][4]int64
+	// linkFree[pe][dir] is the cycle at which PE pe's outgoing link
+	// toward dir becomes free; messages on one link serialize. A cell is
+	// only ever written while simulating its owning PE, so shards never
+	// race on it.
+	linkFree [][4]int64
 
-	ran bool
+	shards  int
+	workers int
+	ran     bool
 }
+
+// routeNone marks an unrouted (pe, color) slot in the dense route table.
+const routeNone = int8(-1)
+
+// hostSrc is the event-ordering origin for host injections; it sorts
+// before every PE index.
+const hostSrc = int32(-1)
 
 // NewMesh builds a mesh of idle PEs.
 func NewMesh(cfg Config) (*Mesh, error) {
@@ -86,16 +115,12 @@ func NewMesh(cfg Config) (*Mesh, error) {
 		return nil, fmt.Errorf("wse: mesh %dx%d exceeds simulator capacity", cfg.Rows, cfg.Cols)
 	}
 	m := &Mesh{cfg: cfg}
-	m.pes = make([]*PE, cfg.Rows*cfg.Cols)
-	for r := 0; r < cfg.Rows; r++ {
-		for c := 0; c < cfg.Cols; c++ {
-			m.pes[r*cfg.Cols+c] = &PE{coord: Coord{Row: r, Col: c}, mesh: m}
-		}
+	m.pes = make([]PE, cfg.Rows*cfg.Cols)
+	for i := range m.pes {
+		m.pes[i] = PE{coord: Coord{Row: i / cfg.Cols, Col: i % cfg.Cols}, idx: int32(i), mesh: m}
 	}
-	m.linkFree = make([][][4]int64, cfg.Rows)
-	for r := range m.linkFree {
-		m.linkFree[r] = make([][4]int64, cfg.Cols)
-	}
+	m.linkFree = make([][4]int64, cfg.Rows*cfg.Cols)
+	m.glue = make([]bool, cfg.Rows)
 	return m, nil
 }
 
@@ -107,7 +132,7 @@ func (m *Mesh) PE(row, col int) *PE {
 	if row < 0 || row >= m.cfg.Rows || col < 0 || col >= m.cfg.Cols {
 		panic(fmt.Sprintf("wse: PE(%d,%d) outside %dx%d mesh", row, col, m.cfg.Rows, m.cfg.Cols))
 	}
-	return m.pes[row*m.cfg.Cols+col]
+	return &m.pes[row*m.cfg.Cols+col]
 }
 
 // SetProgram installs a program on a PE. Must be called before Run.
@@ -137,39 +162,54 @@ func (m *Mesh) SetRoute(row, col int, color Color, out Dir) {
 		panic(fmt.Sprintf("wse: route at %v toward %v leaves the mesh", pe.coord, out))
 	}
 	if m.routes == nil {
-		m.routes = make(map[int]map[Color]Dir)
+		m.routes = make([]int8, len(m.pes)*NumColors)
+		for i := range m.routes {
+			m.routes[i] = routeNone
+		}
 	}
-	idx := row*m.cfg.Cols + col
-	if m.routes[idx] == nil {
-		m.routes[idx] = make(map[Color]Dir)
+	m.routes[int(pe.idx)*NumColors+int(color)] = int8(out)
+	m.routeColorMask |= 1 << uint(color)
+	switch out {
+	case North:
+		m.glue[row-1] = true
+	case South:
+		m.glue[row] = true
 	}
-	m.routes[idx][color] = out
 }
 
-// routeOf returns the router pass-through direction for a color at a PE.
-func (m *Mesh) routeOf(pe *PE, color Color) (Dir, bool) {
+// routeOf returns the router pass-through direction for a color at a PE,
+// or routeNone.
+func (m *Mesh) routeOf(pe int32, color Color) int8 {
 	if m.routes == nil {
-		return 0, false
+		return routeNone
 	}
-	r, ok := m.routes[pe.coord.Row*m.cfg.Cols+pe.coord.Col][color]
-	return r, ok
+	return m.routes[int(pe)*NumColors+int(color)]
 }
 
 // Inject schedules an external message delivery to a PE at the given cycle
 // — the simulator's stand-in for data flowing onto the wafer from the host
 // (the paper assumes "the input data is generated on the first PE of each
-// row", §4.3). The message arrives from direction West.
+// row", §4.3). The message arrives from direction West carrying the
+// OffWafer source sentinel, so programs can distinguish host ingress from
+// fabric traffic.
 func (m *Mesh) Inject(row, col int, msg Message, at int64) {
 	if at < 0 {
 		panic("wse: Inject at negative time")
 	}
 	msg.From = West
-	msg.Src = Coord{Row: row, Col: col}
-	m.push(event{at: at, kind: evDeliver, pe: m.PE(row, col), msg: msg})
+	msg.Src = OffWafer
+	pe := m.PE(row, col)
+	m.pending = append(m.pending, event{
+		at: at, src: hostSrc, seq: m.injectSeq, kind: evDeliver, pe: pe.idx, msg: msg,
+	})
+	m.injectSeq++
 }
 
-// OnEmit registers a callback invoked for every emission as it happens,
-// in addition to the Emissions log.
+// OnEmit registers a callback invoked for every emission, in emission
+// order, in addition to the Emissions log. Under a sharded run the
+// callbacks for message-handler emissions fire after the shards finish
+// (in the merged deterministic order) rather than while the simulation
+// advances.
 func (m *Mesh) OnEmit(f func(Emission)) { m.emitTo = f }
 
 // Emissions returns everything programs handed off the wafer, in emission
@@ -202,43 +242,35 @@ func (m *Mesh) neighbor(c Coord, d Dir) (Coord, bool) {
 // processing its data", §4.1).
 func (m *Mesh) Run() (int64, error) {
 	m.ran = true
-	// Init programs at cycle 0.
-	for _, pe := range m.pes {
+
+	// Init programs at cycle 0, before any partitioning — Init sends may
+	// legitimately cross rows and are simply binned to the destination
+	// shard along with the host injections.
+	ieng := engine{m: m}
+	for i := range m.pes {
+		pe := &m.pes[i]
 		if pe.program == nil {
 			continue
 		}
-		ctx := &Context{pe: pe, start: 0}
-		pe.program.Init(ctx)
-		m.finishHandler(pe, ctx, 0)
+		ieng.ctx.reset(pe, 0)
+		pe.program.Init(&ieng.ctx)
+		ieng.finishHandler(pe, 0)
 	}
-	for len(m.events) > 0 {
-		m.processed++
-		if m.processed > m.cfg.MaxEvents {
-			return 0, fmt.Errorf("wse: exceeded %d events; likely livelock", m.cfg.MaxEvents)
-		}
-		ev := heap.Pop(&m.events).(event)
-		switch ev.kind {
-		case evDeliver:
-			pe := ev.pe
-			if out, ok := m.routeOf(pe, ev.msg.Color); ok {
-				// Router pass-through: re-emit on the configured link with
-				// no processor involvement (only link serialization).
-				m.tracer.record(TraceEntry{At: ev.at, PE: pe.coord, Kind: TraceRoute,
-					Color: ev.msg.Color, Wavelets: ev.msg.Wavelets})
-				m.routeForward(pe, ev.msg, out, ev.at)
-				continue
-			}
-			pe.queue = append(pe.queue, ev.msg)
-			if !pe.running {
-				m.dispatch(pe, ev.at)
-			}
-		case evReady:
-			pe := ev.pe
-			pe.running = false
-			if len(pe.queue) > 0 {
-				m.dispatch(pe, ev.at)
-			}
-		}
+	pending := append(m.pending, ieng.q.ev...)
+	m.pending = nil
+
+	plan := m.partition()
+	if !plan.sequential {
+		return m.runSharded(plan, pending)
+	}
+	m.shards, m.workers = 1, 1
+	seq := engine{m: m, exactLimit: m.cfg.MaxEvents}
+	seq.q.ev = pending
+	seq.q.heapify()
+	err := seq.run()
+	m.processed = seq.processed
+	if err != nil {
+		return 0, err
 	}
 	return m.Elapsed(), nil
 }
@@ -250,9 +282,9 @@ func (m *Mesh) Processed() int64 { return m.processed }
 // Elapsed returns the completion cycle of the busiest PE so far.
 func (m *Mesh) Elapsed() int64 {
 	var last int64
-	for _, pe := range m.pes {
-		if pe.stats.LastActive > last {
-			last = pe.stats.LastActive
+	for i := range m.pes {
+		if la := m.pes[i].stats.LastActive; la > last {
+			last = la
 		}
 	}
 	return last
@@ -263,112 +295,203 @@ func (m *Mesh) Seconds(cycles int64) float64 {
 	return float64(cycles) / m.cfg.ClockHz
 }
 
+// engine runs one discrete-event loop over a subset of the mesh: the
+// whole mesh (the sequential reference), the column-feed pre-pass, or
+// one row shard on a worker goroutine. Engines share the mesh's PE and
+// link state but only ever touch disjoint parts of it (see shard.go).
+type engine struct {
+	m   *Mesh
+	q   eventHeap
+	ctx Context // pooled; reset per handler instead of allocated per dispatch
+
+	processed int64
+	// exactLimit is the sequential MaxEvents guard (checked per event);
+	// sharded workers instead draw prepaid chunks from shared.
+	exactLimit int64
+	shared     *eventBudget
+	quota      int64
+
+	// feedPhase diverts non-feed deliveries into deferred instead of
+	// simulating them — the column-distribution pre-pass.
+	feedPhase bool
+	deferred  []event
+
+	// restricted enforces a worker shard's PE-index bounds and seals.
+	restricted   bool
+	idxLo, idxHi int32
+
+	// collect tags emissions with their cause event's key for the
+	// deterministic post-run merge, instead of appending them to the
+	// mesh log as they happen.
+	collect  bool
+	emis     []taggedEmission
+	causeAt  int64
+	causeSrc int32
+	causeSeq int64
+}
+
+// taggedEmission is an emission annotated with the ordering key of the
+// event whose dispatch produced it.
+type taggedEmission struct {
+	at  int64
+	src int32
+	seq int64
+	em  Emission
+}
+
+// run drains the engine's event queue.
+func (e *engine) run() error {
+	m := e.m
+	for e.q.len() > 0 {
+		ev := e.q.pop()
+		e.processed++
+		if e.shared == nil {
+			if e.processed > e.exactLimit {
+				return fmt.Errorf("wse: exceeded %d events; likely livelock", m.cfg.MaxEvents)
+			}
+		} else if err := e.drawQuota(); err != nil {
+			return err
+		}
+		pe := &m.pes[ev.pe]
+		switch ev.kind {
+		case evDeliver:
+			if d := m.routeOf(ev.pe, ev.msg.Color); d != routeNone {
+				// Router pass-through: re-emit on the configured link with
+				// no processor involvement (only link serialization).
+				m.tracer.record(TraceEntry{At: ev.at, PE: pe.coord, Kind: TraceRoute,
+					Color: ev.msg.Color, Wavelets: ev.msg.Wavelets})
+				e.routeForward(pe, ev.msg, Dir(d), ev.at)
+				continue
+			}
+			if e.restricted && pe.sealed {
+				panic(fmt.Sprintf("wse: delivery on color %d to column-feed PE %v after its pre-pass; its ShardProfile.FeedColors does not cover all of its ingress", ev.msg.Color, pe.coord))
+			}
+			pe.qpush(ev.msg)
+			if !pe.running {
+				e.causeAt, e.causeSrc, e.causeSeq = ev.at, ev.src, ev.seq
+				e.dispatch(pe, ev.at)
+			}
+		case evReady:
+			pe.running = false
+			if pe.qcount > 0 {
+				e.causeAt, e.causeSrc, e.causeSeq = ev.at, ev.src, ev.seq
+				e.dispatch(pe, ev.at)
+			}
+		}
+	}
+	return nil
+}
+
+// push schedules an event, diverting it when the engine's phase demands:
+// the feed pre-pass defers non-feed deliveries to the shards, and worker
+// shards refuse deliveries that leave their rows (a broken RowLocal
+// promise).
+func (e *engine) push(ev event) {
+	if ev.kind == evDeliver {
+		if e.restricted && (ev.pe < e.idxLo || ev.pe >= e.idxHi) {
+			dst := &e.m.pes[ev.pe]
+			panic(fmt.Sprintf("wse: shard-profile violation: send into row %d from a shard covering rows [%d,%d); the sender's ShardProfile claims RowLocal",
+				dst.coord.Row, int(e.idxLo)/e.m.cfg.Cols, int(e.idxHi)/e.m.cfg.Cols))
+		}
+		if e.feedPhase && !e.m.isFeed(ev.pe, ev.msg.Color) {
+			e.deferred = append(e.deferred, ev)
+			return
+		}
+	}
+	e.q.push(ev)
+}
+
 // routeForward re-emits a routed message toward out at time t, paying only
 // link occupancy (the router moves wavelets in hardware).
-func (m *Mesh) routeForward(pe *PE, msg Message, out Dir, t int64) {
+func (e *engine) routeForward(pe *PE, msg Message, out Dir, t int64) {
+	m := e.m
 	dst, ok := m.neighbor(pe.coord, out)
 	if !ok {
 		panic(fmt.Sprintf("wse: route off mesh at %v", pe.coord))
 	}
-	free := m.linkFree[pe.coord.Row][pe.coord.Col][out]
+	free := &m.linkFree[pe.idx][out]
 	depart := t
-	if free > depart {
-		depart = free
+	if *free > depart {
+		depart = *free
 	}
 	arrive := depart + m.cfg.LinkLatency + int64(msg.Wavelets)
-	m.linkFree[pe.coord.Row][pe.coord.Col][out] = arrive
+	*free = arrive
 	fwd := msg
 	fwd.From = out.Opposite()
 	fwd.Src = pe.coord
 	pe.stats.Routed++
-	m.push(event{at: arrive, kind: evDeliver, pe: m.PE(dst.Row, dst.Col), msg: fwd})
+	e.push(event{at: arrive, src: pe.idx, seq: pe.pushSeq, kind: evDeliver,
+		pe: int32(dst.Row*m.cfg.Cols + dst.Col), msg: fwd})
+	pe.pushSeq++
 }
 
 // dispatch pops the next queued message on pe and runs its handler at time t.
-func (m *Mesh) dispatch(pe *PE, t int64) {
+func (e *engine) dispatch(pe *PE, t int64) {
 	if pe.program == nil {
-		// No program: drop silently (matches fabric behavior for unrouted
-		// colors — but flag it, since it is almost always a harness bug).
+		// No route and no program: a real fabric would drop the wavelets,
+		// but silently losing data in a simulation hides mapping bugs, so
+		// the harness fails loudly instead.
 		panic(fmt.Sprintf("wse: message delivered to programless PE %v", pe.coord))
 	}
-	msg := pe.queue[0]
-	pe.queue = pe.queue[1:]
+	if e.feedPhase {
+		// The pre-pass owns this PE's whole timeline from here on; any
+		// worker-phase delivery to it is a profile violation.
+		pe.sealed = true
+	}
+	msg := pe.qpop()
 	pe.running = true
-	ctx := &Context{pe: pe, start: t}
-	pe.program.OnMessage(ctx, msg)
+	e.ctx.reset(pe, t)
+	pe.program.OnMessage(&e.ctx, msg)
 	pe.stats.Handled++
-	end := m.finishHandler(pe, ctx, t)
-	m.tracer.record(TraceEntry{At: t, PE: pe.coord, Kind: TraceDispatch,
+	end := e.finishHandler(pe, t)
+	e.m.tracer.record(TraceEntry{At: t, PE: pe.coord, Kind: TraceDispatch,
 		Color: msg.Color, Wavelets: msg.Wavelets, Cycles: end - t})
-	m.push(event{at: end, kind: evReady, pe: pe})
+	e.push(event{at: end, src: pe.idx, seq: pe.pushSeq, kind: evReady, pe: pe.idx})
+	pe.pushSeq++
 }
 
 // finishHandler applies a completed handler's effects: schedules its sends
 // and updates the PE's busy window. Returns the handler's end time.
-func (m *Mesh) finishHandler(pe *PE, ctx *Context, t int64) int64 {
+func (e *engine) finishHandler(pe *PE, t int64) int64 {
+	m := e.m
+	ctx := &e.ctx
 	end := t + ctx.cost
 	if end > pe.stats.LastActive {
 		pe.stats.LastActive = end
 	}
 	pe.busyUntil = end
-	for _, s := range ctx.sends {
+	for i := range ctx.sends {
+		s := &ctx.sends[i]
 		dst, ok := m.neighbor(pe.coord, s.dir)
 		if !ok {
 			panic(fmt.Sprintf("wse: queued send off mesh from %v", pe.coord))
 		}
 		// The message occupies the outgoing link for its wavelet count;
 		// back-to-back messages on one link serialize.
-		free := m.linkFree[pe.coord.Row][pe.coord.Col][s.dir]
+		free := &m.linkFree[pe.idx][s.dir]
 		depart := end
-		if free > depart {
-			depart = free
+		if *free > depart {
+			depart = *free
 		}
 		arrive := depart + m.cfg.LinkLatency + int64(s.msg.Wavelets)
-		m.linkFree[pe.coord.Row][pe.coord.Col][s.dir] = arrive
+		*free = arrive
 		msg := s.msg
 		msg.From = s.dir.Opposite()
-		m.push(event{at: arrive, kind: evDeliver, pe: m.PE(dst.Row, dst.Col), msg: msg})
+		e.push(event{at: arrive, src: pe.idx, seq: pe.pushSeq, kind: evDeliver,
+			pe: int32(dst.Row*m.cfg.Cols + dst.Col), msg: msg})
+		pe.pushSeq++
 	}
-	ctx.sends = nil
 	for _, p := range ctx.emits {
-		e := Emission{From: pe.coord, At: end, Payload: p}
-		m.emissions = append(m.emissions, e)
+		em := Emission{From: pe.coord, At: end, Payload: p}
+		if e.collect {
+			e.emis = append(e.emis, taggedEmission{at: e.causeAt, src: e.causeSrc, seq: e.causeSeq, em: em})
+			continue
+		}
+		m.emissions = append(m.emissions, em)
 		m.tracer.record(TraceEntry{At: end, PE: pe.coord, Kind: TraceEmit})
 		if m.emitTo != nil {
-			m.emitTo(e)
+			m.emitTo(em)
 		}
 	}
-	ctx.emits = nil
 	return end
 }
-
-// Event machinery.
-
-type evKind int
-
-const (
-	evDeliver evKind = iota
-	evReady
-)
-
-type event struct {
-	at   int64
-	seq  int64
-	kind evKind
-	pe   *PE
-	msg  Message
-}
-
-type eventQueue []event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
-func (m *Mesh) push(ev event)      { ev.seq = m.seq; m.seq++; heap.Push(&m.events, ev) }

@@ -25,15 +25,65 @@ func (f ProgramFunc) OnMessage(ctx *Context, msg Message) { f(ctx, msg) }
 // PE is one processing element.
 type PE struct {
 	coord   Coord
+	idx     int32 // linear index row*Cols+col
 	mesh    *Mesh
 	program Program
 
-	queue     []Message // pending deliveries, FIFO
+	// qbuf is a power-of-two ring of pending deliveries (FIFO): qhead is
+	// the read position, qcount the fill. (A plain `queue = queue[1:]`
+	// slice retains its consumed prefix until reallocation; the ring
+	// reuses it.)
+	qbuf   []Message
+	qhead  int
+	qcount int
+
 	busyUntil int64
 	running   bool
 
+	// pushSeq stamps this PE's outgoing events with a strictly
+	// increasing per-origin sequence — one third of the (at, src, seq)
+	// event-ordering key (see queue.go).
+	pushSeq int64
+	// feedMask marks colors the program declared as column-feed ingress
+	// (ShardProfile.FeedColors), rebuilt at partition time.
+	feedMask uint32
+	// sealed marks a PE whose entire timeline ran in the column-feed
+	// pre-pass; a later delivery to it is a shard-profile violation.
+	sealed bool
+
 	memUsed int
 	stats   Stats
+}
+
+// qpush appends a delivered message to the PE's FIFO.
+func (p *PE) qpush(m Message) {
+	if p.qcount == len(p.qbuf) {
+		p.qgrow()
+	}
+	p.qbuf[(p.qhead+p.qcount)&(len(p.qbuf)-1)] = m
+	p.qcount++
+}
+
+// qpop removes and returns the oldest queued message.
+func (p *PE) qpop() Message {
+	m := p.qbuf[p.qhead]
+	p.qbuf[p.qhead] = Message{} // drop the payload reference
+	p.qhead = (p.qhead + 1) & (len(p.qbuf) - 1)
+	p.qcount--
+	return m
+}
+
+func (p *PE) qgrow() {
+	n := len(p.qbuf) * 2
+	if n == 0 {
+		n = 8
+	}
+	buf := make([]Message, n)
+	for i := 0; i < p.qcount; i++ {
+		buf[i] = p.qbuf[(p.qhead+i)&(len(p.qbuf)-1)]
+	}
+	p.qbuf = buf
+	p.qhead = 0
 }
 
 // Coord returns the PE's mesh coordinate.
@@ -63,6 +113,16 @@ type pendingSend struct {
 	dir     Dir
 	msg     Message
 	forward bool
+}
+
+// reset prepares a pooled Context for the next handler invocation,
+// reusing the sends/emits backing arrays.
+func (c *Context) reset(pe *PE, start int64) {
+	c.pe = pe
+	c.start = start
+	c.cost = 0
+	c.sends = c.sends[:0]
+	c.emits = c.emits[:0]
 }
 
 // Now returns the cycle at which the current handler began.

@@ -1,0 +1,292 @@
+package wse
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Row sharding.
+//
+// Under the paper's data-parallel mapping, rows are fully independent
+// (§4.1): every message a row's PEs exchange stays inside the row, so
+// each row's event timeline can be simulated on its own. The engine
+// detects that property instead of assuming it: rows are partitioned
+// into shards — maximal runs of rows with no cross-row sends or routes —
+// and each shard runs its own event loop on a worker goroutine. Anything
+// the partitioner cannot prove row-local collapses into one shard, which
+// is the sequential reference engine.
+
+// ShardProfile declares how a program's traffic relates to the mesh's
+// row structure, letting the engine split rows into independently
+// simulable shards.
+type ShardProfile struct {
+	// RowLocal promises the program only sends East or West from its
+	// message handlers, except while handling FeedColors traffic (which
+	// runs in the sequential pre-pass and may flow South). The promise
+	// is enforced: a North/South send from a sharded worker panics.
+	RowLocal bool
+	// FeedColors lists colors on which the program receives traffic fed
+	// in from another row — the single-ingress column distribution of
+	// §4.3, where blocks enter at one corner PE and are forwarded South
+	// down column 0. Deliveries on these colors are resolved by a
+	// deterministic sequential pre-pass before the shards run. The
+	// pre-pass must cover the receiving PE's entire timeline, so PEs it
+	// dispatches are sealed: any later delivery to them panics.
+	FeedColors []Color
+}
+
+// ShardAware is optionally implemented by Programs to unlock row
+// sharding. Programs without it are conservatively assumed to talk to
+// adjacent rows, which glues their row to both neighbors and typically
+// collapses the mesh into a single (sequential) shard.
+type ShardAware interface {
+	ShardProfile() ShardProfile
+}
+
+// shardSpan is one shard: the contiguous row range [lo, hi).
+type shardSpan struct {
+	lo, hi int
+}
+
+// runPlan is the partitioner's verdict for one Run.
+type runPlan struct {
+	sequential bool
+	spans      []shardSpan
+	feed       bool // some program declared FeedColors
+	workers    int
+}
+
+// partition decides how to run the mesh: sequentially, or as row shards
+// on a worker pool. Rows r and r+1 end up in the same shard when a
+// North/South route crosses their boundary or a program on either row
+// does not promise RowLocal behavior.
+func (m *Mesh) partition() runPlan {
+	rows := m.cfg.Rows
+	workers := m.cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// The tracer records a single globally ordered schedule, so traced
+	// runs always use the sequential reference engine.
+	if workers <= 1 || m.tracer != nil || rows == 1 {
+		return runPlan{sequential: true}
+	}
+
+	glue := make([]bool, rows) // glue[r]: rows r and r+1 inseparable
+	copy(glue, m.glue)
+	var feedUnion uint32
+	for i := range m.pes {
+		pe := &m.pes[i]
+		pe.feedMask = 0
+		pe.sealed = false
+		if pe.program == nil {
+			continue
+		}
+		if sa, ok := pe.program.(ShardAware); ok {
+			if prof := sa.ShardProfile(); prof.RowLocal {
+				for _, c := range prof.FeedColors {
+					if c.Valid() {
+						pe.feedMask |= 1 << uint(c)
+					}
+				}
+				feedUnion |= pe.feedMask
+				continue
+			}
+		}
+		r := pe.coord.Row
+		if r > 0 {
+			glue[r-1] = true
+		}
+		if r < rows-1 {
+			glue[r] = true
+		}
+	}
+	if feedUnion&m.routeColorMask != 0 {
+		// A feed color is also statically routed somewhere, so the
+		// pre-pass could occupy links that row traffic shares. Nothing in
+		// the CereSZ mapping does this; keep such runs sequential.
+		return runPlan{sequential: true}
+	}
+
+	var spans []shardSpan
+	lo := 0
+	for r := 0; r < rows; r++ {
+		if r == rows-1 || !glue[r] {
+			spans = append(spans, shardSpan{lo: lo, hi: r + 1})
+			lo = r + 1
+		}
+	}
+	if len(spans) == 1 {
+		return runPlan{sequential: true}
+	}
+	return runPlan{spans: spans, feed: feedUnion != 0, workers: workers}
+}
+
+// eventBudget is the sharded engines' shared MaxEvents allowance.
+// Workers draw prepaid chunks from it, so the livelock guard stays cheap
+// (one atomic per few thousand events) at the cost of triggering up to
+// one chunk per worker late.
+type eventBudget struct {
+	remaining atomic.Int64
+}
+
+const budgetChunk = 4096
+
+// runSharded executes the worker-pool path: optional column-feed
+// pre-pass, then one engine per shard, then a deterministic merge of the
+// shards' emissions by event key.
+func (m *Mesh) runSharded(plan runPlan, pending []event) (int64, error) {
+	var tagged []taggedEmission
+	var used int64
+
+	if plan.feed {
+		// Column-distribution pre-pass: simulate only the feed-colored
+		// traffic (and everything the feeder PEs do in response),
+		// deferring every other delivery it generates to the shards. The
+		// pre-pass runs before any worker starts, so the link and PE
+		// state it writes is visible to — and never raced by — the
+		// shards; feeder PEs are sealed when it finishes.
+		var seeds, rest []event
+		for _, ev := range pending {
+			if ev.kind == evDeliver && m.isFeed(ev.pe, ev.msg.Color) {
+				seeds = append(seeds, ev)
+			} else {
+				rest = append(rest, ev)
+			}
+		}
+		pre := engine{m: m, exactLimit: m.cfg.MaxEvents, feedPhase: true, collect: true}
+		pre.q.ev = seeds
+		pre.q.heapify()
+		if err := pre.run(); err != nil {
+			return 0, err
+		}
+		used = pre.processed
+		tagged = pre.emis
+		pending = append(rest, pre.deferred...)
+	}
+
+	// Bin the pending events (host injections, Init-phase sends, feed
+	// deferrals) to the shard owning their destination row.
+	shardOf := make([]int32, m.cfg.Rows)
+	for i, sp := range plan.spans {
+		for r := sp.lo; r < sp.hi; r++ {
+			shardOf[r] = int32(i)
+		}
+	}
+	budget := &eventBudget{}
+	budget.remaining.Store(m.cfg.MaxEvents - used)
+	engines := make([]engine, len(plan.spans))
+	for i, sp := range plan.spans {
+		engines[i] = engine{m: m, shared: budget, restricted: true, collect: true,
+			idxLo: int32(sp.lo * m.cfg.Cols), idxHi: int32(sp.hi * m.cfg.Cols)}
+	}
+	for _, ev := range pending {
+		s := shardOf[int(ev.pe)/m.cfg.Cols]
+		engines[s].q.ev = append(engines[s].q.ev, ev)
+	}
+
+	workers := plan.workers
+	if workers > len(engines) {
+		workers = len(engines)
+	}
+	m.shards, m.workers = len(engines), workers
+
+	var next atomic.Int32
+	var wg sync.WaitGroup
+	panics := make([]any, len(engines))
+	errs := make([]error, len(engines))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(engines) {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panics[i] = r
+						}
+					}()
+					e := &engines[i]
+					e.q.heapify()
+					errs[i] = e.run()
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	// Surface failures the way the sequential engine would: the first
+	// panicking or erroring shard (by shard order) wins.
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+
+	m.processed = used
+	for i := range engines {
+		m.processed += engines[i].processed
+		tagged = append(tagged, engines[i].emis...)
+	}
+	// Merge emissions into the order the sequential engine would have
+	// produced: its emission log order is the processing order of the
+	// dispatches that emitted, i.e. the (at, src, seq) order of their
+	// cause events. The sort is stable so multiple emissions from one
+	// handler keep their in-handler order.
+	sort.SliceStable(tagged, func(i, j int) bool {
+		a, b := &tagged[i], &tagged[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.seq < b.seq
+	})
+	for _, te := range tagged {
+		m.emissions = append(m.emissions, te.em)
+		if m.emitTo != nil {
+			m.emitTo(te.em)
+		}
+	}
+	return m.Elapsed(), nil
+}
+
+// isFeed reports whether a delivery of color c to PE pe belongs to the
+// column-feed pre-pass.
+func (m *Mesh) isFeed(pe int32, c Color) bool {
+	return m.pes[pe].feedMask&(1<<uint(c)) != 0
+}
+
+// Shards reports how many row shards the last Run simulated (1 when the
+// sequential reference engine ran).
+func (m *Mesh) Shards() int { return m.shards }
+
+// Workers reports how many host workers the last Run used (1 when the
+// sequential reference engine ran).
+func (m *Mesh) Workers() int { return m.workers }
+
+// drawQuota charges one event against the shared budget, refilling the
+// engine's local prepaid chunk as needed.
+func (e *engine) drawQuota() error {
+	if e.quota > 0 {
+		e.quota--
+		return nil
+	}
+	if e.shared.remaining.Add(-budgetChunk) < 0 {
+		return fmt.Errorf("wse: exceeded %d events; likely livelock", e.m.cfg.MaxEvents)
+	}
+	e.quota = budgetChunk - 1
+	return nil
+}

@@ -30,7 +30,8 @@ type MeshStats struct {
 func (m *Mesh) Summary() MeshStats {
 	s := MeshStats{Elapsed: m.Elapsed()}
 	var busySum float64
-	for _, pe := range m.pes {
+	for i := range m.pes {
+		pe := &m.pes[i]
 		st := pe.stats
 		busy := st.BusyCycles()
 		if busy == 0 && st.Handled == 0 {
@@ -85,7 +86,9 @@ func (m *Mesh) WriteUtilization(w io.Writer, row int) {
 // TopBusiest returns the n busiest PEs in descending busy order.
 func (m *Mesh) TopBusiest(n int) []*PE {
 	pes := make([]*PE, len(m.pes))
-	copy(pes, m.pes)
+	for i := range m.pes {
+		pes[i] = &m.pes[i]
+	}
 	sort.Slice(pes, func(i, j int) bool {
 		bi, bj := pes[i].stats.BusyCycles(), pes[j].stats.BusyCycles()
 		if bi != bj {

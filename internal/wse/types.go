@@ -102,10 +102,15 @@ type Message struct {
 	// From is the direction the message arrived from, filled in on
 	// delivery (Ramp for externally injected messages).
 	From Dir
-	// Src is the coordinate of the sending PE (or the injection target for
-	// external messages).
+	// Src is the coordinate of the sending PE; host-injected messages
+	// carry the OffWafer sentinel instead.
 	Src Coord
 }
+
+// OffWafer is the sentinel source coordinate stamped on host-injected
+// messages (Mesh.Inject). No PE owns it, so a program can distinguish
+// host ingress from fabric traffic by comparing Message.Src against it.
+var OffWafer = Coord{Row: -1, Col: -1}
 
 // Emission is a payload the program handed off the wafer (compressed
 // output, in CereSZ's case), with its completion timestamp.
