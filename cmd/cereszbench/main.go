@@ -21,8 +21,9 @@
 //	                           are identical; only wall time changes)
 //	-json                      emit one JSON object per experiment instead
 //	                           of formatted tables
-//	-debug-addr host:port      serve net/http/pprof, expvar and the live
-//	                           telemetry snapshot while experiments run
+//	-debug-addr host:port      serve net/http/pprof, expvar, the live
+//	                           telemetry snapshot and Prometheus text
+//	                           metrics (/debug/metrics) while running
 package main
 
 import (
@@ -69,12 +70,13 @@ func main() {
 		telemetry.Enable()
 		telemetry.Default.PublishExpvar("ceresz")
 		http.Handle("/debug/telemetry", telemetry.Default.Handler())
+		http.Handle("/debug/metrics", telemetry.Default.MetricsHandler())
 		go func() {
 			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "debug server:", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/ (also /debug/vars, /debug/telemetry)\n", *debugAddr)
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/ (also /debug/vars, /debug/telemetry, /debug/metrics)\n", *debugAddr)
 	}
 
 	args := flag.Args()

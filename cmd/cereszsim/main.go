@@ -6,11 +6,20 @@
 //
 //	cereszsim [-rows N] [-cols N] [-pl N] [-blocks N] [-rel λ] [-decompress]
 //	          [-trace out.json] [-heatmap out.csv] [-events N] [-simworkers N]
+//	          [-spans out.json] [-spantrace out.json] [-attrib] [-attribout out.json]
 //
 // -trace writes the run's full event schedule as Chrome trace-event JSON —
 // open it in Perfetto (ui.perfetto.dev) to see one track per PE with
 // dispatch/route/emit slices. -heatmap writes a rows×cols CSV of per-PE
 // processor utilization (and prints the ASCII shading to stdout).
+//
+// -spans writes every block's lifecycle (inject → relay hops → stage
+// dispatches → eject) as structured JSON; -spantrace renders the same
+// spans as a Perfetto trace with flow arrows chaining each block across
+// PEs. -attrib prints per-PE cycle attribution (compute / relay-forward /
+// queue-wait / fabric-stall / idle), the bottleneck stage group, and the
+// critical block's per-leg latency decomposition; -attribout writes that
+// report plus the raw attribution as JSON.
 //
 // Example:
 //
@@ -18,12 +27,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"os"
 
 	"ceresz/internal/core"
+	"ceresz/internal/critpath"
 	"ceresz/internal/mapping"
 	"ceresz/internal/quant"
 	"ceresz/internal/stages"
@@ -44,6 +55,14 @@ type simOpts struct {
 	events int
 	// simWorkers bounds the row-sharded simulator's worker pool.
 	simWorkers int
+	// spansFile writes per-block lifecycle spans as JSON.
+	spansFile string
+	// spanTraceFile writes block spans as a Perfetto flow trace.
+	spanTraceFile string
+	// attrib prints the stall-attribution and critical-path report.
+	attrib bool
+	// attribFile writes the attribution + critical-path report as JSON.
+	attribFile string
 }
 
 func main() {
@@ -59,6 +78,10 @@ func main() {
 	flag.StringVar(&o.heatmapFile, "heatmap", "", "write per-PE utilization CSV to this file")
 	flag.IntVar(&o.events, "events", 0, "print the first N simulator events")
 	flag.IntVar(&o.simWorkers, "simworkers", 0, "simulator workers: 0 = one per CPU, 1 = sequential reference engine (traced runs are always sequential)")
+	flag.StringVar(&o.spansFile, "spans", "", "write per-block lifecycle spans as JSON to this file")
+	flag.StringVar(&o.spanTraceFile, "spantrace", "", "write block spans as Perfetto flow-event JSON to this file")
+	flag.BoolVar(&o.attrib, "attrib", false, "print per-PE stall attribution and the critical-path analysis")
+	flag.StringVar(&o.attribFile, "attribout", "", "write attribution + critical-path report as JSON to this file")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -98,6 +121,7 @@ func run(o simOpts) error {
 	}
 
 	mesh := wse.Config{Rows: o.rows, Cols: o.cols, Workers: o.simWorkers}
+	recordSpans := o.spansFile != "" || o.spanTraceFile != "" || o.attrib || o.attribFile != ""
 	var res *mapping.Result
 	var plan *mapping.Plan
 	var tr *wse.Tracer
@@ -110,7 +134,7 @@ func run(o simOpts) error {
 		if err != nil {
 			return err
 		}
-		plan, err = mapping.NewPlan(chain, mapping.PlanConfig{Mesh: mesh, PipelineLen: o.pl})
+		plan, err = mapping.NewPlan(chain, mapping.PlanConfig{Mesh: mesh, PipelineLen: o.pl, RecordSpans: recordSpans})
 		if err != nil {
 			return err
 		}
@@ -123,7 +147,7 @@ func run(o simOpts) error {
 		if err != nil {
 			return err
 		}
-		plan, err = mapping.NewPlan(chain, mapping.PlanConfig{Mesh: mesh, PipelineLen: o.pl})
+		plan, err = mapping.NewPlan(chain, mapping.PlanConfig{Mesh: mesh, PipelineLen: o.pl, RecordSpans: recordSpans})
 		if err != nil {
 			return err
 		}
@@ -171,7 +195,63 @@ func run(o simOpts) error {
 		fmt.Printf("\nfirst %d simulator events:\n", o.events)
 		tr.Write(os.Stdout)
 	}
+
+	var rep critpath.Report
+	if o.attrib || o.attribFile != "" {
+		rep = critpath.Analyze(plan, res, critpath.Options{})
+	}
+	if o.attrib {
+		fmt.Print("\n")
+		rep.WriteTo(os.Stdout)
+	}
+	if o.attribFile != "" {
+		if err := writeJSON(o.attribFile, map[string]any{
+			"attribution": res.Attribution,
+			"critpath":    rep,
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("wrote attribution report to %s\n", o.attribFile)
+	}
+	if o.spansFile != "" {
+		if err := writeJSON(o.spansFile, res.Spans); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d block spans to %s\n", len(res.Spans), o.spansFile)
+	}
+	if o.spanTraceFile != "" {
+		if err := writeSpanTrace(res.SpanLog, mesh, o.spanTraceFile); err != nil {
+			return err
+		}
+		fmt.Printf("wrote span flow trace to %s (open in ui.perfetto.dev)\n", o.spanTraceFile)
+	}
 	return nil
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeSpanTrace(log *wse.SpanLog, cfg wse.Config, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := log.WriteChromeTrace(f, cfg); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeTrace(tr *wse.Tracer, cfg wse.Config, path string) error {

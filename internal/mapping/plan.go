@@ -50,6 +50,13 @@ type PlanConfig struct {
 	// PEs, which must count and capture blocks, relay in software. Head
 	// PEs always use processor relay; the two modes emit identical bytes.
 	ProcessorRelay bool
+	// RecordSpans traces every block's lifecycle (inject → relay hops →
+	// stage groups → eject) through the simulator's span log; the result
+	// carries the assembled Result.Spans and the raw Result.SpanLog for
+	// Perfetto export. Off by default — tracing every block costs memory
+	// proportional to blocks × pipeline hops. Deterministic: the recorded
+	// spans are bit-identical for any Mesh.Workers setting.
+	RecordSpans bool
 }
 
 // Plan is a validated mapping of a stage chain onto a mesh.
@@ -61,6 +68,9 @@ type Plan struct {
 	EstCosts []int64
 	// Pipelines is the number of pipelines per row (⌊Cols/PipelineLen⌋).
 	Pipelines int
+	// groupLabels holds the span label for each pipeline position
+	// ("group00"…), precomputed so handlers never format in the hot path.
+	groupLabels []string
 }
 
 // NewPlan distributes the chain's sub-stages over PipelineLen PEs with
@@ -101,6 +111,10 @@ func NewPlan(chain *stages.Chain, cfg PlanConfig) (*Plan, error) {
 		Groups:    groups,
 		EstCosts:  costs,
 		Pipelines: mesh.Cols / cfg.PipelineLen,
+	}
+	p.groupLabels = make([]string, len(groups))
+	for i := range groups {
+		p.groupLabels[i] = fmt.Sprintf("group%02d", i)
 	}
 	if err := p.checkMemory(); err != nil {
 		return nil, err
@@ -152,6 +166,10 @@ func (p *Plan) TotalCycles() int64 {
 
 // GroupOf returns the stage group of pipeline position pos.
 func (p *Plan) GroupOf(pos int) Group { return p.Groups[pos] }
+
+// GroupLabel returns the span-log label of pipeline position pos — the
+// string the PE programs stamp on their dispatch span events.
+func (p *Plan) GroupLabel(pos int) string { return p.groupLabels[pos] }
 
 // Describe renders the grouping for logs: one line per PE position.
 func (p *Plan) Describe() string {

@@ -2,6 +2,7 @@ package mapping
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"ceresz/internal/core"
@@ -71,6 +72,7 @@ func (pp *peProgram) OnMessage(ctx *wse.Context, msg wse.Message) {
 		// them into ordinary row traffic.
 		fb := msg.Payload.(*flowBlock)
 		if fb.row != ctx.Coord().Row {
+			ctx.LabelSpan("feed")
 			ctx.Forward(wse.South, msg)
 			return
 		}
@@ -79,11 +81,13 @@ func (pp *peProgram) OnMessage(ctx *wse.Context, msg wse.Message) {
 	case colorRaw:
 		if !pp.isHead {
 			// Interior PEs relay raw traffic toward farther pipelines.
+			ctx.LabelSpan("relay")
 			ctx.Forward(wse.East, msg)
 			return
 		}
 		if pp.relayLeft > 0 {
 			pp.relayLeft--
+			ctx.LabelSpan("relay")
 			ctx.Forward(wse.East, msg)
 			return
 		}
@@ -119,6 +123,7 @@ func (pp *peProgram) ShardProfile() wse.ShardProfile {
 
 func (pp *peProgram) process(ctx *wse.Context, fb *flowBlock) {
 	chain := pp.plan.Chain
+	ctx.LabelSpan(pp.plan.groupLabels[ctx.Coord().Col%pp.plan.Cfg.PipelineLen])
 	for i := pp.group.Lo; i < pp.group.Hi; i++ {
 		ctx.Spend(chain.Stages[i].Cycles(fb.st))
 		chain.Stages[i].Run(fb.st)
@@ -156,6 +161,17 @@ type Result struct {
 	// cost of the simulation itself. Each run gets its own registry, so
 	// concurrent simulations never mix.
 	Telemetry telemetry.Snapshot
+	// Attribution is the per-PE timeline decomposition (compute,
+	// relay-forward, queue-wait, fabric-stall, idle) of the run; every
+	// PE's buckets sum to Cycles exactly, and the whole structure is
+	// bit-identical across Mesh.Workers settings.
+	Attribution wse.Attribution
+	// Spans holds every block's assembled lifecycle when
+	// PlanConfig.RecordSpans is set (nil otherwise).
+	Spans []wse.BlockSpan
+	// SpanLog is the raw span log behind Spans, for Perfetto export
+	// (nil unless RecordSpans).
+	SpanLog *wse.SpanLog
 }
 
 // install wires the plan's programs onto rows [0, rows) of the mesh.
@@ -190,7 +206,8 @@ func (p *Plan) injectColumn(m *wse.Mesh, blocks []*flowBlock, wavelets func(*flo
 	t := int64(0)
 	for _, fb := range blocks {
 		w := wavelets(fb)
-		m.Inject(0, 0, wse.Message{Color: colorColumn, Payload: fb, Wavelets: w}, t)
+		m.Inject(0, 0, wse.Message{Color: colorColumn, Payload: fb, Wavelets: w,
+			Span: int64(fb.id) + 1}, t)
 		if p.Cfg.InjectInterval > 0 {
 			t += p.Cfg.InjectInterval
 		} else {
@@ -205,7 +222,8 @@ func (p *Plan) inject(m *wse.Mesh, row int, blocks []*flowBlock, wavelets func(*
 	t := int64(0)
 	for _, fb := range blocks {
 		w := wavelets(fb)
-		m.Inject(row, 0, wse.Message{Color: colorRaw, Payload: fb, Wavelets: w}, t)
+		m.Inject(row, 0, wse.Message{Color: colorRaw, Payload: fb, Wavelets: w,
+			Span: int64(fb.id) + 1}, t)
 		if p.Cfg.InjectInterval > 0 {
 			t += p.Cfg.InjectInterval
 		} else {
@@ -248,6 +266,10 @@ func (p *Plan) compress(data []float32, traceCap int) (*Result, *wse.Tracer, err
 	var tr *wse.Tracer
 	if traceCap > 0 {
 		tr = m.AttachTracer(traceCap)
+	}
+	var spanLog *wse.SpanLog
+	if p.Cfg.RecordSpans {
+		spanLog = m.AttachSpans()
 	}
 	rows := p.Cfg.Mesh.Rows
 	if rows > nBlocks && nBlocks > 0 {
@@ -301,7 +323,7 @@ func (p *Plan) compress(data []float32, traceCap int) (*Result, *wse.Tracer, err
 	for _, fb := range encoded {
 		out = append(out, fb.st.Encoded...)
 	}
-	res := p.newResult(m, cycles, int64(4*len(data)), meta, wall)
+	res := p.newResult(m, cycles, int64(4*len(data)), meta, wall, spanLog)
 	res.Bytes = out
 	return res, tr, nil
 }
@@ -340,6 +362,10 @@ func (p *Plan) decompress(comp []byte, traceCap int) (*Result, *wse.Tracer, erro
 	var tr *wse.Tracer
 	if traceCap > 0 {
 		tr = m.AttachTracer(traceCap)
+	}
+	var spanLog *wse.SpanLog
+	if p.Cfg.RecordSpans {
+		spanLog = m.AttachSpans()
 	}
 	rows := p.Cfg.Mesh.Rows
 	if rows > nBlocks && nBlocks > 0 {
@@ -384,31 +410,40 @@ func (p *Plan) decompress(comp []byte, traceCap int) (*Result, *wse.Tracer, erro
 		}
 		copy(out[lo:hi], fb.st.Raw)
 	}
-	res := p.newResult(m, cycles, int64(4*meta.Elements), meta, wall)
+	res := p.newResult(m, cycles, int64(4*meta.Elements), meta, wall, spanLog)
 	res.Data = out
 	return res, tr, nil
 }
 
-func (p *Plan) newResult(m *wse.Mesh, cycles, inputBytes int64, meta core.Meta, wall time.Duration) *Result {
+func (p *Plan) newResult(m *wse.Mesh, cycles, inputBytes int64, meta core.Meta, wall time.Duration, spanLog *wse.SpanLog) *Result {
 	secs := m.Seconds(cycles)
 	tput := 0.0
 	if secs > 0 {
 		tput = float64(inputBytes) / secs / 1e9
 	}
-	return &Result{
+	res := &Result{
 		Cycles:         cycles,
 		Seconds:        secs,
 		ThroughputGBps: tput,
 		Mesh:           m,
 		Meta:           meta,
-		Telemetry:      p.runTelemetry(m, cycles, wall),
+		Attribution:    m.Attribution(),
+		SpanLog:        spanLog,
 	}
+	if spanLog != nil {
+		res.Spans = spanLog.BlockSpans()
+	}
+	res.Telemetry = p.runTelemetry(m, cycles, wall, res.Attribution)
+	return res
 }
 
 // runTelemetry fills a fresh registry with the run's accounting: simulated
-// cycle totals split by kind, relay occupancy, estimated versus measured
-// per-stage-group load, and the host wall time the simulation itself took.
-func (p *Plan) runTelemetry(m *wse.Mesh, cycles int64, wall time.Duration) telemetry.Snapshot {
+// cycle totals split by kind, stall attribution, worker-pool occupancy,
+// relay occupancy, estimated versus measured per-stage-group load, and the
+// host wall time the simulation itself took. The same values also land on
+// the Default registry (no-op unless a CLI enabled it), so a long-running
+// bench server exposes them at /debug/metrics across runs.
+func (p *Plan) runTelemetry(m *wse.Mesh, cycles int64, wall time.Duration, att wse.Attribution) telemetry.Snapshot {
 	reg := telemetry.NewRegistry()
 	reg.Timer("sim.run_wall").Observe(wall)
 	reg.Counter("sim.events").Add(m.Processed())
@@ -419,11 +454,38 @@ func (p *Plan) runTelemetry(m *wse.Mesh, cycles int64, wall time.Duration) telem
 	reg.Counter("sim.cycles.compute").Add(s.TotalCompute)
 	reg.Counter("sim.cycles.relay").Add(s.TotalRelay)
 	reg.Counter("sim.cycles.send").Add(s.TotalSend)
+	reg.Counter("sim.cycles.queue_wait").Add(att.Totals.QueueWait)
+	reg.Counter("sim.cycles.fabric_stall").Add(att.Totals.FabricStall)
+	reg.Counter("sim.cycles.idle").Add(att.Totals.Idle)
+	reg.Counter("sim.cycles.mailbox_wait").Add(att.Totals.MailboxWait)
+	reg.Counter("sim.forwards").Add(att.Totals.Forwarded)
 	reg.Gauge("sim.active_pes").Set(int64(s.ActivePEs))
 	reg.Gauge("sim.mem_peak_bytes").Set(int64(s.MemPeak))
 	reg.Gauge("sim.mean_utilization_pct").Set(int64(100 * s.MeanUtilization))
 	if busy := s.TotalCompute + s.TotalRelay + s.TotalSend; busy > 0 {
 		reg.Gauge("sim.relay_share_pct").Set(100 * s.TotalRelay / busy)
+	}
+	// Worker-pool occupancy for the sharded engine. Pool peak is host-side
+	// (scheduler-dependent) like sim.run_wall; the shard event counts are
+	// deterministic, and their spread measures how balanced the row shards
+	// were.
+	reg.Gauge("sim.pool_peak_workers").Set(int64(m.PoolPeak()))
+	reg.Counter("sim.feed_events").Add(m.FeedEvents())
+	if se := m.ShardEvents(); len(se) > 0 {
+		minE, maxE := se[0], se[0]
+		for _, n := range se[1:] {
+			if n < minE {
+				minE = n
+			}
+			if n > maxE {
+				maxE = n
+			}
+		}
+		reg.Gauge("sim.shard_events_min").Set(minE)
+		reg.Gauge("sim.shard_events_max").Set(maxE)
+		if maxE > 0 {
+			reg.Gauge("sim.shard_imbalance_pct").Set(100 * (maxE - minE) / maxE)
+		}
 	}
 	// Per-stage-group load: Algorithm 1's estimate next to what the mesh
 	// actually measured. Column c holds pipeline position c mod PipelineLen,
@@ -438,7 +500,34 @@ func (p *Plan) runTelemetry(m *wse.Mesh, cycles int64, wall time.Duration) telem
 		reg.Counter(fmt.Sprintf("plan.group%02d.est_cycles", pos)).Add(GroupCost(p.EstCosts, g))
 		reg.Counter(fmt.Sprintf("plan.group%02d.compute_cycles", pos)).Add(perPos[pos])
 	}
-	return reg.Snapshot()
+	snap := reg.Snapshot()
+	mirrorToDefault(snap)
+	return snap
+}
+
+// mirrorToDefault replays a run's private snapshot onto the process-wide
+// Default registry — a no-op unless a CLI enabled it — so a long-running
+// process (cereszbench -debug-addr) exposes simulator readings at
+// /debug/metrics and /debug/telemetry across runs. Counters accumulate;
+// gauges keep the latest run's level.
+func mirrorToDefault(s telemetry.Snapshot) {
+	if !telemetry.Enabled() {
+		return
+	}
+	for name, v := range s.Counters {
+		telemetry.C(name).Add(v)
+	}
+	for name, v := range s.Gauges {
+		if strings.HasSuffix(name, ".max") {
+			continue // snapshot artifact of the source gauge, not a gauge itself
+		}
+		telemetry.G(name).Set(v)
+	}
+	for name, t := range s.Timers {
+		if t.Count > 0 {
+			telemetry.T(name).Observe(time.Duration(t.SumNs))
+		}
+	}
 }
 
 // collectBlocks gathers the emitted flow blocks and orders them by id.

@@ -2,6 +2,7 @@ package mapping
 
 import (
 	"bytes"
+	"reflect"
 	"runtime"
 	"testing"
 
@@ -113,6 +114,72 @@ func TestShardedRunsMatchSequential(t *testing.T) {
 				}
 				if workers > 1 && res.Mesh.Shards() < 2 {
 					t.Errorf("workers=%d: run used %d shards, expected row sharding", workers, res.Mesh.Shards())
+				}
+			}
+		})
+	}
+}
+
+// TestAttributionAndSpansDeterministic extends the differential check to
+// the observability outputs: per-PE cycle attribution and per-block
+// lifecycle spans must be bit-identical across worker counts, and every
+// PE's buckets must partition [0, Elapsed] exactly on every run.
+func TestAttributionAndSpansDeterministic(t *testing.T) {
+	data := smoothField(32*96, 13)
+	configs := []struct {
+		name string
+		cfg  PlanConfig
+	}{
+		{"multi-row", PlanConfig{Mesh: wse.Config{Rows: 4, Cols: 6}, PipelineLen: 2, RecordSpans: true}},
+		{"single-ingress", PlanConfig{Mesh: wse.Config{Rows: 4, Cols: 6}, PipelineLen: 2, SingleIngress: true, RecordSpans: true}},
+	}
+	for _, tc := range configs {
+		t.Run(tc.name, func(t *testing.T) {
+			var refAtt wse.Attribution
+			var refSpans []wse.BlockSpan
+			for i, workers := range shardWorkerCounts() {
+				cfg := tc.cfg
+				cfg.Mesh.Workers = workers
+
+				chain := compressChain(t, 1e-3, 12)
+				plan, err := NewPlan(chain, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := plan.Compress(data)
+				if err != nil {
+					t.Fatal(err)
+				}
+				att := res.Attribution
+
+				// Invariant on every run: buckets tile [0, Elapsed].
+				for _, pa := range att.PEs {
+					sum := pa.Compute + pa.RelayForward + pa.QueueWait + pa.FabricStall + pa.Idle
+					if sum != att.Elapsed {
+						t.Fatalf("workers=%d PE %v: buckets sum to %d, elapsed %d", workers, pa.PE, sum, att.Elapsed)
+					}
+					if pa.Idle < 0 {
+						t.Fatalf("workers=%d PE %v: negative idle %d", workers, pa.PE, pa.Idle)
+					}
+				}
+				if len(res.Spans) == 0 {
+					t.Fatalf("workers=%d: no spans recorded", workers)
+				}
+
+				if i == 0 {
+					refAtt, refSpans = att, res.Spans
+					continue
+				}
+				if !reflect.DeepEqual(att, refAtt) {
+					t.Errorf("workers=%d: attribution differs from sequential\n got %+v\nwant %+v", workers, att, refAtt)
+				}
+				if len(res.Spans) != len(refSpans) {
+					t.Fatalf("workers=%d: %d spans, sequential %d", workers, len(res.Spans), len(refSpans))
+				}
+				for j := range res.Spans {
+					if !reflect.DeepEqual(res.Spans[j], refSpans[j]) {
+						t.Fatalf("workers=%d: span %d differs\n got %+v\nwant %+v", workers, j, res.Spans[j], refSpans[j])
+					}
 				}
 			}
 		})

@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Prometheus/OpenMetrics text exposition of a snapshot, served at
+// /debug/metrics behind cereszbench's -debug-addr. The mapping follows
+// the conventions scrapers expect:
+//
+//	counter → counter        ceresz_sim_events
+//	gauge   → two gauges     ceresz_sim_workers, ceresz_sim_workers_max
+//	timer   → summary        _count/_sum in seconds, plus _min/_max gauges
+//	hist    → summary        quantile="0.5|0.95|0.99" labels, _count/_sum
+//
+// Instrument names sanitize to the metric charset (dots → underscores)
+// under a "ceresz_" namespace.
+
+// metricName sanitizes an instrument name into the Prometheus charset.
+func metricName(name string) string {
+	var sb strings.Builder
+	sb.WriteString("ceresz_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// WriteOpenMetrics renders the snapshot in the Prometheus text format.
+func (s Snapshot) WriteOpenMetrics(w io.Writer) (int64, error) {
+	var total int64
+	emit := func(format string, args ...any) error {
+		n, err := fmt.Fprintf(w, format, args...)
+		total += int64(n)
+		return err
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		mn := metricName(name)
+		if err := emit("# TYPE %s counter\n%s %d\n", mn, mn, s.Counters[name]); err != nil {
+			return total, err
+		}
+	}
+	// Gauge snapshots carry a synthetic "<name>.max" companion; emit it as
+	// its own gauge next to the base metric rather than as a duplicate.
+	for _, name := range sortedKeys(s.Gauges) {
+		if strings.HasSuffix(name, ".max") {
+			continue
+		}
+		mn := metricName(name)
+		if err := emit("# TYPE %s gauge\n%s %d\n", mn, mn, s.Gauges[name]); err != nil {
+			return total, err
+		}
+		if max, ok := s.Gauges[name+".max"]; ok {
+			if err := emit("# TYPE %s_max gauge\n%s_max %d\n", mn, mn, max); err != nil {
+				return total, err
+			}
+		}
+	}
+	for _, name := range sortedKeys(s.Timers) {
+		t := s.Timers[name]
+		mn := metricName(name) + "_seconds"
+		if err := emit("# TYPE %s summary\n%s_count %d\n%s_sum %g\n",
+			mn, mn, t.Count, mn, float64(t.SumNs)/1e9); err != nil {
+			return total, err
+		}
+		if err := emit("# TYPE %s_min gauge\n%s_min %g\n# TYPE %s_max gauge\n%s_max %g\n",
+			mn, mn, float64(t.MinNs)/1e9, mn, mn, float64(t.MaxNs)/1e9); err != nil {
+			return total, err
+		}
+	}
+	for _, name := range sortedKeys(s.Hists) {
+		h := s.Hists[name]
+		mn := metricName(name)
+		if err := emit("# TYPE %s summary\n", mn); err != nil {
+			return total, err
+		}
+		for _, q := range [...]struct {
+			label string
+			v     int64
+		}{{"0.5", h.P50}, {"0.95", h.P95}, {"0.99", h.P99}} {
+			if err := emit("%s{quantile=%q} %d\n", mn, q.label, q.v); err != nil {
+				return total, err
+			}
+		}
+		if err := emit("%s_sum %d\n%s_count %d\n", mn, h.Sum, mn, h.Count); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// MetricsHandler returns an http.Handler serving the registry in the
+// Prometheus text exposition format — the /debug/metrics endpoint.
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if _, err := r.Snapshot().WriteOpenMetrics(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

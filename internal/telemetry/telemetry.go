@@ -327,10 +327,54 @@ func bitLen64(v int64) int {
 
 // HistStats is a histogram's aggregate at snapshot time. Buckets maps the
 // inclusive upper bound of each non-empty power-of-two bucket to its count.
+// P50/P95/P99 are approximate quantiles, linearly interpolated inside the
+// power-of-two bucket that crosses each rank — accurate to well under one
+// bucket width (a factor of 2), which is the histogram's resolution.
 type HistStats struct {
 	Count   int64           `json:"count"`
 	Sum     int64           `json:"sum"`
+	P50     int64           `json:"p50,omitempty"`
+	P95     int64           `json:"p95,omitempty"`
+	P99     int64           `json:"p99,omitempty"`
 	Buckets map[int64]int64 `json:"buckets,omitempty"`
+}
+
+// bucketBounds returns the inclusive value range of histogram bucket i
+// (values with bit length i): bucket 0 holds only 0, bucket i holds
+// [2^(i-1), 2^i − 1].
+func bucketBounds(i int) (lo, hi int64) {
+	if i == 0 {
+		return 0, 0
+	}
+	lo = int64(1) << (i - 1)
+	if i >= 63 {
+		return lo, math.MaxInt64
+	}
+	return lo, (int64(1) << i) - 1
+}
+
+// histQuantile estimates the q-quantile from the bucket counts by linear
+// interpolation inside the bucket containing the target rank.
+func histQuantile(counts *[histBuckets]int64, total int64, q float64) int64 {
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range counts {
+		c := float64(counts[i])
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo, hi := bucketBounds(i)
+			frac := (rank - cum) / c
+			return lo + int64(frac*float64(hi-lo))
+		}
+		cum += c
+	}
+	_, hi := bucketBounds(histBuckets - 1)
+	return hi
 }
 
 // Snapshot is a point-in-time copy of every instrument, ready for JSON,
@@ -374,17 +418,22 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, h := range r.hists {
 		hs := HistStats{Count: h.count.Load(), Sum: h.sum.Load()}
+		var counts [histBuckets]int64
 		for i := range h.buckets {
-			if n := h.buckets[i].Load(); n > 0 {
+			n := h.buckets[i].Load()
+			counts[i] = n
+			if n > 0 {
 				if hs.Buckets == nil {
 					hs.Buckets = map[int64]int64{}
 				}
-				upper := int64(math.MaxInt64)
-				if i < 63 {
-					upper = (int64(1) << i) - 1
-				}
+				_, upper := bucketBounds(i)
 				hs.Buckets[upper] = n
 			}
+		}
+		if hs.Count > 0 {
+			hs.P50 = histQuantile(&counts, hs.Count, 0.50)
+			hs.P95 = histQuantile(&counts, hs.Count, 0.95)
+			hs.P99 = histQuantile(&counts, hs.Count, 0.99)
 		}
 		s.Hists[name] = hs
 	}
@@ -420,7 +469,8 @@ func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 	}
 	for _, name := range sortedKeys(s.Hists) {
 		h := s.Hists[name]
-		if err := emit("hist    %-40s n=%d sum=%d\n", name, h.Count, h.Sum); err != nil {
+		if err := emit("hist    %-40s n=%d sum=%d p50=%d p95=%d p99=%d\n",
+			name, h.Count, h.Sum, h.P50, h.P95, h.P99); err != nil {
 			return total, err
 		}
 	}

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"encoding/json"
+	"io"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -255,5 +256,107 @@ func BenchmarkSpanEnabled(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tm.Start().End()
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q")
+	// 100 observations of 100: every quantile lands inside bucket 7
+	// ([64,127]), so the estimates are exact to bucket resolution.
+	for i := 0; i < 100; i++ {
+		h.Observe(100)
+	}
+	hs := r.Snapshot().Hists["q"]
+	for _, q := range []int64{hs.P50, hs.P95, hs.P99} {
+		if q < 64 || q > 127 {
+			t.Fatalf("quantile %d outside the single occupied bucket [64,127]: %+v", q, hs)
+		}
+	}
+	if hs.P50 > hs.P95 || hs.P95 > hs.P99 {
+		t.Fatalf("quantiles not monotone: %+v", hs)
+	}
+
+	// Skewed distribution: 90 small values, 10 huge. p50 stays small;
+	// p95 and p99 cross into the huge values' bucket.
+	h2 := r.Histogram("skew")
+	for i := 0; i < 90; i++ {
+		h2.Observe(1)
+	}
+	for i := 0; i < 10; i++ {
+		h2.Observe(1 << 20)
+	}
+	hs2 := r.Snapshot().Hists["skew"]
+	if hs2.P50 != 1 {
+		t.Fatalf("p50 = %d, want 1: %+v", hs2.P50, hs2)
+	}
+	if hs2.P95 < 1<<19 || hs2.P99 < 1<<19 {
+		t.Fatalf("p95/p99 = %d/%d, want within the 2^20 bucket: %+v", hs2.P95, hs2.P99, hs2)
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	r := NewRegistry()
+	hs := r.Snapshot().Hists // no histograms at all
+	if len(hs) != 0 {
+		t.Fatalf("unexpected hists %+v", hs)
+	}
+	h := r.Histogram("empty")
+	_ = h
+	if got := r.Snapshot().Hists["empty"]; got.P50 != 0 || got.P99 != 0 {
+		t.Fatalf("empty histogram quantiles %+v", got)
+	}
+	h.Observe(0)
+	if got := r.Snapshot().Hists["empty"]; got.P50 != 0 || got.P99 != 0 {
+		t.Fatalf("all-zero histogram quantiles %+v", got)
+	}
+}
+
+func TestWriteToShowsQuantiles(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("lat").Observe(1000)
+	out := r.Snapshot().String()
+	if !strings.Contains(out, "p50=") || !strings.Contains(out, "p99=") {
+		t.Fatalf("WriteTo output missing quantiles:\n%s", out)
+	}
+}
+
+func TestMetricsHandlerServesOpenMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sim.events").Add(42)
+	r.Gauge("sim.workers").Set(4)
+	r.Timer("sim.run_wall").Observe(1500 * time.Millisecond)
+	r.Histogram("stream.chunk_compressed_bytes").Observe(4096)
+	srv := httptest.NewServer(r.MetricsHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	for _, want := range []string{
+		"# TYPE ceresz_sim_events counter",
+		"ceresz_sim_events 42",
+		"# TYPE ceresz_sim_workers gauge",
+		"ceresz_sim_workers 4",
+		"ceresz_sim_workers_max 4",
+		"# TYPE ceresz_sim_run_wall_seconds summary",
+		"ceresz_sim_run_wall_seconds_count 1",
+		"ceresz_sim_run_wall_seconds_sum 1.5",
+		"# TYPE ceresz_stream_chunk_compressed_bytes summary",
+		`ceresz_stream_chunk_compressed_bytes{quantile="0.99"}`,
+		"ceresz_stream_chunk_compressed_bytes_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q\n%s", want, body)
+		}
 	}
 }

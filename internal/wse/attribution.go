@@ -1,0 +1,99 @@
+package wse
+
+// Cycle attribution.
+//
+// Stats counts what a PE *did*; Attribution additionally explains the
+// cycles it did nothing, by splitting each PE's timeline [0, Elapsed]
+// into disjoint buckets:
+//
+//	Compute      — Spend charges (sub-stage execution)
+//	RelayForward — Forward + Send + Emit charges (fabric movement)
+//	QueueWait    — idle, next message's producer had not yet sent it
+//	FabricStall  — idle, next message already in flight on the fabric
+//	Idle         — the residual: no pending work (ramp-up before the
+//	               first delivery, drain-out after the last)
+//
+// The buckets sum to Elapsed exactly by construction. MailboxWait is the
+// odd one out: messages queue in the mailbox only while the processor is
+// busy, so it overlaps the busy buckets and is reported alongside them,
+// never added in. All values derive from the simulated clock, so they
+// are bit-identical across Config.Workers counts.
+
+// PEAttribution is one PE's timeline decomposition, in cycles.
+type PEAttribution struct {
+	PE Coord `json:"pe"`
+	// Compute is processor time in Spend (stage work).
+	Compute int64 `json:"compute"`
+	// RelayForward is processor time moving data: Forward relays, Send
+	// ramp transfers, and Emit egress.
+	RelayForward int64 `json:"relay_forward"`
+	// QueueWait is idle time attributable to upstream backpressure.
+	QueueWait int64 `json:"queue_wait"`
+	// FabricStall is idle time attributable to fabric transfer latency.
+	FabricStall int64 `json:"fabric_stall"`
+	// Idle is the residual idle time (ramp-up and drain-out).
+	Idle int64 `json:"idle"`
+	// MailboxWait is total message residency in this PE's mailbox; it
+	// overlaps the busy buckets and is excluded from the timeline sum.
+	MailboxWait int64 `json:"mailbox_wait"`
+	// Handled, Forwarded and Routed mirror Stats for context.
+	Handled   int64 `json:"handled"`
+	Forwarded int64 `json:"forwarded"`
+	Routed    int64 `json:"routed"`
+}
+
+// Busy is the occupied-processor portion of the timeline.
+func (a PEAttribution) Busy() int64 { return a.Compute + a.RelayForward }
+
+// Attribution is the mesh-wide cycle decomposition of one run.
+type Attribution struct {
+	// Elapsed is the run length in cycles; every PE's buckets sum to it.
+	Elapsed int64 `json:"elapsed"`
+	// ActivePEs is the number of PEs listed (those that did any work);
+	// MeshPEs is the full mesh size.
+	ActivePEs int `json:"active_pes"`
+	MeshPEs   int `json:"mesh_pes"`
+	// PEs holds the per-PE decompositions, row-major, active PEs only.
+	PEs []PEAttribution `json:"pes"`
+	// Totals sums the buckets over the active PEs (Totals.PE is zero).
+	Totals PEAttribution `json:"totals"`
+}
+
+// Attribution decomposes the last Run's per-PE timelines. Only PEs that
+// did any work (dispatched, routed, or accumulated wait) are listed —
+// an untouched PE is trivially all-Idle.
+func (m *Mesh) Attribution() Attribution {
+	elapsed := m.Elapsed()
+	att := Attribution{Elapsed: elapsed, MeshPEs: len(m.pes)}
+	for i := range m.pes {
+		s := &m.pes[i].stats
+		if s.BusyCycles() == 0 && s.Handled == 0 && s.Routed == 0 &&
+			s.QueueWaitCycles == 0 && s.FabricStallCycles == 0 {
+			continue
+		}
+		pa := PEAttribution{
+			PE:           m.pes[i].coord,
+			Compute:      s.ComputeCycles,
+			RelayForward: s.RelayCycles + s.SendCycles,
+			QueueWait:    s.QueueWaitCycles,
+			FabricStall:  s.FabricStallCycles,
+			MailboxWait:  s.MailboxWaitCycles,
+			Handled:      s.Handled,
+			Forwarded:    s.Forwarded,
+			Routed:       s.Routed,
+		}
+		pa.Idle = elapsed - pa.Busy() - pa.QueueWait - pa.FabricStall
+		att.PEs = append(att.PEs, pa)
+		att.Totals.Compute += pa.Compute
+		att.Totals.RelayForward += pa.RelayForward
+		att.Totals.QueueWait += pa.QueueWait
+		att.Totals.FabricStall += pa.FabricStall
+		att.Totals.Idle += pa.Idle
+		att.Totals.MailboxWait += pa.MailboxWait
+		att.Totals.Handled += pa.Handled
+		att.Totals.Forwarded += pa.Forwarded
+		att.Totals.Routed += pa.Routed
+	}
+	att.ActivePEs = len(att.PEs)
+	return att
+}

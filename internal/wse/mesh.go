@@ -86,6 +86,7 @@ type Mesh struct {
 	emissions []Emission
 	emitTo    func(Emission)
 	tracer    *Tracer
+	spans     *SpanLog
 
 	// linkFree[pe][dir] is the cycle at which PE pe's outgoing link
 	// toward dir becomes free; messages on one link serialize. A cell is
@@ -95,7 +96,17 @@ type Mesh struct {
 
 	shards  int
 	workers int
-	ran     bool
+	// shardEvents is the per-shard-engine processed-event count of the
+	// last Run (one entry for the sequential engine). Deterministic: it
+	// depends only on the partition, never on worker scheduling.
+	shardEvents []int64
+	// feedEvents counts events the column-feed pre-pass processed.
+	feedEvents int64
+	// poolPeak is the peak number of concurrently running workers seen in
+	// the last Run — a host-side occupancy measure, NOT deterministic
+	// across runs; it feeds telemetry only.
+	poolPeak int
+	ran      bool
 }
 
 // routeNone marks an unrouted (pe, color) slot in the dense route table.
@@ -198,6 +209,7 @@ func (m *Mesh) Inject(row, col int, msg Message, at int64) {
 	}
 	msg.From = West
 	msg.Src = OffWafer
+	msg.sentAt = at // the host "let go" at the scheduled delivery time
 	pe := m.PE(row, col)
 	m.pending = append(m.pending, event{
 		at: at, src: hostSrc, seq: m.injectSeq, kind: evDeliver, pe: pe.idx, msg: msg,
@@ -263,12 +275,13 @@ func (m *Mesh) Run() (int64, error) {
 	if !plan.sequential {
 		return m.runSharded(plan, pending)
 	}
-	m.shards, m.workers = 1, 1
+	m.shards, m.workers, m.poolPeak = 1, 1, 1
 	seq := engine{m: m, exactLimit: m.cfg.MaxEvents}
 	seq.q.ev = pending
 	seq.q.heapify()
 	err := seq.run()
 	m.processed = seq.processed
+	m.shardEvents = []int64{seq.processed}
 	if err != nil {
 		return 0, err
 	}
@@ -320,11 +333,12 @@ type engine struct {
 	restricted   bool
 	idxLo, idxHi int32
 
-	// collect tags emissions with their cause event's key for the
-	// deterministic post-run merge, instead of appending them to the
-	// mesh log as they happen.
+	// collect tags emissions and span events with their cause event's
+	// key for the deterministic post-run merge, instead of appending
+	// them to the mesh logs as they happen.
 	collect  bool
 	emis     []taggedEmission
+	spanEvs  []taggedSpanEvent
 	causeAt  int64
 	causeSrc int32
 	causeSeq int64
@@ -353,6 +367,10 @@ func (e *engine) run() error {
 			return err
 		}
 		pe := &m.pes[ev.pe]
+		// Every by-product of processing this event (emissions, span
+		// records) is attributed to its ordering key, so sharded runs can
+		// merge them back into the sequential processing order.
+		e.causeAt, e.causeSrc, e.causeSeq = ev.at, ev.src, ev.seq
 		switch ev.kind {
 		case evDeliver:
 			if d := m.routeOf(ev.pe, ev.msg.Color); d != routeNone {
@@ -366,15 +384,18 @@ func (e *engine) run() error {
 			if e.restricted && pe.sealed {
 				panic(fmt.Sprintf("wse: delivery on color %d to column-feed PE %v after its pre-pass; its ShardProfile.FeedColors does not cover all of its ingress", ev.msg.Color, pe.coord))
 			}
+			ev.msg.arrivedAt = ev.at
+			if m.spans != nil && ev.msg.Span != 0 && ev.src == hostSrc {
+				e.recordSpan(SpanEvent{Span: ev.msg.Span, Kind: SpanInject, PE: pe.coord,
+					At: ev.at, End: ev.at, Sent: ev.msg.sentAt, Wavelets: ev.msg.Wavelets})
+			}
 			pe.qpush(ev.msg)
 			if !pe.running {
-				e.causeAt, e.causeSrc, e.causeSeq = ev.at, ev.src, ev.seq
 				e.dispatch(pe, ev.at)
 			}
 		case evReady:
 			pe.running = false
 			if pe.qcount > 0 {
-				e.causeAt, e.causeSrc, e.causeSeq = ev.at, ev.src, ev.seq
 				e.dispatch(pe, ev.at)
 			}
 		}
@@ -416,13 +437,27 @@ func (e *engine) routeForward(pe *PE, msg Message, out Dir, t int64) {
 	}
 	arrive := depart + m.cfg.LinkLatency + int64(msg.Wavelets)
 	*free = arrive
-	fwd := msg
+	fwd := msg // keeps sentAt: the router never takes ownership of the data
 	fwd.From = out.Opposite()
 	fwd.Src = pe.coord
 	pe.stats.Routed++
+	if m.spans != nil && msg.Span != 0 {
+		e.recordSpan(SpanEvent{Span: msg.Span, Kind: SpanRoute, PE: pe.coord,
+			At: t, End: arrive, Sent: msg.sentAt, Wavelets: msg.Wavelets})
+	}
 	e.push(event{at: arrive, src: pe.idx, seq: pe.pushSeq, kind: evDeliver,
 		pe: int32(dst.Row*m.cfg.Cols + dst.Col), msg: fwd})
 	pe.pushSeq++
+}
+
+// recordSpan appends a span event to the run's log, or — in collect mode
+// — tags it with the cause event's ordering key for the post-run merge.
+func (e *engine) recordSpan(ev SpanEvent) {
+	if e.collect {
+		e.spanEvs = append(e.spanEvs, taggedSpanEvent{at: e.causeAt, src: e.causeSrc, seq: e.causeSeq, ev: ev})
+		return
+	}
+	e.m.spans.events = append(e.m.spans.events, ev)
 }
 
 // dispatch pops the next queued message on pe and runs its handler at time t.
@@ -439,13 +474,38 @@ func (e *engine) dispatch(pe *PE, t int64) {
 		pe.sealed = true
 	}
 	msg := pe.qpop()
+	// Attribute the processor-idle gap before this dispatch: up to the
+	// producer's hand-off the PE was starved by upstream (queue-wait);
+	// from hand-off to delivery the data was on the fabric (fabric-stall).
+	// The clamps cover messages sent before the PE went idle and the Init
+	// edge case (Init charges cost without a dispatch window, so a
+	// delivery can precede LastActive).
+	if gap := t - pe.stats.LastActive; gap > 0 {
+		idleStart := t - gap
+		sent := msg.sentAt
+		if sent < idleStart {
+			sent = idleStart
+		}
+		if sent > t {
+			sent = t
+		}
+		pe.stats.QueueWaitCycles += sent - idleStart
+		pe.stats.FabricStallCycles += t - sent
+	}
+	pe.stats.MailboxWaitCycles += t - msg.arrivedAt
 	pe.running = true
 	e.ctx.reset(pe, t)
+	e.ctx.span = msg.Span
 	pe.program.OnMessage(&e.ctx, msg)
 	pe.stats.Handled++
 	end := e.finishHandler(pe, t)
 	e.m.tracer.record(TraceEntry{At: t, PE: pe.coord, Kind: TraceDispatch,
 		Color: msg.Color, Wavelets: msg.Wavelets, Cycles: end - t})
+	if e.m.spans != nil && msg.Span != 0 {
+		e.recordSpan(SpanEvent{Span: msg.Span, Kind: SpanDispatch, PE: pe.coord,
+			At: t, End: end, Sent: msg.sentAt, Arrived: msg.arrivedAt,
+			Label: e.ctx.spanLabel, Wavelets: msg.Wavelets})
+	}
 	e.push(event{at: end, src: pe.idx, seq: pe.pushSeq, kind: evReady, pe: pe.idx})
 	pe.pushSeq++
 }
@@ -477,12 +537,16 @@ func (e *engine) finishHandler(pe *PE, t int64) int64 {
 		*free = arrive
 		msg := s.msg
 		msg.From = s.dir.Opposite()
+		msg.sentAt = end // the producer lets go when its handler completes
 		e.push(event{at: arrive, src: pe.idx, seq: pe.pushSeq, kind: evDeliver,
 			pe: int32(dst.Row*m.cfg.Cols + dst.Col), msg: msg})
 		pe.pushSeq++
 	}
 	for _, p := range ctx.emits {
 		em := Emission{From: pe.coord, At: end, Payload: p}
+		if m.spans != nil && ctx.span != 0 {
+			e.recordSpan(SpanEvent{Span: ctx.span, Kind: SpanEject, PE: pe.coord, At: end, End: end})
+		}
 		if e.collect {
 			e.emis = append(e.emis, taggedEmission{at: e.causeAt, src: e.causeSrc, seq: e.causeSeq, em: em})
 			continue

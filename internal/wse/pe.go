@@ -105,6 +105,12 @@ type Context struct {
 	start int64
 	cost  int64
 
+	// span is the handled message's block span id (0 when untracked or
+	// during Init); outgoing sends inherit it, and LabelSpan names the
+	// handler's work in the span log.
+	span      int64
+	spanLabel string
+
 	sends []pendingSend
 	emits []any
 }
@@ -121,9 +127,17 @@ func (c *Context) reset(pe *PE, start int64) {
 	c.pe = pe
 	c.start = start
 	c.cost = 0
+	c.span = 0
+	c.spanLabel = ""
 	c.sends = c.sends[:0]
 	c.emits = c.emits[:0]
 }
+
+// LabelSpan names the work this handler performs for span tracing (e.g.
+// "relay" or a stage-group name). It is recorded on the dispatch span
+// event when the handled message carries a span id, and is otherwise a
+// no-op; programs may call it unconditionally.
+func (c *Context) LabelSpan(label string) { c.spanLabel = label }
 
 // Now returns the cycle at which the current handler began.
 func (c *Context) Now() int64 { return c.start }
@@ -180,12 +194,16 @@ func (c *Context) queueSend(d Dir, msg Message, forward bool) {
 	if forward {
 		w += c.pe.mesh.cfg.MsgOverhead
 		c.pe.stats.RelayCycles += w
+		c.pe.stats.Forwarded++
 	} else {
 		w += c.pe.mesh.cfg.RampLatency
 		c.pe.stats.SendCycles += w
 	}
 	c.cost += w
 	msg.Src = c.pe.coord
+	if msg.Span == 0 {
+		msg.Span = c.span // the block's id follows it across hand-offs
+	}
 	c.sends = append(c.sends, pendingSend{dir: d, msg: msg, forward: forward})
 }
 

@@ -140,6 +140,7 @@ const budgetChunk = 4096
 // shards' emissions by event key.
 func (m *Mesh) runSharded(plan runPlan, pending []event) (int64, error) {
 	var tagged []taggedEmission
+	var taggedSpans []taggedSpanEvent
 	var used int64
 
 	if plan.feed {
@@ -165,8 +166,10 @@ func (m *Mesh) runSharded(plan runPlan, pending []event) (int64, error) {
 		}
 		used = pre.processed
 		tagged = pre.emis
+		taggedSpans = pre.spanEvs
 		pending = append(rest, pre.deferred...)
 	}
+	m.feedEvents = used
 
 	// Bin the pending events (host injections, Init-phase sends, feed
 	// deferrals) to the shard owning their destination row.
@@ -194,7 +197,7 @@ func (m *Mesh) runSharded(plan runPlan, pending []event) (int64, error) {
 	}
 	m.shards, m.workers = len(engines), workers
 
-	var next atomic.Int32
+	var next, running, peak atomic.Int32
 	var wg sync.WaitGroup
 	panics := make([]any, len(engines))
 	errs := make([]error, len(engines))
@@ -207,6 +210,17 @@ func (m *Mesh) runSharded(plan runPlan, pending []event) (int64, error) {
 				if i >= len(engines) {
 					return
 				}
+				// Pool-occupancy high-water mark: how many workers were
+				// simultaneously busy. Host-side telemetry only — the
+				// value depends on the OS scheduler, so it must never
+				// flow into deterministic outputs.
+				cur := running.Add(1)
+				for {
+					p := peak.Load()
+					if cur <= p || peak.CompareAndSwap(p, cur) {
+						break
+					}
+				}
 				func() {
 					defer func() {
 						if r := recover(); r != nil {
@@ -217,10 +231,12 @@ func (m *Mesh) runSharded(plan runPlan, pending []event) (int64, error) {
 					e.q.heapify()
 					errs[i] = e.run()
 				}()
+				running.Add(-1)
 			}
 		}()
 	}
 	wg.Wait()
+	m.poolPeak = int(peak.Load())
 	// Surface failures the way the sequential engine would: the first
 	// panicking or erroring shard (by shard order) wins.
 	for _, p := range panics {
@@ -235,9 +251,12 @@ func (m *Mesh) runSharded(plan runPlan, pending []event) (int64, error) {
 	}
 
 	m.processed = used
+	m.shardEvents = make([]int64, len(engines))
 	for i := range engines {
 		m.processed += engines[i].processed
+		m.shardEvents[i] = engines[i].processed
 		tagged = append(tagged, engines[i].emis...)
+		taggedSpans = append(taggedSpans, engines[i].spanEvs...)
 	}
 	// Merge emissions into the order the sequential engine would have
 	// produced: its emission log order is the processing order of the
@@ -260,6 +279,26 @@ func (m *Mesh) runSharded(plan runPlan, pending []event) (int64, error) {
 			m.emitTo(te.em)
 		}
 	}
+	// The span log merges by the same key, for the same reason: the
+	// sequential engine appends span records while processing events in
+	// global (at, src, seq) order, one cause event runs entirely inside
+	// one engine, and the stable sort keeps per-cause append order — so
+	// the merged log is bit-identical to the sequential one.
+	if m.spans != nil {
+		sort.SliceStable(taggedSpans, func(i, j int) bool {
+			a, b := &taggedSpans[i], &taggedSpans[j]
+			if a.at != b.at {
+				return a.at < b.at
+			}
+			if a.src != b.src {
+				return a.src < b.src
+			}
+			return a.seq < b.seq
+		})
+		for _, ts := range taggedSpans {
+			m.spans.events = append(m.spans.events, ts.ev)
+		}
+	}
 	return m.Elapsed(), nil
 }
 
@@ -276,6 +315,22 @@ func (m *Mesh) Shards() int { return m.shards }
 // Workers reports how many host workers the last Run used (1 when the
 // sequential reference engine ran).
 func (m *Mesh) Workers() int { return m.workers }
+
+// ShardEvents returns the per-shard-engine processed-event counts of the
+// last Run (a single entry for a sequential run). The counts measure how
+// balanced the row shards were; they are deterministic — a function of
+// the partition, not of worker scheduling.
+func (m *Mesh) ShardEvents() []int64 { return m.shardEvents }
+
+// FeedEvents reports how many events the column-feed pre-pass processed
+// in the last Run (0 when no program declared FeedColors or the run was
+// sequential).
+func (m *Mesh) FeedEvents() int64 { return m.feedEvents }
+
+// PoolPeak reports the peak number of concurrently busy pool workers in
+// the last Run (1 for sequential runs). Unlike every other Mesh output
+// it is host-side and NOT deterministic — use it for telemetry only.
+func (m *Mesh) PoolPeak() int { return m.poolPeak }
 
 // drawQuota charges one event against the shared budget, refilling the
 // engine's local prepaid chunk as needed.

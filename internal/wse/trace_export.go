@@ -17,6 +17,8 @@ type chromeEvent struct {
 	Dur   int64          `json:"dur,omitempty"`
 	Pid   int            `json:"pid"`
 	Tid   int            `json:"tid"`
+	ID    string         `json:"id,omitempty"` // flow-event binding id (ph "s"/"t"/"f")
+	BP    string         `json:"bp,omitempty"` // flow binding point ("e" on the finish event)
 	Cname string         `json:"cname,omitempty"`
 	Args  map[string]any `json:"args,omitempty"`
 }
@@ -87,6 +89,96 @@ func (tr *Tracer) WriteChromeTrace(w io.Writer, cfg Config) error {
 			ev.Cname = "grey"
 		}
 		emit(ev)
+	}
+	bw.writeString("\n]\n")
+	return bw.err
+}
+
+// WriteChromeTrace renders the span log as a Chrome trace-event JSON
+// array: one track per PE, one slice per lifecycle point of every traced
+// block, and one flow arrow chain (ph "s"/"t"/"f", id = span id) linking
+// each block's inject → hops → eject across tracks — Perfetto draws a
+// block's whole journey over the wafer. Timestamps are simulator cycles
+// presented as microseconds (one Perfetto "µs" is one PE clock cycle);
+// cfg must be the configuration of the mesh that produced the log.
+func (sl *SpanLog) WriteChromeTrace(w io.Writer, cfg Config) error {
+	bw := &errWriter{w: w}
+	bw.writeString("[\n")
+	first := true
+	emit := func(ev chromeEvent) {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			bw.err = err
+			return
+		}
+		if !first {
+			bw.writeString(",\n")
+		}
+		first = false
+		bw.write(b)
+	}
+
+	tid := func(c Coord) int { return c.Row*cfg.Cols + c.Col }
+	seen := map[int]bool{}
+	for _, e := range sl.events {
+		id := tid(e.PE)
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		emit(chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: id,
+			Args: map[string]any{"name": fmt.Sprintf("PE(%d,%d)", e.PE.Row, e.PE.Col)},
+		})
+	}
+
+	for _, b := range sl.BlockSpans() {
+		flowID := fmt.Sprintf("%d", b.Span)
+		for i, e := range b.Events {
+			name := e.Kind.String()
+			if e.Kind == SpanDispatch && e.Label != "" {
+				name = e.Label
+			}
+			slice := chromeEvent{
+				Name: name, Cat: "span", Ph: "X",
+				Ts: e.At, Dur: 1, Pid: 0, Tid: tid(e.PE),
+				Args: map[string]any{"span": b.Span, "wavelets": e.Wavelets},
+			}
+			if e.End > e.At {
+				slice.Dur = e.End - e.At
+			}
+			switch e.Kind {
+			case SpanInject:
+				slice.Cname = "grey"
+			case SpanRoute:
+				slice.Cname = "yellow"
+			case SpanDispatch:
+				slice.Cname = "good"
+				slice.Args["sent"] = e.Sent
+				slice.Args["arrived"] = e.Arrived
+			case SpanEject:
+				slice.Cname = "grey"
+			}
+			emit(slice)
+			// Flow arrow chain: start on the first lifecycle point, step
+			// through the middle ones, finish (binding to the enclosing
+			// slice's start, bp "e") on the last. Flow events bind to the
+			// slice at the same (tid, ts), i.e. the one just emitted.
+			flow := chromeEvent{Name: "block", Cat: "span", Ts: e.At, Pid: 0,
+				Tid: tid(e.PE), ID: flowID}
+			switch {
+			case len(b.Events) == 1:
+				continue // a single point has no arrow to draw
+			case i == 0:
+				flow.Ph = "s"
+			case i == len(b.Events)-1:
+				flow.Ph = "f"
+				flow.BP = "e"
+			default:
+				flow.Ph = "t"
+			}
+			emit(flow)
+		}
 	}
 	bw.writeString("\n]\n")
 	return bw.err

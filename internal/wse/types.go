@@ -105,6 +105,23 @@ type Message struct {
 	// Src is the coordinate of the sending PE; host-injected messages
 	// carry the OffWafer sentinel instead.
 	Src Coord
+	// Span tags the message with a block-lifecycle span id for tracing
+	// (Mesh.AttachSpans); 0 means untracked. Messages a handler sends
+	// while processing a tagged message inherit its span automatically,
+	// so a block's id follows it across relays, stage hand-offs and
+	// router hops.
+	Span int64
+
+	// sentAt is the cycle at which the producer handed the message to
+	// the fabric: the sending handler's end time, or the injection time
+	// for host messages. Router pass-through hops preserve it, so at the
+	// final receiver it still marks when the original producer let go —
+	// the boundary between queue-wait and fabric-stall attribution.
+	sentAt int64
+	// arrivedAt is the delivery cycle at the destination PE, stamped when
+	// the message enters the mailbox ring; dispatch − arrivedAt is the
+	// message's mailbox residency (Stats.MailboxWaitCycles).
+	arrivedAt int64
 }
 
 // OffWafer is the sentinel source coordinate stamped on host-injected
@@ -129,8 +146,29 @@ type Stats struct {
 	RelayCycles int64
 	// SendCycles is time spent moving local memory onto the fabric.
 	SendCycles int64
+	// QueueWaitCycles is processor-idle time spent waiting for the next
+	// dispatched message's producer: the upstream handler (or the host
+	// feed) had not yet handed the message to the fabric. It is the
+	// backpressure signal — a PE starved by a slow upstream stage group
+	// accumulates it.
+	QueueWaitCycles int64
+	// FabricStallCycles is processor-idle time during which the next
+	// dispatched message was already on the fabric: link latency, wavelet
+	// streaming and link-serialization delays (the Formula (2) transfer
+	// terms seen from the receiver).
+	FabricStallCycles int64
+	// MailboxWaitCycles sums, over dispatched messages, the cycles each
+	// spent queued in this PE's mailbox ring between delivery and
+	// dispatch. It overlaps the PE's busy window (messages queue only
+	// while the processor is running), so it is reported alongside — not
+	// inside — the timeline buckets.
+	MailboxWaitCycles int64
 	// Handled counts dispatched messages.
 	Handled int64
+	// Forwarded counts Context.Forward calls (processor relay hops), the
+	// divisor that turns RelayCycles into a measured per-hop relay cost
+	// for the Formula (2) cross-check.
+	Forwarded int64
 	// Routed counts messages the fabric router forwarded without the
 	// processor (SetRoute pass-through).
 	Routed int64
