@@ -181,8 +181,23 @@ type BundleReader struct {
 	spans  [][2]uint64
 }
 
+// minIndexEntryBytes is the smallest possible per-field index entry: a
+// u16 name length (empty name rejected later), three u32 dims, u64 offset
+// and u64 length.
+const minIndexEntryBytes = 2 + 12 + 16
+
 // OpenBundle parses a bundle's index. The data is not copied.
 func OpenBundle(b []byte) (*BundleReader, error) {
+	return OpenBundleLimited(b, 0, 0)
+}
+
+// OpenBundleLimited is OpenBundle with decode limits for untrusted input:
+// maxFieldBytes caps any member stream's compressed size and
+// maxFieldElements caps any member's declared element count (0 leaves the
+// respective limit off). Violations surface as ErrFrameTooLarge during
+// index validation, before any member is decompressed; truncation surfaces
+// as ErrTruncated.
+func OpenBundleLimited(b []byte, maxFieldBytes, maxFieldElements int) (*BundleReader, error) {
 	if len(b) < 8 || [4]byte(b[0:4]) != bundleMagic {
 		return nil, fmt.Errorf("ceresz: not a bundle")
 	}
@@ -191,11 +206,17 @@ func OpenBundle(b []byte) (*BundleReader, error) {
 		return nil, fmt.Errorf("ceresz: unsupported bundle version %d", v)
 	}
 	count := int(vc >> 8)
+	// A count the remaining bytes cannot possibly index is hostile or
+	// corrupt; reject it before sizing anything by it.
+	if count*minIndexEntryBytes > len(b)-8 {
+		return nil, fmt.Errorf("%w: bundle declares %d fields, %d bytes cannot index them",
+			ErrTruncated, count, len(b))
+	}
 	br := &BundleReader{byName: make(map[string]int, count)}
 	pos := 8
 	need := func(k int) error {
 		if len(b)-pos < k {
-			return fmt.Errorf("ceresz: truncated bundle index at %d", pos)
+			return fmt.Errorf("%w: bundle index at %d", ErrTruncated, pos)
 		}
 		return nil
 	}
@@ -230,13 +251,25 @@ func OpenBundle(b []byte) (*BundleReader, error) {
 	// Validate spans and fill per-field metadata from the member headers.
 	for i, sp := range br.spans {
 		end := sp[0] + sp[1]
-		if end > uint64(len(br.body)) || sp[1] == 0 {
-			return nil, fmt.Errorf("ceresz: bundle member %q overruns body", br.fields[i].Name)
+		if end < sp[0] || end > uint64(len(br.body)) || sp[1] == 0 {
+			return nil, fmt.Errorf("%w: bundle member %q overruns body", ErrTruncated, br.fields[i].Name)
+		}
+		if maxFieldBytes > 0 && sp[1] > uint64(maxFieldBytes) {
+			return nil, fmt.Errorf("%w: bundle member %q is %d bytes, cap is %d",
+				ErrFrameTooLarge, br.fields[i].Name, sp[1], maxFieldBytes)
 		}
 		member := br.body[sp[0]:end]
 		meta, err := core.ParseHeader(member)
 		if err != nil {
 			return nil, fmt.Errorf("ceresz: bundle member %q: %w", br.fields[i].Name, err)
+		}
+		if maxFieldElements > 0 && meta.Elements > maxFieldElements {
+			return nil, fmt.Errorf("%w: bundle member %q declares %d elements, cap is %d",
+				ErrFrameTooLarge, br.fields[i].Name, meta.Elements, maxFieldElements)
+		}
+		if len(member) < meta.MinStreamBytes() {
+			return nil, fmt.Errorf("%w: bundle member %q declares %d elements, %d bytes cannot hold them",
+				ErrTruncated, br.fields[i].Name, meta.Elements, len(member))
 		}
 		if br.fields[i].Dims.Len() != meta.Elements {
 			return nil, fmt.Errorf("ceresz: bundle member %q: dims say %d elements, stream has %d",

@@ -1,6 +1,7 @@
 package ceresz
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -154,5 +155,35 @@ func TestBundleAddField64Validation(t *testing.T) {
 	}
 	if _, err := bw.AddField64("x", Dims1(4), data, ABS(0), Options{}); err == nil {
 		t.Fatal("accepted zero bound")
+	}
+}
+
+func TestOpenBundleLimited(t *testing.T) {
+	bw := NewBundleWriter()
+	if _, err := bw.AddField("big", Dims1(4096), testField(4096, 40), ABS(1e-3), Options{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := bw.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenBundleLimited(b, 0, 0); err != nil {
+		t.Fatalf("unlimited open: %v", err)
+	}
+	if _, err := OpenBundleLimited(b, 16, 0); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("byte cap: got %v, want ErrFrameTooLarge", err)
+	}
+	if _, err := OpenBundleLimited(b, 0, 100); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("element cap: got %v, want ErrFrameTooLarge", err)
+	}
+
+	// Hostile field count with nothing behind it must fail fast and typed.
+	hostile := []byte{'C', 'S', 'Z', 'B', 1, 0xFF, 0xFF, 0xFF}
+	if _, err := OpenBundleLimited(hostile, 0, 0); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("hostile count: got %v, want ErrTruncated", err)
+	}
+	// Truncated body (index intact, member cut short).
+	if _, err := OpenBundleLimited(b[:len(b)-10], 0, 0); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated member: got %v, want ErrTruncated", err)
 	}
 }

@@ -1,0 +1,319 @@
+// Package client is the Go client for cereszd (internal/server): raw
+// float slices go up, CSZF framed streams come back, with context-aware
+// retry and exponential backoff that honors the server's Retry-After
+// backpressure hints. A Client is safe for concurrent use; its requests
+// are rebuilt from in-memory payloads, so every retry sends a complete
+// body.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Bound mirrors the server's error-bound query parameters.
+type Bound struct {
+	// Rel selects value-range-relative mode (the paper's REL); false = ABS.
+	Rel bool
+	// Eps is the bound value (ε for ABS, λ for REL). Must be positive.
+	Eps float64
+}
+
+// ABS returns an absolute error bound.
+func ABS(eps float64) Bound { return Bound{Eps: eps} }
+
+// REL returns a value-range-relative bound.
+func REL(lambda float64) Bound { return Bound{Rel: true, Eps: lambda} }
+
+func (b Bound) mode() string {
+	if b.Rel {
+		return "rel"
+	}
+	return "abs"
+}
+
+// Config tunes a Client. The zero value retries 4 times with jittered
+// exponential backoff starting at 100ms, capped at 5s.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://localhost:8775".
+	BaseURL string
+	// HTTPClient overrides the transport (nil = http.DefaultClient).
+	HTTPClient *http.Client
+	// MaxRetries bounds re-sends after a retryable failure (<0 = none).
+	MaxRetries int
+	// BaseBackoff is the first retry delay; it doubles per attempt.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the delay between attempts.
+	MaxBackoff time.Duration
+	// ChunkElems asks the server to frame compress responses every N
+	// elements (0 = server default).
+	ChunkElems int
+}
+
+// Client talks to one cereszd instance.
+type Client struct {
+	cfg  Config
+	http *http.Client
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New returns a Client for cfg.BaseURL.
+func New(cfg Config) *Client {
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = http.DefaultClient
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 4
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 100 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	return &Client{
+		cfg:  cfg,
+		http: cfg.HTTPClient,
+		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// StatusError reports a non-2xx response that was not retried to success.
+type StatusError struct {
+	Code int
+	Body string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("client: server returned %d: %s", e.Code, strings.TrimSpace(e.Body))
+}
+
+// retryable reports whether a status is worth another attempt: explicit
+// backpressure (429), drain/overload (503) and transient gateway failures.
+func retryable(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable,
+		http.StatusBadGateway, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// backoff computes the delay before attempt (0-based), honoring a
+// Retry-After header when the server sent one.
+func (c *Client) backoff(attempt int, retryAfter string) time.Duration {
+	if retryAfter != "" {
+		if secs, err := strconv.Atoi(retryAfter); err == nil && secs >= 0 {
+			return time.Duration(secs) * time.Second
+		}
+		if t, err := http.ParseTime(retryAfter); err == nil {
+			if d := time.Until(t); d > 0 {
+				return d
+			}
+			return 0
+		}
+	}
+	d := c.cfg.BaseBackoff << attempt
+	if d > c.cfg.MaxBackoff {
+		d = c.cfg.MaxBackoff
+	}
+	// Full jitter: a fleet of clients rejected together must not retry
+	// together.
+	c.mu.Lock()
+	d = time.Duration(c.rng.Int63n(int64(d) + 1))
+	c.mu.Unlock()
+	return d
+}
+
+// do POSTs body to path with retry. The returned response body is fully
+// read and the connection released.
+func (c *Client) do(ctx context.Context, path string, body []byte) ([]byte, http.Header, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, nil, err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := c.http.Do(req)
+		var retryAfter string
+		if err != nil {
+			lastErr = err
+		} else {
+			out, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr != nil {
+				lastErr = rerr
+			} else if resp.StatusCode/100 == 2 {
+				return out, resp.Header, nil
+			} else {
+				lastErr = &StatusError{Code: resp.StatusCode, Body: string(out)}
+				if !retryable(resp.StatusCode) {
+					return nil, resp.Header, lastErr
+				}
+				retryAfter = resp.Header.Get("Retry-After")
+			}
+		}
+		if attempt >= c.cfg.MaxRetries {
+			return nil, nil, lastErr
+		}
+		select {
+		case <-time.After(c.backoff(attempt, retryAfter)):
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+	}
+}
+
+// compressQuery renders the /v1/compress query string.
+func (c *Client) compressQuery(bound Bound, elem string) string {
+	q := fmt.Sprintf("?mode=%s&eps=%s&elem=%s", bound.mode(),
+		strconv.FormatFloat(bound.Eps, 'g', -1, 64), elem)
+	if c.cfg.ChunkElems > 0 {
+		q += "&chunk=" + strconv.Itoa(c.cfg.ChunkElems)
+	}
+	return q
+}
+
+// Compress sends data and returns the server's CSZF framed stream — the
+// same bytes StreamWriter would produce locally with matching chunking.
+func (c *Client) Compress(ctx context.Context, data []float32, bound Bound) ([]byte, error) {
+	body := make([]byte, 4*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(body[4*i:], math.Float32bits(v))
+	}
+	out, _, err := c.do(ctx, "/v1/compress"+c.compressQuery(bound, "f32"), body)
+	return out, err
+}
+
+// Compress64 is Compress for double precision.
+func (c *Client) Compress64(ctx context.Context, data []float64, bound Bound) ([]byte, error) {
+	body := make([]byte, 8*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(body[8*i:], math.Float64bits(v))
+	}
+	out, _, err := c.do(ctx, "/v1/compress"+c.compressQuery(bound, "f64"), body)
+	return out, err
+}
+
+// Decompress sends a CSZF framed stream and returns the float32 values.
+func (c *Client) Decompress(ctx context.Context, framed []byte) ([]float32, error) {
+	raw, _, err := c.do(ctx, "/v1/decompress?elem=f32", framed)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw)%4 != 0 {
+		return nil, fmt.Errorf("client: response length %d is not a multiple of 4", len(raw))
+	}
+	out := make([]float32, len(raw)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return out, nil
+}
+
+// Decompress64 sends a CSZF framed stream of float64 chunks.
+func (c *Client) Decompress64(ctx context.Context, framed []byte) ([]float64, error) {
+	raw, _, err := c.do(ctx, "/v1/decompress?elem=f64", framed)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw)%8 != 0 {
+		return nil, fmt.Errorf("client: response length %d is not a multiple of 8", len(raw))
+	}
+	out := make([]float64, len(raw)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return out, nil
+}
+
+// BundleField describes one field of a Bundle call.
+type BundleField struct {
+	Name string
+	// Dims is the field's grid; zero entries normalize to 1.
+	Dims [3]int
+	// Bound is the field's error bound.
+	Bound Bound
+	// F32 or F64 holds the data (exactly one must be set).
+	F32 []float32
+	F64 []float64
+}
+
+// Bundle compresses the fields into one CSZB bundle server-side.
+func (c *Client) Bundle(ctx context.Context, fields []BundleField) ([]byte, error) {
+	type spec struct {
+		Name string  `json:"name"`
+		Dims [3]int  `json:"dims"`
+		Elem string  `json:"elem"`
+		Mode string  `json:"mode"`
+		Eps  float64 `json:"eps"`
+	}
+	specs := make([]spec, len(fields))
+	var data bytes.Buffer
+	for i, f := range fields {
+		specs[i] = spec{Name: f.Name, Dims: f.Dims, Mode: f.Bound.mode(), Eps: f.Bound.Eps}
+		switch {
+		case f.F32 != nil && f.F64 == nil:
+			specs[i].Elem = "f32"
+			for _, v := range f.F32 {
+				var b [4]byte
+				binary.LittleEndian.PutUint32(b[:], math.Float32bits(v))
+				data.Write(b[:])
+			}
+		case f.F64 != nil && f.F32 == nil:
+			specs[i].Elem = "f64"
+			for _, v := range f.F64 {
+				var b [8]byte
+				binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+				data.Write(b[:])
+			}
+		default:
+			return nil, fmt.Errorf("client: field %q must set exactly one of F32/F64", f.Name)
+		}
+	}
+	manifest, err := json.Marshal(specs)
+	if err != nil {
+		return nil, err
+	}
+	body := make([]byte, 0, 4+len(manifest)+data.Len())
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(manifest)))
+	body = append(body, manifest...)
+	body = append(body, data.Bytes()...)
+	out, _, err := c.do(ctx, "/v1/bundle", body)
+	return out, err
+}
+
+// Health probes /healthz; nil means the server is up and not draining.
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.BaseURL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return &StatusError{Code: resp.StatusCode, Body: string(body)}
+	}
+	return nil
+}

@@ -31,8 +31,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 
 	"ceresz/internal/datasets"
@@ -64,19 +62,7 @@ func main() {
 	}
 
 	if *debugAddr != "" {
-		// pprof registers itself on DefaultServeMux via its import; expvar
-		// does the same from the telemetry package. The telemetry handler
-		// serves the full typed snapshot.
-		telemetry.Enable()
-		telemetry.Default.PublishExpvar("ceresz")
-		http.Handle("/debug/telemetry", telemetry.Default.Handler())
-		http.Handle("/debug/metrics", telemetry.Default.MetricsHandler())
-		go func() {
-			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "debug server:", err)
-			}
-		}()
-		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/ (also /debug/vars, /debug/telemetry, /debug/metrics)\n", *debugAddr)
+		telemetry.ServeDebug(*debugAddr, telemetry.Default, "ceresz", os.Stderr)
 	}
 
 	args := flag.Args()

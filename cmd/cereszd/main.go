@@ -1,0 +1,105 @@
+// Command cereszd serves the CereSZ codec over HTTP: raw float bodies in,
+// CSZF framed streams out (and back), with a bounded worker pool, explicit
+// backpressure and a zero-allocation per-chunk hot path (internal/server).
+//
+// Endpoints:
+//
+//	POST /v1/compress    raw little-endian floats -> CSZF framed stream
+//	                     (?mode=abs|rel&eps=&elem=f32|f64&chunk=N&block=N)
+//	POST /v1/decompress  CSZF framed stream -> raw floats (?elem=f32|f64)
+//	POST /v1/bundle      multi-field payload -> CSZB bundle (?field= extracts)
+//	GET  /healthz        200 while serving, 503 while draining
+//	GET  /debug/metrics  Prometheus text metrics (also /debug/pprof/*,
+//	                     /debug/vars, /debug/telemetry)
+//
+// On SIGINT/SIGTERM the daemon flips /healthz to 503, refuses new /v1/*
+// work with Retry-After, and waits up to -drain-timeout for in-flight
+// requests before exiting.
+//
+// Flags:
+//
+//	-addr host:port        listen address (default :8775)
+//	-workers N             codec pool size (0 = GOMAXPROCS)
+//	-queue N               admission queue beyond executing workers
+//	                       (0 = 2x workers, negative = none)
+//	-chunk N               default elements per compressed frame
+//	-block N               CereSZ block length (0 = 32, the paper's)
+//	-max-body BYTES        request body cap
+//	-max-chunk-elems N     per-chunk / per-frame / per-field element cap
+//	-max-frame-bytes N     compressed frame cap on the decode path
+//	-retry-after DUR       hint sent with 429/503 responses
+//	-drain-timeout DUR     shutdown grace for in-flight requests
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ceresz/internal/server"
+	"ceresz/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", ":8775", "listen address")
+	workers := flag.Int("workers", 0, "codec pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "admission queue depth beyond workers (0 = 2x workers, negative = none)")
+	chunk := flag.Int("chunk", 0, "default elements per compressed frame (0 = 64Ki)")
+	block := flag.Int("block", 0, "CereSZ block length (0 = 32)")
+	maxBody := flag.Int64("max-body", 0, "request body byte cap (0 = 1GiB)")
+	maxChunkElems := flag.Int("max-chunk-elems", 0, "chunk/frame/field element cap (0 = 4Mi)")
+	maxFrameBytes := flag.Int("max-frame-bytes", 0, "compressed frame byte cap (0 = 64MiB)")
+	retryAfter := flag.Duration("retry-after", 0, "Retry-After hint for 429/503 (0 = 1s)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown grace for in-flight requests")
+	flag.Parse()
+
+	reg := telemetry.NewRegistry()
+	srv := server.New(server.Config{
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		MaxBodyBytes:  *maxBody,
+		MaxChunkElems: *maxChunkElems,
+		MaxFrameBytes: *maxFrameBytes,
+		ChunkElems:    *chunk,
+		RetryAfter:    *retryAfter,
+		BlockLen:      *block,
+		Registry:      reg,
+	})
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.Handle("/debug/", telemetry.DebugMux(reg, "cereszd"))
+
+	hs := &http.Server{Addr: *addr, Handler: mux}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "cereszd listening on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "cereszd:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Drain: stop being routable, refuse new work with Retry-After, let
+	// in-flight requests finish under the grace period.
+	fmt.Fprintln(os.Stderr, "cereszd: draining")
+	srv.SetDraining(true)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "cereszd: shutdown:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "cereszd: drained")
+}

@@ -1,0 +1,256 @@
+// Command cereszload drives a running cereszd and measures serving
+// throughput and latency. It sweeps client concurrency from 1 to NumCPU
+// (powers of two plus NumCPU itself), fires -requests compress round-trips
+// per client, and writes BENCH_serve.json with throughput (GB/s of raw
+// input) and exact p50/p95/p99 latency percentiles per client count.
+//
+// With -smoke it instead performs one quick correctness round-trip and
+// exits non-zero on any mismatch: the server's compressed stream must be
+// byte-identical to the library's StreamWriter with the same chunking, and
+// the server's decompression must match the library's decode exactly.
+//
+// Flags:
+//
+//	-addr URL      server base URL (default http://localhost:8775)
+//	-elems N       float32 elements per request (default 1Mi)
+//	-requests N    requests per client per sweep point (default 8)
+//	-chunk N       elements per compressed frame (default 64Ki)
+//	-eps F         absolute error bound (default 1e-3)
+//	-out FILE      result path (default BENCH_serve.json)
+//	-smoke         run the correctness round-trip instead of the sweep
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"ceresz"
+	"ceresz/client"
+)
+
+// synthData is the bench field: a smooth multi-scale wave, the shape the
+// codec is built for (block-local smoothness for the Lorenzo predictor).
+func synthData(n int, seed int64) []float32 {
+	out := make([]float32, n)
+	phase := float64(seed)
+	for i := range out {
+		x := float64(i)
+		out[i] = float32(3*math.Sin(0.01*x+phase) + 0.5*math.Sin(0.17*x) + 0.02*math.Sin(2.1*x))
+	}
+	return out
+}
+
+type sweepPoint struct {
+	Clients        int     `json:"clients"`
+	Requests       int     `json:"requests"`
+	RawBytes       int64   `json:"raw_bytes"`
+	CompBytes      int64   `json:"compressed_bytes"`
+	Seconds        float64 `json:"seconds"`
+	ThroughputGBps float64 `json:"throughput_gbps"`
+	P50us          int64   `json:"p50_us"`
+	P95us          int64   `json:"p95_us"`
+	P99us          int64   `json:"p99_us"`
+}
+
+type benchReport struct {
+	Addr       string       `json:"addr"`
+	Elems      int          `json:"elems_per_request"`
+	ChunkElems int          `json:"chunk_elems"`
+	Eps        float64      `json:"eps"`
+	NumCPU     int          `json:"num_cpu"`
+	Points     []sweepPoint `json:"points"`
+}
+
+// percentile returns the exact p-th percentile of sorted samples
+// (nearest-rank; no interpolation, so reported values are real requests).
+func percentile(sorted []time.Duration, p float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx].Microseconds()
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8775", "server base URL")
+	elems := flag.Int("elems", 1<<20, "float32 elements per request")
+	requests := flag.Int("requests", 8, "requests per client per sweep point")
+	chunk := flag.Int("chunk", 64<<10, "elements per compressed frame")
+	eps := flag.Float64("eps", 1e-3, "absolute error bound")
+	out := flag.String("out", "BENCH_serve.json", "result file")
+	smoke := flag.Bool("smoke", false, "run the correctness round-trip instead of the sweep")
+	flag.Parse()
+
+	ctx := context.Background()
+	if *smoke {
+		if err := runSmoke(ctx, *addr, *chunk, *eps); err != nil {
+			fmt.Fprintln(os.Stderr, "cereszload: smoke FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Println("cereszload: smoke OK")
+		return
+	}
+	if err := runSweep(ctx, *addr, *elems, *requests, *chunk, *eps, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "cereszload:", err)
+		os.Exit(1)
+	}
+}
+
+// runSmoke is the CI gate: one compress + one decompress against a live
+// server, checked for exactness against the library.
+func runSmoke(ctx context.Context, addr string, chunk int, eps float64) error {
+	c := client.New(client.Config{BaseURL: addr, ChunkElems: chunk})
+	if err := c.Health(ctx); err != nil {
+		return fmt.Errorf("health: %w", err)
+	}
+	const n = 200_000 // several frames plus a partial trailing chunk
+	data := synthData(n, 7)
+
+	comp, err := c.Compress(ctx, data, client.ABS(eps))
+	if err != nil {
+		return fmt.Errorf("compress: %w", err)
+	}
+	var local bytes.Buffer
+	sw := ceresz.NewStreamWriter(&local, ceresz.ABS(eps), ceresz.Options{Workers: 1})
+	for start := 0; start < n; start += chunk {
+		end := min(start+chunk, n)
+		if _, err := sw.WriteChunk(data[start:end]); err != nil {
+			return fmt.Errorf("local stream: %w", err)
+		}
+	}
+	if !bytes.Equal(comp, local.Bytes()) {
+		return fmt.Errorf("server stream (%d bytes) differs from library StreamWriter (%d bytes)", len(comp), local.Len())
+	}
+
+	vals, err := c.Decompress(ctx, comp)
+	if err != nil {
+		return fmt.Errorf("decompress: %w", err)
+	}
+	if len(vals) != n {
+		return fmt.Errorf("decompressed %d elements, want %d", len(vals), n)
+	}
+	for i, v := range vals {
+		if math.Abs(float64(v)-float64(data[i])) > eps*(1+1e-6) {
+			return fmt.Errorf("element %d: |%g - %g| exceeds eps %g", i, v, data[i], eps)
+		}
+	}
+	fmt.Printf("round-trip: %d elements, %d compressed bytes (ratio %.2fx), bound %g held\n",
+		n, len(comp), float64(4*n)/float64(len(comp)), eps)
+	return nil
+}
+
+// sweepCounts is 1, 2, 4, ... capped at NumCPU, always ending on NumCPU.
+func sweepCounts() []int {
+	ncpu := runtime.NumCPU()
+	var counts []int
+	for k := 1; k < ncpu; k *= 2 {
+		counts = append(counts, k)
+	}
+	return append(counts, ncpu)
+}
+
+func runSweep(ctx context.Context, addr string, elems, requests, chunk int, eps float64, out string) error {
+	c := client.New(client.Config{BaseURL: addr, ChunkElems: chunk})
+	if err := c.Health(ctx); err != nil {
+		return fmt.Errorf("health: %w", err)
+	}
+	report := benchReport{Addr: addr, Elems: elems, ChunkElems: chunk, Eps: eps, NumCPU: runtime.NumCPU()}
+
+	fmt.Printf("%8s %9s %12s %10s %10s %10s\n", "clients", "requests", "GB/s", "p50", "p95", "p99")
+	for _, k := range sweepCounts() {
+		pt, err := runPoint(ctx, c, k, elems, requests, eps)
+		if err != nil {
+			return fmt.Errorf("%d clients: %w", k, err)
+		}
+		report.Points = append(report.Points, pt)
+		fmt.Printf("%8d %9d %12.3f %9dus %9dus %9dus\n",
+			pt.Clients, pt.Requests, pt.ThroughputGBps, pt.P50us, pt.P95us, pt.P99us)
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Println("wrote", out)
+	return nil
+}
+
+// runPoint fires requests from k concurrent clients and aggregates wall
+// time, volume and per-request latencies.
+func runPoint(ctx context.Context, c *client.Client, k, elems, requests int, eps float64) (sweepPoint, error) {
+	type result struct {
+		lat  []time.Duration
+		comp int64
+		err  error
+	}
+	results := make([]result, k)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for w := 0; w < k; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			data := synthData(elems, int64(w))
+			r := &results[w]
+			for i := 0; i < requests; i++ {
+				rt0 := time.Now()
+				comp, err := c.Compress(ctx, data, client.ABS(eps))
+				if err != nil {
+					r.err = err
+					return
+				}
+				r.lat = append(r.lat, time.Since(rt0))
+				r.comp += int64(len(comp))
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+
+	var lats []time.Duration
+	var comp int64
+	for _, r := range results {
+		if r.err != nil {
+			return sweepPoint{}, r.err
+		}
+		lats = append(lats, r.lat...)
+		comp += r.comp
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	raw := int64(k) * int64(requests) * int64(4*elems)
+	return sweepPoint{
+		Clients:        k,
+		Requests:       k * requests,
+		RawBytes:       raw,
+		CompBytes:      comp,
+		Seconds:        wall.Seconds(),
+		ThroughputGBps: float64(raw) / wall.Seconds() / 1e9,
+		P50us:          percentile(lats, 50),
+		P95us:          percentile(lats, 95),
+		P99us:          percentile(lats, 99),
+	}, nil
+}

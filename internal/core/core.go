@@ -183,6 +183,25 @@ func (m Meta) Blocks() int {
 	return (m.Elements + m.BlockLen - 1) / m.BlockLen
 }
 
+// MinStreamBytes returns the smallest stream that could carry the header's
+// element count: every block costs at least its per-block header (an
+// all-zero stream is exactly that). Decode paths check it before sizing
+// the offsets table or the output, so a hostile element count in an
+// otherwise tiny input fails fast instead of driving huge allocations.
+func (m Meta) MinStreamBytes() int {
+	return StreamHeaderSize + m.Blocks()*m.HeaderBytes
+}
+
+// checkPlausible rejects a stream whose header promises more blocks than
+// its byte length could possibly hold.
+func checkPlausible(m Meta, streamLen int) error {
+	if streamLen < m.MinStreamBytes() {
+		return fmt.Errorf("%w: header declares %d elements (%d blocks, ≥%d bytes), stream has %d bytes",
+			ErrBadStream, m.Elements, m.Blocks(), m.MinStreamBytes(), streamLen)
+	}
+	return nil
+}
+
 // ErrBadStream is wrapped by all stream-parsing failures.
 var ErrBadStream = errors.New("core: malformed stream")
 
@@ -639,6 +658,9 @@ func BlockOffsets(comp []byte) (Meta, []int, error) {
 	if m.Elem != Float32 {
 		return m, nil, fmt.Errorf("%w: stream holds %s elements, expected float32", ErrBadStream, m.Elem)
 	}
+	if err := checkPlausible(m, len(comp)); err != nil {
+		return m, nil, err
+	}
 	offsets := make([]int, m.Blocks()+1)
 	if err := scanOffsets(comp[StreamHeaderSize:], m, offsets, 4); err != nil {
 		return m, nil, err
@@ -695,6 +717,9 @@ func Decompress(dst []float32, comp []byte, workers int) ([]float32, Meta, error
 	}
 	if m.Elem != Float32 {
 		return dst, m, fmt.Errorf("%w: stream holds %s elements, expected float32", ErrBadStream, m.Elem)
+	}
+	if err := checkPlausible(m, len(comp)); err != nil {
+		return dst, m, err
 	}
 	body := comp[StreamHeaderSize:]
 	nBlocks := m.Blocks()

@@ -329,6 +329,9 @@ func Decompress64(dst []float64, comp []byte, workers int) ([]float64, Meta, err
 	if m.Elem != Float64 {
 		return dst, m, fmt.Errorf("%w: stream holds %s elements, expected float64", ErrBadStream, m.Elem)
 	}
+	if err := checkPlausible(m, len(comp)); err != nil {
+		return dst, m, err
+	}
 	body := comp[StreamHeaderSize:]
 	nBlocks := m.Blocks()
 	L := m.BlockLen

@@ -1,0 +1,150 @@
+package server
+
+import (
+	"encoding/binary"
+	"io"
+	"math"
+	"slices"
+
+	"ceresz"
+)
+
+// codec is one worker's pooled compression state. Every buffer is reused
+// across chunks and across requests, so once warm the per-chunk compress
+// path performs zero heap allocations (asserted by TestCompressHotPathZeroAlloc):
+// raw body bytes land in rawIn, decode into f32/f64, and the compressed
+// frame is assembled in frame — an 8-byte CSZF header followed by the
+// container written by the zero-alloc *Into entry points. A codec is owned
+// by exactly one request at a time (the pool hands it out), so no locking.
+type codec struct {
+	rawIn []byte // raw little-endian chunk bytes from the request body
+	f32   []float32
+	f64   []float64
+	frame []byte // CSZF frame under construction: 8-byte header + payload
+	out   []byte // encoded raw-float response bytes (decompress path)
+	stats ceresz.Stats
+	sr    *ceresz.StreamReader
+}
+
+func newCodec() *codec {
+	return &codec{sr: ceresz.NewStreamReader(nil)}
+}
+
+// frameMagic mirrors the package-level CSZF framing (stream.go); the codec
+// writes headers itself so header and payload go out in one Write.
+var frameMagic = [4]byte{'C', 'S', 'Z', 'F'}
+
+const frameHeaderSize = 8
+
+// cparams is a compress request's resolved configuration.
+type cparams struct {
+	bound      ceresz.Bound // REL resolves per chunk, like StreamWriter
+	abs        bool         // true: bound.Value is a pre-resolved absolute ε
+	elem       ceresz.Elem
+	chunkElems int
+	opts       ceresz.Options // Workers:1 — the sequential zero-alloc path
+}
+
+// elemSize returns the element byte width.
+func (p cparams) elemSize() int {
+	if p.elem == ceresz.Float64 {
+		return 8
+	}
+	return 4
+}
+
+// readRaw fills rawIn with up to want bytes from r. A short final read is
+// returned as n with io.EOF; bytes that do not divide the element size are
+// the caller's error to raise.
+func (c *codec) readRaw(r io.Reader, want int) (int, error) {
+	c.rawIn = slices.Grow(c.rawIn[:0], want)[:want]
+	n, err := io.ReadFull(r, c.rawIn)
+	c.rawIn = c.rawIn[:n]
+	if err == io.ErrUnexpectedEOF {
+		err = io.EOF
+	}
+	return n, err
+}
+
+// nextFrameF32 reads one raw float32 chunk from r, compresses it and
+// assembles the CSZF frame in c.frame. It returns the frame, the raw byte
+// count consumed, and io.EOF (with a nil frame) once the body is drained.
+// Steady-state zero-alloc: all buffers are warm after the first chunk.
+func (c *codec) nextFrameF32(r io.Reader, p cparams) ([]byte, int, error) {
+	n, err := c.readRaw(r, 4*p.chunkElems)
+	if n == 0 {
+		if err == io.EOF || err == nil {
+			return nil, 0, io.EOF
+		}
+		return nil, 0, err
+	}
+	if err != nil && err != io.EOF {
+		return nil, n, err
+	}
+	if n%4 != 0 {
+		return nil, n, errOddBody(n, 4)
+	}
+	elems := n / 4
+	c.f32 = slices.Grow(c.f32[:0], elems)[:elems]
+	for i := range c.f32 {
+		c.f32[i] = math.Float32frombits(binary.LittleEndian.Uint32(c.rawIn[4*i:]))
+	}
+	c.frame = append(c.frame[:0], frameMagic[0], frameMagic[1], frameMagic[2], frameMagic[3], 0, 0, 0, 0)
+	if p.abs {
+		c.frame, err = ceresz.CompressWithEpsInto(c.frame, c.f32, p.bound.Value, p.opts, &c.stats)
+	} else {
+		c.frame, err = ceresz.CompressInto(c.frame, c.f32, p.bound, p.opts, &c.stats)
+	}
+	if err != nil {
+		return nil, n, err
+	}
+	binary.LittleEndian.PutUint32(c.frame[4:], uint32(len(c.frame)-frameHeaderSize))
+	return c.frame, n, nil
+}
+
+// nextFrameF64 is nextFrameF32 for double-precision bodies.
+func (c *codec) nextFrameF64(r io.Reader, p cparams) ([]byte, int, error) {
+	n, err := c.readRaw(r, 8*p.chunkElems)
+	if n == 0 {
+		if err == io.EOF || err == nil {
+			return nil, 0, io.EOF
+		}
+		return nil, 0, err
+	}
+	if err != nil && err != io.EOF {
+		return nil, n, err
+	}
+	if n%8 != 0 {
+		return nil, n, errOddBody(n, 8)
+	}
+	elems := n / 8
+	c.f64 = slices.Grow(c.f64[:0], elems)[:elems]
+	for i := range c.f64 {
+		c.f64[i] = math.Float64frombits(binary.LittleEndian.Uint64(c.rawIn[8*i:]))
+	}
+	c.frame = append(c.frame[:0], frameMagic[0], frameMagic[1], frameMagic[2], frameMagic[3], 0, 0, 0, 0)
+	c.frame, err = ceresz.Compress64Into(c.frame, c.f64, p.bound, p.opts, &c.stats)
+	if err != nil {
+		return nil, n, err
+	}
+	binary.LittleEndian.PutUint32(c.frame[4:], uint32(len(c.frame)-frameHeaderSize))
+	return c.frame, n, nil
+}
+
+// encodeF32 serializes floats into c.out as raw little-endian bytes.
+func (c *codec) encodeF32(vals []float32) []byte {
+	c.out = slices.Grow(c.out[:0], 4*len(vals))[:4*len(vals)]
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(c.out[4*i:], math.Float32bits(v))
+	}
+	return c.out
+}
+
+// encodeF64 serializes doubles into c.out as raw little-endian bytes.
+func (c *codec) encodeF64(vals []float64) []byte {
+	c.out = slices.Grow(c.out[:0], 8*len(vals))[:8*len(vals)]
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(c.out[8*i:], math.Float64bits(v))
+	}
+	return c.out
+}

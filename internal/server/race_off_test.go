@@ -1,0 +1,8 @@
+//go:build !race
+
+package server
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation allocates, so the zero-alloc contract tests only run
+// without it.
+const raceEnabled = false

@@ -1,0 +1,686 @@
+// Package server is the cereszd serving subsystem: an HTTP front end over
+// the library's zero-alloc compression hot paths. The design goal is the
+// ROADMAP's "heavy traffic" shape — bounded concurrency, explicit
+// backpressure, and no per-chunk heap allocations in steady state:
+//
+//   - a fixed worker pool owns per-worker codec state (pooled buffers +
+//     the sequential CompressInto/NextInto entry points), so throughput
+//     scales with cores without GC pressure;
+//   - an admission queue bounds the requests waiting for a worker; when it
+//     overflows the server answers 429 with a Retry-After hint instead of
+//     queueing unboundedly (clients — client/ — back off and retry);
+//   - request limits (body bytes, chunk elements, frame bytes) are
+//     enforced before any input-sized allocation, leaning on the
+//     hardened StreamReader/OpenBundleLimited decode paths;
+//   - every endpoint reports request/byte counters and latency histograms
+//     through internal/telemetry, so /debug/metrics exposes p50/p95/p99
+//     per endpoint in the Prometheus text format.
+//
+// Wire format: /v1/compress turns a raw little-endian float body into the
+// package's CSZF framed stream (one independently-decodable container per
+// chunk — the on-disk streaming format, so a StreamReader consumes
+// responses directly); /v1/decompress inverts it;
+// /v1/bundle assembles a multi-field CSZB bundle (or extracts one member
+// with ?field=).
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"ceresz"
+	"ceresz/internal/core"
+	"ceresz/internal/telemetry"
+)
+
+// Config tunes a Server. The zero value serves with GOMAXPROCS workers, a
+// 2×workers admission queue, 1 GiB request bodies, 64 Ki-element chunks
+// and a 1-second Retry-After hint.
+type Config struct {
+	// Workers is the codec pool size (0 = GOMAXPROCS). It bounds the
+	// requests compressing/decompressing concurrently.
+	Workers int
+	// QueueDepth is how many admitted requests may wait for a worker
+	// beyond the Workers executing (0 = 2×Workers, negative = 0).
+	QueueDepth int
+	// MaxBodyBytes caps a request body (0 = 1 GiB).
+	MaxBodyBytes int64
+	// MaxChunkElems caps the elements in one chunk, one decoded frame and
+	// one bundle field (0 = 4 Mi elements).
+	MaxChunkElems int
+	// MaxFrameBytes caps a compressed frame or bundle member accepted on
+	// the decode path (0 = 64 MiB).
+	MaxFrameBytes int
+	// ChunkElems is the compress-side default elements per frame when the
+	// request does not pass ?chunk= (0 = 64 Ki).
+	ChunkElems int
+	// RetryAfter is the hint returned with 429/503 responses (0 = 1s).
+	RetryAfter time.Duration
+	// BlockLen overrides the CereSZ block length (0 = 32, the paper's).
+	BlockLen int
+	// Registry receives the server's instruments (nil = telemetry.Default).
+	Registry *telemetry.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 30
+	}
+	if c.MaxChunkElems <= 0 {
+		c.MaxChunkElems = 4 << 20
+	}
+	if c.MaxFrameBytes <= 0 {
+		c.MaxFrameBytes = 64 << 20
+	}
+	if c.ChunkElems <= 0 {
+		c.ChunkElems = 64 << 10
+	}
+	if c.ChunkElems > c.MaxChunkElems {
+		c.ChunkElems = c.MaxChunkElems
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Registry == nil {
+		c.Registry = telemetry.Default
+	}
+	return c
+}
+
+// epMetrics is one endpoint's instrument set.
+type epMetrics struct {
+	requests  *telemetry.Counter
+	failures  *telemetry.Counter
+	rejected  *telemetry.Counter
+	bytesIn   *telemetry.Counter
+	bytesOut  *telemetry.Counter
+	chunks    *telemetry.Counter
+	latencyUS *telemetry.Histogram
+}
+
+func newEpMetrics(reg *telemetry.Registry, name string) *epMetrics {
+	return &epMetrics{
+		requests:  reg.Counter("server." + name + ".requests"),
+		failures:  reg.Counter("server." + name + ".failures"),
+		rejected:  reg.Counter("server." + name + ".rejected"),
+		bytesIn:   reg.Counter("server." + name + ".bytes_in"),
+		bytesOut:  reg.Counter("server." + name + ".bytes_out"),
+		chunks:    reg.Counter("server." + name + ".chunks"),
+		latencyUS: reg.Histogram("server." + name + ".latency_us"),
+	}
+}
+
+// Server is the serving subsystem. Create with New, mount with Handler.
+type Server struct {
+	cfg    Config
+	codecs chan *codec   // worker pool: free codec state
+	sem    chan struct{} // admission: executing + queued requests
+
+	draining atomic.Bool
+	// gauges mirror state for /debug/metrics; functional state never
+	// lives in telemetry (a disabled registry makes gauges no-ops).
+	drainGauge *telemetry.Gauge
+	inflight   *telemetry.Gauge
+
+	mCompress   *epMetrics
+	mDecompress *epMetrics
+	mBundle     *epMetrics
+}
+
+// New returns a Server with its worker pool warm.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:         cfg,
+		codecs:      make(chan *codec, cfg.Workers),
+		sem:         make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		drainGauge:  cfg.Registry.Gauge("server.draining"),
+		inflight:    cfg.Registry.Gauge("server.inflight"),
+		mCompress:   newEpMetrics(cfg.Registry, "compress"),
+		mDecompress: newEpMetrics(cfg.Registry, "decompress"),
+		mBundle:     newEpMetrics(cfg.Registry, "bundle"),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.codecs <- newCodec()
+	}
+	return s
+}
+
+// Handler returns the server's mux: POST /v1/compress, /v1/decompress,
+// /v1/bundle and GET /healthz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/v1/compress", s.admit(s.mCompress, s.handleCompress))
+	mux.Handle("/v1/decompress", s.admit(s.mDecompress, s.handleDecompress))
+	mux.Handle("/v1/bundle", s.admit(s.mBundle, s.handleBundle))
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// SetDraining flips drain mode: /healthz answers 503 so load balancers
+// stop routing here, and new /v1/* work is refused with Retry-After while
+// in-flight requests finish (http.Server.Shutdown waits for those).
+func (s *Server) SetDraining(on bool) {
+	s.draining.Store(on)
+	v := int64(0)
+	if on {
+		v = 1
+	}
+	s.drainGauge.Set(v)
+}
+
+// Draining reports drain mode.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"draining"}`)
+		return
+	}
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// retryAfterSeconds renders the Retry-After hint (ceiling, ≥ 1).
+func (s *Server) retryAfterSeconds() string {
+	secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// admit wraps an endpoint with method filtering, drain refusal, admission
+// control, worker acquisition and metrics. The handler runs with exclusive
+// use of one codec.
+func (s *Server) admit(m *epMetrics, h func(*codec, http.ResponseWriter, *http.Request) error) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		if s.Draining() {
+			w.Header().Set("Retry-After", s.retryAfterSeconds())
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		if r.ContentLength > s.cfg.MaxBodyBytes {
+			http.Error(w, fmt.Sprintf("body %d exceeds limit %d", r.ContentLength, s.cfg.MaxBodyBytes),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
+		// Admission: executing + waiting is bounded; overflow is refused
+		// immediately so the client's backoff, not this process's memory,
+		// absorbs the burst.
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			m.rejected.Add(1)
+			w.Header().Set("Retry-After", s.retryAfterSeconds())
+			http.Error(w, "server saturated, retry later", http.StatusTooManyRequests)
+			return
+		}
+		defer func() { <-s.sem }()
+
+		var c *codec
+		select {
+		case c = <-s.codecs:
+		case <-r.Context().Done():
+			return // client gave up while queued
+		}
+		defer func() { s.codecs <- c }()
+
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		m.requests.Add(1)
+		// The handlers stream: they read the next body chunk after writing
+		// the previous response chunk. HTTP/1.x servers close the body for
+		// reads once the response starts flushing unless full duplex is
+		// explicitly enabled; best effort — recorders and HTTP/2 decline.
+		rw := &trackingWriter{ResponseWriter: w}
+		_ = http.NewResponseController(rw).EnableFullDuplex()
+		t0 := time.Now()
+		err := h(c, rw, r)
+		m.latencyUS.Observe(time.Since(t0).Microseconds())
+		// Full duplex also disables the server's post-handler body drain,
+		// and a body left short of EOF breaks connection reuse (the
+		// deferred background read only starts once a read hits EOF, which
+		// reqBody.Close triggers *after* finishRequest already aborted
+		// pending reads — the next request's Peek then panics net/http).
+		// Consume a bounded remainder here; past the cap, close the
+		// connection instead of reading unbounded garbage.
+		drained, _ := io.Copy(io.Discard, io.LimitReader(r.Body, maxPostDrainBytes+1))
+		if drained > maxPostDrainBytes && !rw.started {
+			w.Header().Set("Connection", "close")
+		}
+		if err != nil {
+			m.failures.Add(1)
+			writeError(rw, err)
+		}
+		if drained > maxPostDrainBytes && rw.started {
+			// Headers are gone, so the close hint is no longer expressible;
+			// ErrAbortHandler is the sanctioned way to cut the connection.
+			panic(http.ErrAbortHandler)
+		}
+	})
+}
+
+// maxPostDrainBytes bounds how much of a request body left unread by a
+// handler admit will consume to keep the connection reusable (mirrors
+// net/http's own maxPostHandlerReadBytes). Past it, the connection is
+// closed instead.
+const maxPostDrainBytes = 256 << 10
+
+// trackingWriter records whether the response has started, which decides
+// how admit handles a body the handler left unread: before the first
+// write a Connection: close header still works, after it only aborting
+// the connection does. Unwrap keeps http.NewResponseController working.
+type trackingWriter struct {
+	http.ResponseWriter
+	started bool
+}
+
+func (tw *trackingWriter) WriteHeader(code int) {
+	tw.started = true
+	tw.ResponseWriter.WriteHeader(code)
+}
+
+func (tw *trackingWriter) Write(b []byte) (int, error) {
+	tw.started = true
+	return tw.ResponseWriter.Write(b)
+}
+
+func (tw *trackingWriter) Unwrap() http.ResponseWriter { return tw.ResponseWriter }
+
+// badRequest marks parameter/body validation failures for status mapping.
+type badRequest struct{ err error }
+
+func (b badRequest) Error() string { return b.err.Error() }
+func (b badRequest) Unwrap() error { return b.err }
+
+func badRequestf(format string, args ...any) error {
+	return badRequest{fmt.Errorf(format, args...)}
+}
+
+func errOddBody(n, elemSize int) error {
+	return badRequestf("body length %d is not a multiple of the %d-byte element size", n, elemSize)
+}
+
+// errResponseStarted marks failures after the response body began: the
+// status line is gone, so admit only counts the failure.
+var errResponseStarted = errors.New("server: response already started")
+
+// writeError maps a handler failure onto an HTTP status. Decode-limit and
+// malformed-input failures are the client's fault (400/413); everything
+// else is a 500.
+func writeError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errResponseStarted) {
+		return // too late for a status line; the connection is cut short
+	}
+	status := http.StatusInternalServerError
+	var br badRequest
+	var mbe *http.MaxBytesError
+	switch {
+	case errors.As(err, &mbe):
+		status = http.StatusRequestEntityTooLarge
+	case errors.As(err, &br),
+		errors.Is(err, ceresz.ErrTruncated),
+		errors.Is(err, ceresz.ErrFrameTooLarge),
+		errors.Is(err, core.ErrBadStream):
+		status = http.StatusBadRequest
+	}
+	http.Error(w, err.Error(), status)
+}
+
+// parseCompressParams resolves a compress request's query parameters
+// before any body byte is read.
+func (s *Server) parseCompressParams(r *http.Request) (cparams, error) {
+	q := r.URL.Query()
+	p := cparams{
+		elem:       ceresz.Float32,
+		chunkElems: s.cfg.ChunkElems,
+		opts:       ceresz.Options{Workers: 1, BlockLen: s.cfg.BlockLen},
+	}
+	epsStr := q.Get("eps")
+	if epsStr == "" {
+		return p, badRequestf("missing required parameter eps")
+	}
+	eps, err := strconv.ParseFloat(epsStr, 64)
+	if err != nil || !(eps > 0) {
+		return p, badRequestf("eps must be a positive float, got %q", epsStr)
+	}
+	switch mode := q.Get("mode"); mode {
+	case "", "abs":
+		p.abs = true
+		p.bound = ceresz.ABS(eps)
+	case "rel":
+		p.bound = ceresz.REL(eps)
+	default:
+		return p, badRequestf("mode must be abs or rel, got %q", mode)
+	}
+	switch elem := q.Get("elem"); elem {
+	case "", "f32":
+		p.elem = ceresz.Float32
+	case "f64":
+		p.elem = ceresz.Float64
+	default:
+		return p, badRequestf("elem must be f32 or f64, got %q", elem)
+	}
+	if chunkStr := q.Get("chunk"); chunkStr != "" {
+		n, err := strconv.Atoi(chunkStr)
+		if err != nil || n < 1 {
+			return p, badRequestf("chunk must be a positive integer, got %q", chunkStr)
+		}
+		if n > s.cfg.MaxChunkElems {
+			return p, badRequestf("chunk %d exceeds limit %d", n, s.cfg.MaxChunkElems)
+		}
+		p.chunkElems = n
+	}
+	if blockStr := q.Get("block"); blockStr != "" {
+		n, err := strconv.Atoi(blockStr)
+		if err != nil || n < 8 || n%8 != 0 {
+			return p, badRequestf("block must be a positive multiple of 8, got %q", blockStr)
+		}
+		p.opts.BlockLen = n
+	}
+	return p, nil
+}
+
+// handleCompress streams CSZF frames for a raw little-endian float body.
+// The response is chunked: each ?chunk= elements become one independently
+// decodable frame, so the client can pipe the response straight into a
+// StreamReader (or to disk next to StreamWriter output).
+func (s *Server) handleCompress(c *codec, w http.ResponseWriter, r *http.Request) error {
+	p, err := s.parseCompressParams(r)
+	if err != nil {
+		return err
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	next := c.nextFrameF32
+	if p.elem == ceresz.Float64 {
+		next = c.nextFrameF64
+	}
+
+	var chunks int
+	var rawBytes, compBytes int64
+	started := false
+	for {
+		frame, n, err := next(body, p)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if started {
+				return fmt.Errorf("%w: chunk %d: %v", errResponseStarted, chunks, err)
+			}
+			return err
+		}
+		if !started {
+			w.Header().Set("Content-Type", "application/x-ceresz-frames")
+			w.Header().Set("X-Ceresz-Eps", strconv.FormatFloat(c.stats.Eps, 'g', -1, 64))
+			started = true
+		}
+		if _, err := w.Write(frame); err != nil {
+			return fmt.Errorf("%w: writing chunk %d: %v", errResponseStarted, chunks, err)
+		}
+		chunks++
+		rawBytes += int64(n)
+		compBytes += int64(len(frame))
+	}
+	if !started {
+		w.Header().Set("Content-Type", "application/x-ceresz-frames")
+	}
+	s.recordVolume(s.mCompress, chunks, rawBytes, compBytes)
+	return nil
+}
+
+// handleDecompress inverts handleCompress: a CSZF framed body becomes raw
+// little-endian floats. ?elem= must match the stream's element type
+// (default f32).
+func (s *Server) handleDecompress(c *codec, w http.ResponseWriter, r *http.Request) error {
+	q := r.URL.Query()
+	wantF64 := false
+	switch elem := q.Get("elem"); elem {
+	case "", "f32":
+	case "f64":
+		wantF64 = true
+	default:
+		return badRequestf("elem must be f32 or f64, got %q", elem)
+	}
+	body := &countingReader{r: http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)}
+	c.sr.Reset(body)
+	c.sr.SetLimits(s.cfg.MaxFrameBytes, s.cfg.MaxChunkElems)
+
+	var chunks int
+	var rawBytes int64
+	started := false
+	for {
+		var out []byte
+		var err error
+		if wantF64 {
+			c.f64, err = c.sr.Next64Into(c.f64[:0])
+			out = c.encodeF64(c.f64)
+		} else {
+			c.f32, err = c.sr.NextInto(c.f32[:0])
+			out = c.encodeF32(c.f32)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if started {
+				return fmt.Errorf("%w: chunk %d: %v", errResponseStarted, chunks, err)
+			}
+			return err
+		}
+		if !started {
+			w.Header().Set("Content-Type", "application/octet-stream")
+			started = true
+		}
+		if _, err := w.Write(out); err != nil {
+			return fmt.Errorf("%w: writing chunk %d: %v", errResponseStarted, chunks, err)
+		}
+		chunks++
+		rawBytes += int64(len(out))
+	}
+	if !started {
+		w.Header().Set("Content-Type", "application/octet-stream")
+	}
+	s.recordVolume(s.mDecompress, chunks, body.n, rawBytes)
+	return nil
+}
+
+// countingReader counts the bytes a decode path actually consumed.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
+}
+
+// recordVolume publishes one request's chunk/byte accounting.
+func (s *Server) recordVolume(m *epMetrics, chunks int, in, out int64) {
+	m.chunks.Add(int64(chunks))
+	m.bytesIn.Add(in)
+	m.bytesOut.Add(out)
+}
+
+// bundleFieldSpec is one manifest entry of a /v1/bundle request.
+type bundleFieldSpec struct {
+	Name string  `json:"name"`
+	Dims [3]int  `json:"dims"` // zeroes normalize to 1; Nx fastest
+	Elem string  `json:"elem"` // "f32" (default) or "f64"
+	Mode string  `json:"mode"` // "abs" (default) or "rel"
+	Eps  float64 `json:"eps"`
+}
+
+// maxBundleManifest caps the JSON manifest of a bundle request.
+const maxBundleManifest = 1 << 20
+
+// handleBundle assembles a CSZB bundle from a multi-field payload, or with
+// ?field= extracts one member of a posted bundle as raw floats.
+//
+// Assemble request body: u32 little-endian manifest length, JSON manifest
+// ([]bundleFieldSpec), then each field's raw little-endian data
+// back-to-back in manifest order.
+func (s *Server) handleBundle(c *codec, w http.ResponseWriter, r *http.Request) error {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if field := r.URL.Query().Get("field"); field != "" {
+		return s.extractBundleField(c, w, body, field)
+	}
+
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(body, lenBuf[:]); err != nil {
+		return badRequestf("reading manifest length: %v", err)
+	}
+	manifestLen := int(binary.LittleEndian.Uint32(lenBuf[:]))
+	if manifestLen == 0 || manifestLen > maxBundleManifest {
+		return badRequestf("manifest length %d outside (0, %d]", manifestLen, maxBundleManifest)
+	}
+	manifest := make([]byte, manifestLen)
+	if _, err := io.ReadFull(body, manifest); err != nil {
+		return badRequestf("reading %d-byte manifest: %v", manifestLen, err)
+	}
+	var specs []bundleFieldSpec
+	if err := json.Unmarshal(manifest, &specs); err != nil {
+		return badRequestf("decoding manifest: %v", err)
+	}
+	if len(specs) == 0 {
+		return badRequestf("manifest has no fields")
+	}
+
+	bw := ceresz.NewBundleWriter()
+	for i, spec := range specs {
+		dims := normalizeDims(spec.Dims)
+		elems := dims.Len()
+		if elems <= 0 || elems > s.cfg.MaxChunkElems {
+			return badRequestf("field %d (%q): %d elements outside (0, %d]", i, spec.Name, elems, s.cfg.MaxChunkElems)
+		}
+		var bound ceresz.Bound
+		switch spec.Mode {
+		case "", "abs":
+			bound = ceresz.ABS(spec.Eps)
+		case "rel":
+			bound = ceresz.REL(spec.Eps)
+		default:
+			return badRequestf("field %d (%q): mode must be abs or rel, got %q", i, spec.Name, spec.Mode)
+		}
+		opts := ceresz.Options{Workers: 1, BlockLen: s.cfg.BlockLen}
+		switch spec.Elem {
+		case "", "f32":
+			if _, err := c.readRaw(body, 4*elems); err != nil {
+				return badRequestf("field %d (%q): reading %d elements: %v", i, spec.Name, elems, err)
+			}
+			c.f32 = c.f32[:0]
+			for j := 0; j < elems; j++ {
+				c.f32 = append(c.f32, math.Float32frombits(binary.LittleEndian.Uint32(c.rawIn[4*j:])))
+			}
+			if _, err := bw.AddField(spec.Name, dims, c.f32, bound, opts); err != nil {
+				return badRequest{err}
+			}
+		case "f64":
+			if _, err := c.readRaw(body, 8*elems); err != nil {
+				return badRequestf("field %d (%q): reading %d elements: %v", i, spec.Name, elems, err)
+			}
+			c.f64 = c.f64[:0]
+			for j := 0; j < elems; j++ {
+				c.f64 = append(c.f64, math.Float64frombits(binary.LittleEndian.Uint64(c.rawIn[8*j:])))
+			}
+			if _, err := bw.AddField64(spec.Name, dims, c.f64, bound, opts); err != nil {
+				return badRequest{err}
+			}
+		default:
+			return badRequestf("field %d (%q): elem must be f32 or f64, got %q", i, spec.Name, spec.Elem)
+		}
+	}
+	out, err := bw.Bytes()
+	if err != nil {
+		return badRequest{err}
+	}
+	w.Header().Set("Content-Type", "application/x-ceresz-bundle")
+	w.Header().Set("X-Ceresz-Fields", strconv.Itoa(len(specs)))
+	if _, err := w.Write(out); err != nil {
+		return fmt.Errorf("%w: writing bundle: %v", errResponseStarted, err)
+	}
+	s.recordVolume(s.mBundle, len(specs), 0, int64(len(out)))
+	return nil
+}
+
+// extractBundleField decompresses one member of a posted bundle.
+func (s *Server) extractBundleField(c *codec, w http.ResponseWriter, body io.Reader, field string) error {
+	raw, err := io.ReadAll(body)
+	if err != nil {
+		return err
+	}
+	br, err := ceresz.OpenBundleLimited(raw, s.cfg.MaxFrameBytes, s.cfg.MaxChunkElems)
+	if err != nil {
+		return badRequest{err}
+	}
+	names := br.Names()
+	var bf ceresz.BundleField
+	for _, f := range br.Fields() {
+		if f.Name == field {
+			bf = f
+			break
+		}
+	}
+	if bf.Name == "" {
+		return badRequestf("bundle has no field %q (have %v)", field, names)
+	}
+	var out []byte
+	var elem string
+	if bf.Elem == ceresz.Float64 {
+		vals, _, err := br.ReadField64(field)
+		if err != nil {
+			return badRequest{err}
+		}
+		out, elem = c.encodeF64(vals), "f64"
+	} else {
+		vals, _, err := br.ReadField(field)
+		if err != nil {
+			return badRequest{err}
+		}
+		out, elem = c.encodeF32(vals), "f32"
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Ceresz-Elem", elem)
+	if _, err := w.Write(out); err != nil {
+		return fmt.Errorf("%w: writing field: %v", errResponseStarted, err)
+	}
+	s.recordVolume(s.mBundle, 1, int64(len(raw)), int64(len(out)))
+	return nil
+}
+
+// normalizeDims maps zero dims to 1 so [n,0,0] means 1-D.
+func normalizeDims(d [3]int) ceresz.Dims {
+	for i := range d {
+		if d[i] == 0 {
+			d[i] = 1
+		}
+	}
+	return ceresz.Dims{Nx: d[0], Ny: d[1], Nz: d[2]}
+}

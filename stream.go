@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"slices"
 
 	"ceresz/internal/core"
 	"ceresz/internal/telemetry"
@@ -77,8 +78,23 @@ const frameHeaderSize = 8
 // maxFramePayload bounds a single chunk's compressed size.
 const maxFramePayload = 1 << 31
 
+// frameReadStep caps how much of a frame body is allocated ahead of the
+// bytes actually arriving, so a hostile length field cannot drive a huge
+// make before the reader discovers the body is absent.
+const frameReadStep = 1 << 20
+
 // ErrStreamClosed is returned by operations on a closed StreamWriter.
 var ErrStreamClosed = errors.New("ceresz: stream writer closed")
+
+// ErrTruncated reports input that ends mid-frame or mid-index: the length
+// fields promise more bytes than the source delivers. Typed so servers can
+// map it to a 4xx instead of a generic decode failure.
+var ErrTruncated = errors.New("ceresz: truncated input")
+
+// ErrFrameTooLarge reports a frame, element count or bundle member that
+// exceeds the configured decode limits (StreamReader.SetLimits,
+// OpenBundleLimited) or the format's hard cap.
+var ErrFrameTooLarge = errors.New("ceresz: frame exceeds limit")
 
 // StreamWriter frames independently-decodable compressed chunks onto an
 // io.Writer. Not safe for concurrent use.
@@ -190,9 +206,12 @@ func (sw *StreamWriter) Close() error {
 // StreamReader iterates over the frames written by StreamWriter.
 // Not safe for concurrent use.
 type StreamReader struct {
-	r   io.Reader
-	buf []byte
-	out []float32
+	r        io.Reader
+	buf      []byte
+	out      []float32
+	hdr      [frameHeaderSize]byte
+	maxFrame int
+	maxElems int
 }
 
 // NewStreamReader returns a StreamReader over r.
@@ -200,28 +219,66 @@ func NewStreamReader(r io.Reader) *StreamReader {
 	return &StreamReader{r: r}
 }
 
+// Reset points the reader at a new source while keeping its internal
+// buffers (and limits) warm — the steady-state form for servers decoding
+// one framed stream per request.
+func (sr *StreamReader) Reset(r io.Reader) {
+	sr.r = r
+}
+
+// SetLimits caps what a single frame may cost to decode: maxFrameBytes
+// bounds the compressed payload length accepted from a frame header, and
+// maxElements bounds the decoded element count a payload may declare.
+// Zero leaves the respective limit at the format's hard cap. Violations
+// surface as ErrFrameTooLarge before any decode-sized allocation happens —
+// set both when reading untrusted input.
+func (sr *StreamReader) SetLimits(maxFrameBytes, maxElements int) {
+	sr.maxFrame = maxFrameBytes
+	sr.maxElems = maxElements
+}
+
 // next reads one frame payload into the internal buffer.
 func (sr *StreamReader) next() ([]byte, error) {
-	var hdr [frameHeaderSize]byte
-	if _, err := io.ReadFull(sr.r, hdr[:]); err != nil {
+	if _, err := io.ReadFull(sr.r, sr.hdr[:]); err != nil {
 		if err == io.EOF {
 			return nil, io.EOF
 		}
-		return nil, fmt.Errorf("ceresz: reading frame header: %w", err)
+		return nil, fmt.Errorf("%w: reading frame header: %v", ErrTruncated, err)
 	}
-	if [4]byte(hdr[:4]) != frameMagic {
-		return nil, fmt.Errorf("ceresz: bad frame magic %q", hdr[:4])
+	if [4]byte(sr.hdr[:4]) != frameMagic {
+		return nil, fmt.Errorf("%w: bad frame magic %q", core.ErrBadStream, sr.hdr[:4])
 	}
-	n := binary.LittleEndian.Uint32(hdr[4:])
+	n := int(binary.LittleEndian.Uint32(sr.hdr[4:]))
 	if n >= maxFramePayload {
-		return nil, fmt.Errorf("ceresz: frame length %d exceeds limit", n)
+		return nil, fmt.Errorf("%w: frame length %d exceeds format cap", ErrFrameTooLarge, n)
 	}
-	if cap(sr.buf) < int(n) {
-		sr.buf = make([]byte, n)
+	if sr.maxFrame > 0 && n > sr.maxFrame {
+		return nil, fmt.Errorf("%w: frame length %d exceeds configured cap %d", ErrFrameTooLarge, n, sr.maxFrame)
 	}
-	sr.buf = sr.buf[:n]
-	if _, err := io.ReadFull(sr.r, sr.buf); err != nil {
-		return nil, fmt.Errorf("ceresz: reading %d-byte frame: %w", n, err)
+	// Fill the buffer in bounded steps so the allocation tracks the bytes
+	// that actually arrive instead of trusting the header's length.
+	sr.buf = sr.buf[:0]
+	for len(sr.buf) < n {
+		step := n - len(sr.buf)
+		if step > frameReadStep {
+			step = frameReadStep
+		}
+		start := len(sr.buf)
+		sr.buf = slices.Grow(sr.buf, step)[:start+step]
+		if _, err := io.ReadFull(sr.r, sr.buf[start:]); err != nil {
+			return nil, fmt.Errorf("%w: frame promises %d bytes, source ends at %d (%v)", ErrTruncated, n, start, err)
+		}
+	}
+	// Validate the payload's element count before Decompress sizes any
+	// output: an untrusted header must not drive a decode-sized make.
+	if sr.maxElems > 0 {
+		meta, err := core.ParseHeader(sr.buf)
+		if err != nil {
+			return nil, err
+		}
+		if meta.Elements > sr.maxElems {
+			return nil, fmt.Errorf("%w: frame declares %d elements, cap is %d", ErrFrameTooLarge, meta.Elements, sr.maxElems)
+		}
 	}
 	return sr.buf, nil
 }
@@ -264,6 +321,18 @@ func (sr *StreamReader) Next64() ([]float64, error) {
 		return nil, err
 	}
 	return Decompress64(nil, payload)
+}
+
+// Next64Into decodes the next float64 chunk appending to dst (which may be
+// nil) — the steady-state counterpart of NextInto for double-precision
+// streams.
+func (sr *StreamReader) Next64Into(dst []float64) ([]float64, error) {
+	defer telStreamRead.Start().End()
+	payload, err := sr.next()
+	if err != nil {
+		return dst, err
+	}
+	return Decompress64(dst, payload)
 }
 
 // Skip advances past the next frame without decoding it, returning its

@@ -2,6 +2,8 @@ package ceresz
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"io"
 	"math"
 	"testing"
@@ -207,5 +209,107 @@ func TestStreamWriterChunkErrors(t *testing.T) {
 	}
 	if _, err := sw.WriteChunk64([]float64{1, 2}); err == nil {
 		t.Fatal("accepted zero bound (f64)")
+	}
+}
+
+func TestStreamReaderTypedErrors(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewStreamWriter(&buf, ABS(1e-3), Options{Workers: 1})
+	if _, err := sw.WriteChunk(testField(500, 11)); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Truncated mid-payload.
+	sr := NewStreamReader(bytes.NewReader(full[:len(full)-7]))
+	if _, err := sr.Next(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated payload: got %v, want ErrTruncated", err)
+	}
+	// Truncated mid-header.
+	sr = NewStreamReader(bytes.NewReader(full[:5]))
+	if _, err := sr.Next(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated header: got %v, want ErrTruncated", err)
+	}
+	// Clean EOF stays io.EOF, not ErrTruncated.
+	sr = NewStreamReader(bytes.NewReader(nil))
+	if _, err := sr.Next(); err != io.EOF {
+		t.Fatalf("empty source: got %v, want io.EOF", err)
+	}
+
+	// Frame-length cap: a hostile 2GB-1 length field must be rejected
+	// without the reader allocating anything near that size.
+	hostile := []byte{'C', 'S', 'Z', 'F', 0xFF, 0xFF, 0xFF, 0x7F}
+	sr = NewStreamReader(bytes.NewReader(hostile))
+	sr.SetLimits(1<<16, 0)
+	if _, err := sr.Next(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("hostile length: got %v, want ErrFrameTooLarge", err)
+	}
+	if cap(sr.buf) != 0 {
+		t.Fatalf("rejected frame still allocated %d bytes", cap(sr.buf))
+	}
+
+	// A plausible length with no body behind it stops at ErrTruncated after
+	// at most one bounded read step, even unlimited.
+	hostileBody := []byte{'C', 'S', 'Z', 'F', 0xFF, 0xFF, 0xFF, 0x7F, 'x'}
+	sr = NewStreamReader(bytes.NewReader(hostileBody))
+	if _, err := sr.Next(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("hostile length, tiny body: got %v, want ErrTruncated", err)
+	}
+	if cap(sr.buf) > 4<<20 {
+		t.Fatalf("truncated 2GB claim allocated %d bytes", cap(sr.buf))
+	}
+
+	// Element cap applies before the decode sizes its output.
+	sr = NewStreamReader(bytes.NewReader(full))
+	sr.SetLimits(0, 10)
+	if _, err := sr.Next(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("element cap: got %v, want ErrFrameTooLarge", err)
+	}
+
+	// Within limits the same stream still decodes.
+	sr = NewStreamReader(bytes.NewReader(full))
+	sr.SetLimits(1<<20, 1<<20)
+	if _, err := sr.Next(); err != nil {
+		t.Fatalf("within limits: %v", err)
+	}
+}
+
+func TestStreamReaderReset(t *testing.T) {
+	var a, b bytes.Buffer
+	for i, buf := range []*bytes.Buffer{&a, &b} {
+		sw := NewStreamWriter(buf, ABS(1e-3), Options{Workers: 1})
+		if _, err := sw.WriteChunk(testField(300, int64(20+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sr := NewStreamReader(bytes.NewReader(a.Bytes()))
+	first, err := sr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr.Reset(bytes.NewReader(b.Bytes()))
+	second, err := sr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 300 || len(second) != 300 {
+		t.Fatalf("chunk lengths %d, %d", len(first), len(second))
+	}
+	if _, err := sr.Next(); err != io.EOF {
+		t.Fatalf("after reset-consume: got %v, want io.EOF", err)
+	}
+}
+
+func TestDecompressImplausibleElementCount(t *testing.T) {
+	comp, _, err := Compress(nil, testField(64, 31), ABS(1e-3), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inflate the header's element count far past what the body can hold:
+	// the decoder must reject it before sizing the output.
+	hostile := append([]byte(nil), comp...)
+	binary.LittleEndian.PutUint64(hostile[8:16], 1<<40)
+	if _, err := Decompress(nil, hostile); err == nil {
+		t.Fatal("accepted element count the body cannot hold")
 	}
 }
