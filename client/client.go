@@ -98,9 +98,16 @@ func New(cfg Config) *Client {
 type StatusError struct {
 	Code int
 	Body string
+	// RequestID is the server-assigned ID from X-Ceresz-Request-Id,
+	// when present — quote it to correlate with server access logs.
+	RequestID string
 }
 
 func (e *StatusError) Error() string {
+	if e.RequestID != "" && !strings.Contains(e.Body, e.RequestID) {
+		return fmt.Sprintf("client: server returned %d (request %s): %s",
+			e.Code, e.RequestID, strings.TrimSpace(e.Body))
+	}
 	return fmt.Sprintf("client: server returned %d: %s", e.Code, strings.TrimSpace(e.Body))
 }
 
@@ -142,8 +149,15 @@ func (c *Client) backoff(attempt int, retryAfter string) time.Duration {
 }
 
 // do POSTs body to path with retry. The returned response body is fully
-// read and the connection released.
-func (c *Client) do(ctx context.Context, path string, body []byte) ([]byte, http.Header, error) {
+// read and the connection released. Every attempt carries a traceparent
+// header — one trace-id for the whole call, a fresh span-id per attempt
+// — and when tr is non-nil the attempt/rejection counts, the server's
+// request ID and the Server-Timing trailer are recorded into it.
+func (c *Client) do(ctx context.Context, path string, body []byte, tr *Trace) ([]byte, http.Header, error) {
+	traceID := c.newTraceID()
+	if tr != nil {
+		tr.TraceID = traceID
+	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+path, bytes.NewReader(body))
@@ -151,19 +165,42 @@ func (c *Client) do(ctx context.Context, path string, body []byte) ([]byte, http
 			return nil, nil, err
 		}
 		req.Header.Set("Content-Type", "application/octet-stream")
+		req.Header.Set("Traceparent", traceparent(traceID, c.newSpanID()))
+		if tr != nil {
+			tr.Attempts++
+		}
 		resp, err := c.http.Do(req)
 		var retryAfter string
 		if err != nil {
 			lastErr = err
+			if tr != nil {
+				tr.Errors++
+				tr.Status = 0
+			}
 		} else {
+			reqID := resp.Header.Get("X-Ceresz-Request-Id")
 			out, rerr := io.ReadAll(resp.Body)
 			resp.Body.Close()
+			if tr != nil {
+				tr.Status = resp.StatusCode
+				tr.RequestID = reqID
+				// Trailers materialize only after the body is drained.
+				if st := parseServerTiming(resp.Trailer.Get("Server-Timing")); st.Valid {
+					tr.Server = st
+				}
+				if resp.StatusCode == http.StatusTooManyRequests {
+					tr.Rejected429++
+				}
+				if rerr != nil || resp.StatusCode/100 != 2 {
+					tr.Errors++
+				}
+			}
 			if rerr != nil {
 				lastErr = rerr
 			} else if resp.StatusCode/100 == 2 {
 				return out, resp.Header, nil
 			} else {
-				lastErr = &StatusError{Code: resp.StatusCode, Body: string(out)}
+				lastErr = &StatusError{Code: resp.StatusCode, Body: string(out), RequestID: reqID}
 				if !retryable(resp.StatusCode) {
 					return nil, resp.Header, lastErr
 				}
@@ -194,27 +231,39 @@ func (c *Client) compressQuery(bound Bound, elem string) string {
 // Compress sends data and returns the server's CSZF framed stream — the
 // same bytes StreamWriter would produce locally with matching chunking.
 func (c *Client) Compress(ctx context.Context, data []float32, bound Bound) ([]byte, error) {
+	return c.compress(ctx, data, bound, nil)
+}
+
+func (c *Client) compress(ctx context.Context, data []float32, bound Bound, tr *Trace) ([]byte, error) {
 	body := make([]byte, 4*len(data))
 	for i, v := range data {
 		binary.LittleEndian.PutUint32(body[4*i:], math.Float32bits(v))
 	}
-	out, _, err := c.do(ctx, "/v1/compress"+c.compressQuery(bound, "f32"), body)
+	out, _, err := c.do(ctx, "/v1/compress"+c.compressQuery(bound, "f32"), body, tr)
 	return out, err
 }
 
 // Compress64 is Compress for double precision.
 func (c *Client) Compress64(ctx context.Context, data []float64, bound Bound) ([]byte, error) {
+	return c.compress64(ctx, data, bound, nil)
+}
+
+func (c *Client) compress64(ctx context.Context, data []float64, bound Bound, tr *Trace) ([]byte, error) {
 	body := make([]byte, 8*len(data))
 	for i, v := range data {
 		binary.LittleEndian.PutUint64(body[8*i:], math.Float64bits(v))
 	}
-	out, _, err := c.do(ctx, "/v1/compress"+c.compressQuery(bound, "f64"), body)
+	out, _, err := c.do(ctx, "/v1/compress"+c.compressQuery(bound, "f64"), body, tr)
 	return out, err
 }
 
 // Decompress sends a CSZF framed stream and returns the float32 values.
 func (c *Client) Decompress(ctx context.Context, framed []byte) ([]float32, error) {
-	raw, _, err := c.do(ctx, "/v1/decompress?elem=f32", framed)
+	return c.decompress(ctx, framed, nil)
+}
+
+func (c *Client) decompress(ctx context.Context, framed []byte, tr *Trace) ([]float32, error) {
+	raw, _, err := c.do(ctx, "/v1/decompress?elem=f32", framed, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -230,7 +279,11 @@ func (c *Client) Decompress(ctx context.Context, framed []byte) ([]float32, erro
 
 // Decompress64 sends a CSZF framed stream of float64 chunks.
 func (c *Client) Decompress64(ctx context.Context, framed []byte) ([]float64, error) {
-	raw, _, err := c.do(ctx, "/v1/decompress?elem=f64", framed)
+	return c.decompress64(ctx, framed, nil)
+}
+
+func (c *Client) decompress64(ctx context.Context, framed []byte, tr *Trace) ([]float64, error) {
+	raw, _, err := c.do(ctx, "/v1/decompress?elem=f64", framed, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -258,6 +311,10 @@ type BundleField struct {
 
 // Bundle compresses the fields into one CSZB bundle server-side.
 func (c *Client) Bundle(ctx context.Context, fields []BundleField) ([]byte, error) {
+	return c.bundle(ctx, fields, nil)
+}
+
+func (c *Client) bundle(ctx context.Context, fields []BundleField, tr *Trace) ([]byte, error) {
 	type spec struct {
 		Name string  `json:"name"`
 		Dims [3]int  `json:"dims"`
@@ -296,7 +353,7 @@ func (c *Client) Bundle(ctx context.Context, fields []BundleField) ([]byte, erro
 	body = binary.LittleEndian.AppendUint32(body, uint32(len(manifest)))
 	body = append(body, manifest...)
 	body = append(body, data.Bytes()...)
-	out, _, err := c.do(ctx, "/v1/bundle", body)
+	out, _, err := c.do(ctx, "/v1/bundle", body, tr)
 	return out, err
 }
 

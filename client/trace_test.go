@@ -1,0 +1,166 @@
+package client
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseServerTiming(t *testing.T) {
+	st := parseServerTiming("admit;dur=0.010, worker;dur=0.200, read;dur=1.500, codec;dur=40.000, write;dur=2.250, total;dur=44.100")
+	if !st.Valid {
+		t.Fatal("valid header not recognized")
+	}
+	want := ServerTiming{
+		Admit: 10 * time.Microsecond, Worker: 200 * time.Microsecond,
+		Read: 1500 * time.Microsecond, Codec: 40 * time.Millisecond,
+		Write: 2250 * time.Microsecond, Total: 44100 * time.Microsecond,
+		Valid: true,
+	}
+	if st != want {
+		t.Fatalf("parsed %+v, want %+v", st, want)
+	}
+	if st.Stages() != st.Admit+st.Worker+st.Read+st.Codec+st.Write {
+		t.Fatal("Stages() does not sum the stage fields")
+	}
+
+	if parseServerTiming("").Valid {
+		t.Fatal("empty header parsed as valid")
+	}
+	if parseServerTiming("cache;desc=hit").Valid {
+		t.Fatal("unrelated Server-Timing entries parsed as valid")
+	}
+	// Unknown metrics are skipped, known ones still land.
+	st = parseServerTiming(`db;dur=3, codec;dur=1.000`)
+	if !st.Valid || st.Codec != time.Millisecond {
+		t.Fatalf("mixed header: %+v", st)
+	}
+}
+
+func TestTraceparentFormat(t *testing.T) {
+	c := New(Config{BaseURL: "http://unused"})
+	tid := c.newTraceID()
+	if len(tid) != 32 || strings.ToLower(tid) != tid {
+		t.Fatalf("trace-id %q not 32 lower hex digits", tid)
+	}
+	sid := c.newSpanID()
+	if len(sid) != 16 {
+		t.Fatalf("span-id %q not 16 hex digits", sid)
+	}
+	tp := traceparent(tid, sid)
+	if len(tp) != 55 || tp[:3] != "00-" || tp[35] != '-' || tp[52] != '-' || tp[53:] != "01" {
+		t.Fatalf("traceparent %q malformed", tp)
+	}
+	if c.newTraceID() == tid {
+		t.Fatal("consecutive trace ids collide")
+	}
+	// The all-zero ids are invalid on the wire.
+	if traceIDHex(0, 0) == strings.Repeat("0", 32) {
+		t.Fatal("zero trace-id not avoided")
+	}
+	if spanIDHex(0) == strings.Repeat("0", 16) {
+		t.Fatal("zero span-id not avoided")
+	}
+}
+
+// TestDoTracePropagation drives do() against a stub server: one trace-id
+// across attempts, fresh span-ids, request-id capture, 429 counting and
+// trailer parsing.
+func TestDoTracePropagation(t *testing.T) {
+	var traceparents []string
+	attempts := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		traceparents = append(traceparents, r.Header.Get("Traceparent"))
+		w.Header().Set("X-Ceresz-Request-Id", "feedfacefeedfacefeedfacefeedface")
+		if attempts == 1 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "request feedfacefeedfacefeedfacefeedface: backpressure", http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Trailer", "Server-Timing")
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+		w.Header().Set("Server-Timing", "admit;dur=0.001, worker;dur=0.002, read;dur=0.100, codec;dur=1.000, write;dur=0.200, total;dur=1.400")
+	}))
+	defer ts.Close()
+
+	c := New(Config{BaseURL: ts.URL, MaxRetries: 2, BaseBackoff: time.Millisecond, MaxBackoff: time.Millisecond})
+	out, tr, err := c.Compress64Traced(context.Background(), []float64{1}, ABS(1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 8 {
+		t.Fatalf("body length %d", len(out))
+	}
+	if tr.Attempts != 2 || tr.Rejected429 != 1 || tr.Errors != 1 || tr.Status != 200 {
+		t.Fatalf("trace counts: %+v", tr)
+	}
+	if tr.RequestID != "feedfacefeedfacefeedfacefeedface" {
+		t.Fatalf("request id %q", tr.RequestID)
+	}
+	if !tr.Server.Valid || tr.Server.Codec != time.Millisecond {
+		t.Fatalf("server timing %+v", tr.Server)
+	}
+	if len(traceparents) != 2 {
+		t.Fatalf("saw %d traceparent headers", len(traceparents))
+	}
+	// Same trace-id on both attempts, fresh span-ids.
+	for _, tp := range traceparents {
+		if len(tp) != 55 || tp[3:35] != tr.TraceID {
+			t.Fatalf("traceparent %q does not carry trace id %q", tp, tr.TraceID)
+		}
+	}
+	if traceparents[0][36:52] == traceparents[1][36:52] {
+		t.Fatal("span-id reused across attempts")
+	}
+}
+
+func TestStatusErrorRequestID(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Ceresz-Request-Id", "deadbeefdeadbeefdeadbeefdeadbeef")
+		http.Error(w, "eps must be positive", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	c := New(Config{BaseURL: ts.URL, MaxRetries: -1})
+	_, err := c.Decompress(context.Background(), []byte("CSZF"))
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %v is not a *StatusError", err)
+	}
+	if se.Code != http.StatusBadRequest || se.RequestID != "deadbeefdeadbeefdeadbeefdeadbeef" {
+		t.Fatalf("StatusError = %+v", se)
+	}
+	if !strings.Contains(se.Error(), se.RequestID) {
+		t.Fatalf("error text %q omits the request id", se.Error())
+	}
+}
+
+// TestCompressEncodesBody pins the byte layout the traced refactor must
+// preserve: little-endian IEEE-754, 4 bytes per float32.
+func TestCompressEncodesBody(t *testing.T) {
+	var got []byte
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b := make([]byte, 8)
+		r.Body.Read(b)
+		got = b
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	c := New(Config{BaseURL: ts.URL, MaxRetries: -1})
+	if _, err := c.Compress(context.Background(), []float32{1.5, -2.25}, ABS(1e-3)); err != nil {
+		t.Fatal(err)
+	}
+	if math.Float32frombits(binary.LittleEndian.Uint32(got)) != 1.5 ||
+		math.Float32frombits(binary.LittleEndian.Uint32(got[4:])) != -2.25 {
+		t.Fatalf("body bytes %x", got)
+	}
+}

@@ -29,6 +29,20 @@
 //	-max-frame-bytes N     compressed frame cap on the decode path
 //	-retry-after DUR       hint sent with 429/503 responses
 //	-drain-timeout DUR     shutdown grace for in-flight requests
+//	-trace-sample N        trace 1-in-N requests into the span rings and
+//	                       /debug/trace (0 = tracing off; IDs, RED metrics
+//	                       and Server-Timing trailers stay on regardless)
+//	-trace-ring N          recent-request ring capacity
+//	-slow-ring N           slowest-request ring capacity
+//	-access-log PATH       structured JSON access log ("-" = stderr,
+//	                       "" = off)
+//	-access-log-sample N   log 1-in-N finished requests
+//
+// Request observability rides on every response: X-Ceresz-Request-Id and
+// Traceparent headers echo the request's identity, and a Server-Timing
+// trailer carries per-stage server timings. /debug/requests snapshots
+// in-flight requests plus the slowest-N ring; /debug/trace exports
+// sampled request spans as Chrome trace-events for Perfetto.
 package main
 
 import (
@@ -36,6 +50,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -57,24 +72,53 @@ func main() {
 	maxFrameBytes := flag.Int("max-frame-bytes", 0, "compressed frame byte cap (0 = 64MiB)")
 	retryAfter := flag.Duration("retry-after", 0, "Retry-After hint for 429/503 (0 = 1s)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown grace for in-flight requests")
+	traceSample := flag.Int("trace-sample", 0, "trace 1-in-N requests into the span rings (0 = off)")
+	traceRing := flag.Int("trace-ring", 0, "recent-request ring capacity (0 = 256)")
+	slowRing := flag.Int("slow-ring", 0, "slowest-request ring capacity (0 = 32)")
+	accessLog := flag.String("access-log", "", "structured JSON access log path (\"-\" = stderr, \"\" = off)")
+	accessLogSample := flag.Int("access-log-sample", 1, "log 1-in-N finished requests")
 	flag.Parse()
+
+	var logW io.Writer
+	switch *accessLog {
+	case "":
+	case "-":
+		logW = os.Stderr
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cereszd: access log:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		logW = f
+	}
 
 	reg := telemetry.NewRegistry()
 	srv := server.New(server.Config{
-		Workers:       *workers,
-		QueueDepth:    *queue,
-		MaxBodyBytes:  *maxBody,
-		MaxChunkElems: *maxChunkElems,
-		MaxFrameBytes: *maxFrameBytes,
-		ChunkElems:    *chunk,
-		RetryAfter:    *retryAfter,
-		BlockLen:      *block,
-		Registry:      reg,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		MaxBodyBytes:   *maxBody,
+		MaxChunkElems:  *maxChunkElems,
+		MaxFrameBytes:  *maxFrameBytes,
+		ChunkElems:     *chunk,
+		RetryAfter:     *retryAfter,
+		BlockLen:       *block,
+		Registry:       reg,
+		TraceEvery:     *traceSample,
+		TraceRing:      *traceRing,
+		SlowRing:       *slowRing,
+		AccessLog:      logW,
+		AccessLogEvery: *accessLogSample,
 	})
 
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
 	mux.Handle("/debug/", telemetry.DebugMux(reg, "cereszd"))
+	// Exact paths outrank the /debug/ prefix above, so the request-span
+	// views stay reachable alongside the shared telemetry pages.
+	mux.Handle("/debug/requests", srv.RequestsHandler())
+	mux.Handle("/debug/trace", srv.TraceHandler())
 
 	hs := &http.Server{Addr: *addr, Handler: mux}
 

@@ -2,12 +2,18 @@
 // throughput and latency. It sweeps client concurrency from 1 to NumCPU
 // (powers of two plus NumCPU itself), fires -requests compress round-trips
 // per client, and writes BENCH_serve.json with throughput (GB/s of raw
-// input) and exact p50/p95/p99 latency percentiles per client count.
+// input), exact p50/p95/p99 latency percentiles, attempt/error/429 counts
+// and a client-vs-server latency attribution per client count: the
+// server's per-stage timings (admission wait, worker wait, body read,
+// codec, response write) arrive in each response's Server-Timing trailer,
+// so the report splits measured latency into server stages versus
+// network-plus-client overhead.
 //
 // With -smoke it instead performs one quick correctness round-trip and
 // exits non-zero on any mismatch: the server's compressed stream must be
-// byte-identical to the library's StreamWriter with the same chunking, and
-// the server's decompression must match the library's decode exactly.
+// byte-identical to the library's StreamWriter with the same chunking,
+// the server's decompression must match the library's decode exactly, and
+// a bundle round-trip must decode under the bound.
 //
 // Flags:
 //
@@ -17,6 +23,8 @@
 //	-chunk N       elements per compressed frame (default 64Ki)
 //	-eps F         absolute error bound (default 1e-3)
 //	-out FILE      result path (default BENCH_serve.json)
+//	-trace FILE    fetch /debug/trace after the sweep and write the Chrome
+//	               trace-event JSON there (open in ui.perfetto.dev)
 //	-smoke         run the correctness round-trip instead of the sweep
 package main
 
@@ -26,7 +34,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
+	"net/http"
 	"os"
 	"runtime"
 	"sort"
@@ -59,6 +69,32 @@ type sweepPoint struct {
 	P50us          int64   `json:"p50_us"`
 	P95us          int64   `json:"p95_us"`
 	P99us          int64   `json:"p99_us"`
+	// Attempts counts HTTP requests sent including retries; Errors and
+	// Rejected429 count failed and backpressured attempts among them.
+	Attempts    int `json:"attempts"`
+	Errors      int `json:"errors"`
+	Rejected429 int `json:"rejected_429"`
+	// Stages splits mean request latency into the server's stage
+	// timings (from Server-Timing trailers) and what is left — network
+	// plus client overhead.
+	Stages *stageAttr `json:"server_stages_us,omitempty"`
+}
+
+// stageAttr is the client-vs-server latency attribution of one sweep
+// point: mean microseconds per timed request for each server stage, the
+// server's own total, the client-measured mean, and the residual
+// overhead (client mean minus server total — wire transfer, kernel and
+// client-side encode time).
+type stageAttr struct {
+	Samples    int   `json:"samples"`
+	AdmitUS    int64 `json:"admit_us"`
+	WorkerUS   int64 `json:"worker_us"`
+	ReadUS     int64 `json:"read_us"`
+	CodecUS    int64 `json:"codec_us"`
+	WriteUS    int64 `json:"write_us"`
+	ServerUS   int64 `json:"server_total_us"`
+	ClientUS   int64 `json:"client_mean_us"`
+	OverheadUS int64 `json:"overhead_us"`
 }
 
 type benchReport struct {
@@ -93,6 +129,7 @@ func main() {
 	chunk := flag.Int("chunk", 64<<10, "elements per compressed frame")
 	eps := flag.Float64("eps", 1e-3, "absolute error bound")
 	out := flag.String("out", "BENCH_serve.json", "result file")
+	traceOut := flag.String("trace", "", "fetch /debug/trace after the sweep into this file")
 	smoke := flag.Bool("smoke", false, "run the correctness round-trip instead of the sweep")
 	flag.Parse()
 
@@ -105,10 +142,35 @@ func main() {
 		fmt.Println("cereszload: smoke OK")
 		return
 	}
-	if err := runSweep(ctx, *addr, *elems, *requests, *chunk, *eps, *out); err != nil {
+	if err := runSweep(ctx, *addr, *elems, *requests, *chunk, *eps, *out, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "cereszload:", err)
 		os.Exit(1)
 	}
+}
+
+// fetchTrace downloads the server's Chrome trace-event export.
+func fetchTrace(ctx context.Context, addr, path string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/debug/trace", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/debug/trace returned %d", resp.StatusCode)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(f, resp.Body); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runSmoke is the CI gate: one compress + one decompress against a live
@@ -121,9 +183,18 @@ func runSmoke(ctx context.Context, addr string, chunk int, eps float64) error {
 	const n = 200_000 // several frames plus a partial trailing chunk
 	data := synthData(n, 7)
 
-	comp, err := c.Compress(ctx, data, client.ABS(eps))
+	comp, tr, err := c.CompressTraced(ctx, data, client.ABS(eps))
 	if err != nil {
 		return fmt.Errorf("compress: %w", err)
+	}
+	if tr.RequestID == "" {
+		return fmt.Errorf("compress response carried no X-Ceresz-Request-Id")
+	}
+	if !tr.Server.Valid {
+		return fmt.Errorf("compress response carried no Server-Timing trailer")
+	}
+	if tr.Server.Total < tr.Server.Stages() {
+		return fmt.Errorf("server total %v below stage sum %v", tr.Server.Total, tr.Server.Stages())
 	}
 	var local bytes.Buffer
 	sw := ceresz.NewStreamWriter(&local, ceresz.ABS(eps), ceresz.Options{Workers: 1})
@@ -149,8 +220,38 @@ func runSmoke(ctx context.Context, addr string, chunk int, eps float64) error {
 			return fmt.Errorf("element %d: |%g - %g| exceeds eps %g", i, v, data[i], eps)
 		}
 	}
+
+	// Bundle round-trip: pack one field server-side, decode it locally.
+	const bn = 10_000
+	bdata := synthData(bn, 11)
+	bundle, err := c.Bundle(ctx, []client.BundleField{
+		{Name: "field", Dims: [3]int{bn, 1, 1}, Bound: client.ABS(eps), F32: bdata},
+	})
+	if err != nil {
+		return fmt.Errorf("bundle: %w", err)
+	}
+	br, err := ceresz.OpenBundle(bundle)
+	if err != nil {
+		return fmt.Errorf("bundle open: %w", err)
+	}
+	bvals, _, err := br.ReadField("field")
+	if err != nil {
+		return fmt.Errorf("bundle read: %w", err)
+	}
+	if len(bvals) != bn {
+		return fmt.Errorf("bundle field has %d elements, want %d", len(bvals), bn)
+	}
+	for i, v := range bvals {
+		if math.Abs(float64(v)-float64(bdata[i])) > eps*(1+1e-6) {
+			return fmt.Errorf("bundle element %d: |%g - %g| exceeds eps %g", i, v, bdata[i], eps)
+		}
+	}
+
 	fmt.Printf("round-trip: %d elements, %d compressed bytes (ratio %.2fx), bound %g held\n",
 		n, len(comp), float64(4*n)/float64(len(comp)), eps)
+	fmt.Printf("request %s server stages: admit=%v worker=%v read=%v codec=%v write=%v total=%v\n",
+		tr.RequestID, tr.Server.Admit, tr.Server.Worker, tr.Server.Read,
+		tr.Server.Codec, tr.Server.Write, tr.Server.Total)
 	return nil
 }
 
@@ -164,22 +265,48 @@ func sweepCounts() []int {
 	return append(counts, ncpu)
 }
 
-func runSweep(ctx context.Context, addr string, elems, requests, chunk int, eps float64, out string) error {
+func runSweep(ctx context.Context, addr string, elems, requests, chunk int, eps float64, out, traceOut string) error {
 	c := client.New(client.Config{BaseURL: addr, ChunkElems: chunk})
 	if err := c.Health(ctx); err != nil {
 		return fmt.Errorf("health: %w", err)
 	}
 	report := benchReport{Addr: addr, Elems: elems, ChunkElems: chunk, Eps: eps, NumCPU: runtime.NumCPU()}
 
-	fmt.Printf("%8s %9s %12s %10s %10s %10s\n", "clients", "requests", "GB/s", "p50", "p95", "p99")
+	fmt.Printf("%8s %9s %12s %10s %10s %10s %9s %7s %5s\n",
+		"clients", "requests", "GB/s", "p50", "p95", "p99", "attempts", "errors", "429s")
 	for _, k := range sweepCounts() {
 		pt, err := runPoint(ctx, c, k, elems, requests, eps)
 		if err != nil {
 			return fmt.Errorf("%d clients: %w", k, err)
 		}
 		report.Points = append(report.Points, pt)
-		fmt.Printf("%8d %9d %12.3f %9dus %9dus %9dus\n",
-			pt.Clients, pt.Requests, pt.ThroughputGBps, pt.P50us, pt.P95us, pt.P99us)
+		fmt.Printf("%8d %9d %12.3f %9dus %9dus %9dus %9d %7d %5d\n",
+			pt.Clients, pt.Requests, pt.ThroughputGBps, pt.P50us, pt.P95us, pt.P99us,
+			pt.Attempts, pt.Errors, pt.Rejected429)
+	}
+
+	// Client-vs-server attribution: where did the measured latency go?
+	// Server stages come from Server-Timing trailers; "net+client" is the
+	// measured mean minus the server's own total.
+	fmt.Printf("\nlatency attribution (mean per request):\n")
+	fmt.Printf("%8s %10s %10s %9s %9s %9s %9s %9s %11s\n",
+		"clients", "measured", "server", "admit", "worker", "read", "codec", "write", "net+client")
+	for _, pt := range report.Points {
+		a := pt.Stages
+		if a == nil || a.Samples == 0 {
+			fmt.Printf("%8d %10s (no Server-Timing trailers observed)\n", pt.Clients, "-")
+			continue
+		}
+		fmt.Printf("%8d %8dus %8dus %7dus %7dus %7dus %7dus %7dus %9dus\n",
+			pt.Clients, a.ClientUS, a.ServerUS, a.AdmitUS, a.WorkerUS,
+			a.ReadUS, a.CodecUS, a.WriteUS, a.OverheadUS)
+	}
+
+	if traceOut != "" {
+		if err := fetchTrace(ctx, addr, traceOut); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		fmt.Println("wrote", traceOut)
 	}
 
 	f, err := os.Create(out)
@@ -200,12 +327,20 @@ func runSweep(ctx context.Context, addr string, elems, requests, chunk int, eps 
 }
 
 // runPoint fires requests from k concurrent clients and aggregates wall
-// time, volume and per-request latencies.
+// time, volume, per-request latencies, attempt/error/429 counts and the
+// server-side stage timings carried back in Server-Timing trailers.
 func runPoint(ctx context.Context, c *client.Client, k, elems, requests int, eps float64) (sweepPoint, error) {
 	type result struct {
-		lat  []time.Duration
-		comp int64
-		err  error
+		lat      []time.Duration
+		comp     int64
+		attempts int
+		errors   int
+		rej429   int
+		// server stage sums over timed requests: admit, worker, read,
+		// codec, write, total.
+		stages [6]time.Duration
+		timed  int
+		err    error
 	}
 	results := make([]result, k)
 	var wg sync.WaitGroup
@@ -218,13 +353,25 @@ func runPoint(ctx context.Context, c *client.Client, k, elems, requests int, eps
 			r := &results[w]
 			for i := 0; i < requests; i++ {
 				rt0 := time.Now()
-				comp, err := c.Compress(ctx, data, client.ABS(eps))
+				comp, tr, err := c.CompressTraced(ctx, data, client.ABS(eps))
+				r.attempts += tr.Attempts
+				r.errors += tr.Errors
+				r.rej429 += tr.Rejected429
 				if err != nil {
 					r.err = err
 					return
 				}
 				r.lat = append(r.lat, time.Since(rt0))
 				r.comp += int64(len(comp))
+				if st := tr.Server; st.Valid {
+					r.stages[0] += st.Admit
+					r.stages[1] += st.Worker
+					r.stages[2] += st.Read
+					r.stages[3] += st.Codec
+					r.stages[4] += st.Write
+					r.stages[5] += st.Total
+					r.timed++
+				}
 			}
 		}(w)
 	}
@@ -233,16 +380,29 @@ func runPoint(ctx context.Context, c *client.Client, k, elems, requests int, eps
 
 	var lats []time.Duration
 	var comp int64
+	var attempts, errors, rej429, timed int
+	var stages [6]time.Duration
+	var latSum time.Duration
 	for _, r := range results {
 		if r.err != nil {
 			return sweepPoint{}, r.err
 		}
 		lats = append(lats, r.lat...)
+		for _, l := range r.lat {
+			latSum += l
+		}
 		comp += r.comp
+		attempts += r.attempts
+		errors += r.errors
+		rej429 += r.rej429
+		timed += r.timed
+		for i, d := range r.stages {
+			stages[i] += d
+		}
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	raw := int64(k) * int64(requests) * int64(4*elems)
-	return sweepPoint{
+	pt := sweepPoint{
 		Clients:        k,
 		Requests:       k * requests,
 		RawBytes:       raw,
@@ -252,5 +412,26 @@ func runPoint(ctx context.Context, c *client.Client, k, elems, requests int, eps
 		P50us:          percentile(lats, 50),
 		P95us:          percentile(lats, 95),
 		P99us:          percentile(lats, 99),
-	}, nil
+		Attempts:       attempts,
+		Errors:         errors,
+		Rejected429:    rej429,
+	}
+	if timed > 0 {
+		mean := func(d time.Duration) int64 { return d.Microseconds() / int64(timed) }
+		a := &stageAttr{
+			Samples:  timed,
+			AdmitUS:  mean(stages[0]),
+			WorkerUS: mean(stages[1]),
+			ReadUS:   mean(stages[2]),
+			CodecUS:  mean(stages[3]),
+			WriteUS:  mean(stages[4]),
+			ServerUS: mean(stages[5]),
+		}
+		if len(lats) > 0 {
+			a.ClientUS = latSum.Microseconds() / int64(len(lats))
+			a.OverheadUS = a.ClientUS - a.ServerUS
+		}
+		pt.Stages = a
+	}
+	return pt, nil
 }

@@ -32,7 +32,7 @@ func TestCompressHotPathZeroAlloc(t *testing.T) {
 		chunkElems: 1024,
 		opts:       ceresz.Options{Workers: 1},
 	}
-	c := newCodec()
+	c := newCodec(0)
 	r := bytes.NewReader(raw)
 	runOnce := func() {
 		r.Reset(raw)
@@ -75,7 +75,7 @@ func TestDecompressHotPathZeroAlloc(t *testing.T) {
 	}
 	framed := buf.Bytes()
 
-	c := newCodec()
+	c := newCodec(0)
 	c.sr.SetLimits(64<<20, 4<<20)
 	r := bytes.NewReader(framed)
 	runOnce := func() {

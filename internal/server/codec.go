@@ -17,6 +17,7 @@ import (
 // container written by the zero-alloc *Into entry points. A codec is owned
 // by exactly one request at a time (the pool hands it out), so no locking.
 type codec struct {
+	id    int    // worker index, used as the trace track id
 	rawIn []byte // raw little-endian chunk bytes from the request body
 	f32   []float32
 	f64   []float64
@@ -24,10 +25,11 @@ type codec struct {
 	out   []byte // encoded raw-float response bytes (decompress path)
 	stats ceresz.Stats
 	sr    *ceresz.StreamReader
+	tr    *reqSpan // span of the request currently holding this codec; nil when untraced
 }
 
-func newCodec() *codec {
-	return &codec{sr: ceresz.NewStreamReader(nil)}
+func newCodec(id int) *codec {
+	return &codec{id: id, sr: ceresz.NewStreamReader(nil)}
 }
 
 // frameMagic mirrors the package-level CSZF framing (stream.go); the codec
@@ -71,7 +73,9 @@ func (c *codec) readRaw(r io.Reader, want int) (int, error) {
 // count consumed, and io.EOF (with a nil frame) once the body is drained.
 // Steady-state zero-alloc: all buffers are warm after the first chunk.
 func (c *codec) nextFrameF32(r io.Reader, p cparams) ([]byte, int, error) {
+	t0 := c.tr.now()
 	n, err := c.readRaw(r, 4*p.chunkElems)
+	c.tr.accum(stageRead, t0)
 	if n == 0 {
 		if err == io.EOF || err == nil {
 			return nil, 0, io.EOF
@@ -90,11 +94,13 @@ func (c *codec) nextFrameF32(r io.Reader, p cparams) ([]byte, int, error) {
 		c.f32[i] = math.Float32frombits(binary.LittleEndian.Uint32(c.rawIn[4*i:]))
 	}
 	c.frame = append(c.frame[:0], frameMagic[0], frameMagic[1], frameMagic[2], frameMagic[3], 0, 0, 0, 0)
+	tc := c.tr.now()
 	if p.abs {
 		c.frame, err = ceresz.CompressWithEpsInto(c.frame, c.f32, p.bound.Value, p.opts, &c.stats)
 	} else {
 		c.frame, err = ceresz.CompressInto(c.frame, c.f32, p.bound, p.opts, &c.stats)
 	}
+	c.tr.observe(stageCodec, tc)
 	if err != nil {
 		return nil, n, err
 	}
@@ -104,7 +110,9 @@ func (c *codec) nextFrameF32(r io.Reader, p cparams) ([]byte, int, error) {
 
 // nextFrameF64 is nextFrameF32 for double-precision bodies.
 func (c *codec) nextFrameF64(r io.Reader, p cparams) ([]byte, int, error) {
+	t0 := c.tr.now()
 	n, err := c.readRaw(r, 8*p.chunkElems)
+	c.tr.accum(stageRead, t0)
 	if n == 0 {
 		if err == io.EOF || err == nil {
 			return nil, 0, io.EOF
@@ -123,7 +131,9 @@ func (c *codec) nextFrameF64(r io.Reader, p cparams) ([]byte, int, error) {
 		c.f64[i] = math.Float64frombits(binary.LittleEndian.Uint64(c.rawIn[8*i:]))
 	}
 	c.frame = append(c.frame[:0], frameMagic[0], frameMagic[1], frameMagic[2], frameMagic[3], 0, 0, 0, 0)
+	tc := c.tr.now()
 	c.frame, err = ceresz.Compress64Into(c.frame, c.f64, p.bound, p.opts, &c.stats)
+	c.tr.observe(stageCodec, tc)
 	if err != nil {
 		return nil, n, err
 	}

@@ -69,6 +69,20 @@ type Config struct {
 	BlockLen int
 	// Registry receives the server's instruments (nil = telemetry.Default).
 	Registry *telemetry.Registry
+	// TraceEvery samples 1-in-N requests into the span rings and the
+	// /debug/trace Chrome-trace export (0 = sampling off; request ids,
+	// stage timings, Server-Timing trailers and RED metrics stay on).
+	TraceEvery int
+	// TraceRing is the sampled-request ring size (0 = 256).
+	TraceRing int
+	// SlowRing is the slowest-request ring size, fed by every finished
+	// request regardless of sampling (0 = 32).
+	SlowRing int
+	// AccessLog receives structured JSON access-log lines (nil = off).
+	AccessLog io.Writer
+	// AccessLogEvery samples 1-in-N requests into AccessLog (0 or 1 =
+	// every request).
+	AccessLogEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -102,29 +116,66 @@ func (c Config) withDefaults() Config {
 	if c.Registry == nil {
 		c.Registry = telemetry.Default
 	}
+	if c.TraceRing <= 0 {
+		c.TraceRing = 256
+	}
+	if c.SlowRing <= 0 {
+		c.SlowRing = 32
+	}
+	if c.AccessLogEvery <= 0 {
+		c.AccessLogEvery = 1
+	}
 	return c
 }
 
-// epMetrics is one endpoint's instrument set.
+// epMetrics is one endpoint's instrument set — the RED triple (request
+// rate, errors by class plus explicit 429 rejections, latency quantiles)
+// plus volume counters and per-stage latency histograms.
 type epMetrics struct {
+	ep        uint8
 	requests  *telemetry.Counter
 	failures  *telemetry.Counter
 	rejected  *telemetry.Counter
+	status2xx *telemetry.Counter
+	status4xx *telemetry.Counter
+	status5xx *telemetry.Counter
 	bytesIn   *telemetry.Counter
 	bytesOut  *telemetry.Counter
 	chunks    *telemetry.Counter
 	latencyUS *telemetry.Histogram
+	stageUS   [numStages]*telemetry.Histogram
 }
 
-func newEpMetrics(reg *telemetry.Registry, name string) *epMetrics {
-	return &epMetrics{
+func newEpMetrics(reg *telemetry.Registry, ep uint8) *epMetrics {
+	name := epNames[ep]
+	m := &epMetrics{
+		ep:        ep,
 		requests:  reg.Counter("server." + name + ".requests"),
 		failures:  reg.Counter("server." + name + ".failures"),
 		rejected:  reg.Counter("server." + name + ".rejected"),
+		status2xx: reg.Counter("server." + name + ".status_2xx"),
+		status4xx: reg.Counter("server." + name + ".status_4xx"),
+		status5xx: reg.Counter("server." + name + ".status_5xx"),
 		bytesIn:   reg.Counter("server." + name + ".bytes_in"),
 		bytesOut:  reg.Counter("server." + name + ".bytes_out"),
 		chunks:    reg.Counter("server." + name + ".chunks"),
 		latencyUS: reg.Histogram("server." + name + ".latency_us"),
+	}
+	for st := stage(0); st < numStages; st++ {
+		m.stageUS[st] = reg.Histogram("server." + name + "." + stageNames[st] + "_us")
+	}
+	return m
+}
+
+// observeStatus bumps the endpoint's status-class counter.
+func (m *epMetrics) observeStatus(code int) {
+	switch {
+	case code >= 200 && code < 300:
+		m.status2xx.Add(1)
+	case code >= 400 && code < 500:
+		m.status4xx.Add(1)
+	case code >= 500:
+		m.status5xx.Add(1)
 	}
 }
 
@@ -133,12 +184,14 @@ type Server struct {
 	cfg    Config
 	codecs chan *codec   // worker pool: free codec state
 	sem    chan struct{} // admission: executing + queued requests
+	tr     *tracer       // request spans, rings, access log
 
 	draining atomic.Bool
 	// gauges mirror state for /debug/metrics; functional state never
 	// lives in telemetry (a disabled registry makes gauges no-ops).
 	drainGauge *telemetry.Gauge
 	inflight   *telemetry.Gauge
+	queueDepth *telemetry.Gauge
 
 	mCompress   *epMetrics
 	mDecompress *epMetrics
@@ -152,26 +205,32 @@ func New(cfg Config) *Server {
 		cfg:         cfg,
 		codecs:      make(chan *codec, cfg.Workers),
 		sem:         make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		tr:          newTracer(cfg.Workers+cfg.QueueDepth, cfg),
 		drainGauge:  cfg.Registry.Gauge("server.draining"),
 		inflight:    cfg.Registry.Gauge("server.inflight"),
-		mCompress:   newEpMetrics(cfg.Registry, "compress"),
-		mDecompress: newEpMetrics(cfg.Registry, "decompress"),
-		mBundle:     newEpMetrics(cfg.Registry, "bundle"),
+		queueDepth:  cfg.Registry.Gauge("server.queue_depth"),
+		mCompress:   newEpMetrics(cfg.Registry, epCompress),
+		mDecompress: newEpMetrics(cfg.Registry, epDecompress),
+		mBundle:     newEpMetrics(cfg.Registry, epBundle),
 	}
 	for i := 0; i < cfg.Workers; i++ {
-		s.codecs <- newCodec()
+		s.codecs <- newCodec(i)
 	}
 	return s
 }
 
 // Handler returns the server's mux: POST /v1/compress, /v1/decompress,
-// /v1/bundle and GET /healthz.
+// /v1/bundle, GET /healthz, plus the request-observability views
+// /debug/requests and /debug/trace (cereszd also mounts those two on its
+// shared telemetry debug mux, which owns the /debug/ prefix there).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/v1/compress", s.admit(s.mCompress, s.handleCompress))
 	mux.Handle("/v1/decompress", s.admit(s.mDecompress, s.handleDecompress))
 	mux.Handle("/v1/bundle", s.admit(s.mBundle, s.handleBundle))
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.Handle("/debug/requests", s.RequestsHandler())
+	mux.Handle("/debug/trace", s.TraceHandler())
 	return mux
 }
 
@@ -210,22 +269,29 @@ func (s *Server) retryAfterSeconds() string {
 }
 
 // admit wraps an endpoint with method filtering, drain refusal, admission
-// control, worker acquisition and metrics. The handler runs with exclusive
-// use of one codec.
+// control, worker acquisition, request attribution and metrics. The
+// handler runs with exclusive use of one codec, and every response —
+// including refusals — carries the request's trace id.
 func (s *Server) admit(m *epMetrics, h func(*codec, http.ResponseWriter, *http.Request) error) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		tid, parent, self := s.tr.ids(r)
+		reqID := tid.String()
+		hdr := w.Header()
+		hdr.Set("X-Ceresz-Request-Id", reqID)
+		hdr.Set("Traceparent", "00-"+reqID+"-"+self.String()+"-01")
 		if r.Method != http.MethodPost {
-			w.Header().Set("Allow", http.MethodPost)
-			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			hdr.Set("Allow", http.MethodPost)
+			http.Error(w, "request "+reqID+": POST only", http.StatusMethodNotAllowed)
 			return
 		}
 		if s.Draining() {
-			w.Header().Set("Retry-After", s.retryAfterSeconds())
-			http.Error(w, "draining", http.StatusServiceUnavailable)
+			hdr.Set("Retry-After", s.retryAfterSeconds())
+			http.Error(w, "request "+reqID+": draining", http.StatusServiceUnavailable)
 			return
 		}
 		if r.ContentLength > s.cfg.MaxBodyBytes {
-			http.Error(w, fmt.Sprintf("body %d exceeds limit %d", r.ContentLength, s.cfg.MaxBodyBytes),
+			http.Error(w, fmt.Sprintf("request %s: body %d exceeds limit %d", reqID, r.ContentLength, s.cfg.MaxBodyBytes),
 				http.StatusRequestEntityTooLarge)
 			return
 		}
@@ -236,30 +302,51 @@ func (s *Server) admit(m *epMetrics, h func(*codec, http.ResponseWriter, *http.R
 		case s.sem <- struct{}{}:
 		default:
 			m.rejected.Add(1)
-			w.Header().Set("Retry-After", s.retryAfterSeconds())
-			http.Error(w, "server saturated, retry later", http.StatusTooManyRequests)
+			m.status4xx.Add(1)
+			hdr.Set("Retry-After", s.retryAfterSeconds())
+			http.Error(w, "request "+reqID+": server saturated, retry later", http.StatusTooManyRequests)
 			return
 		}
 		defer func() { <-s.sem }()
 
+		// Admitted: claim a span slot (bounded by the semaphore, so this
+		// never blocks) and declare the Server-Timing trailer before any
+		// body byte makes the header section immutable.
+		m.requests.Add(1)
+		sp := s.tr.acquire(tid, parent, self, m.ep, t0)
+		sp.observe(stageAdmit, t0)
+		hdr.Set("Trailer", "Server-Timing")
+
+		s.queueDepth.Add(1)
+		tWorker := time.Now()
 		var c *codec
 		select {
 		case c = <-s.codecs:
 		case <-r.Context().Done():
-			return // client gave up while queued
+			// Client gave up while queued: seal the span so the slot frees.
+			s.queueDepth.Add(-1)
+			sp.observe(stageWorker, tWorker)
+			sp.status.Store(statusClientGone)
+			sp.errMsg = "client closed connection while queued"
+			s.tr.finish(sp)
+			return
 		}
-		defer func() { s.codecs <- c }()
+		s.queueDepth.Add(-1)
+		sp.observe(stageWorker, tWorker)
+		sp.mu.Lock()
+		sp.worker = int32(c.id)
+		sp.mu.Unlock()
+		c.tr = sp
+		defer func() { c.tr = nil; s.codecs <- c }()
 
 		s.inflight.Add(1)
 		defer s.inflight.Add(-1)
-		m.requests.Add(1)
 		// The handlers stream: they read the next body chunk after writing
 		// the previous response chunk. HTTP/1.x servers close the body for
 		// reads once the response starts flushing unless full duplex is
 		// explicitly enabled; best effort — recorders and HTTP/2 decline.
-		rw := &trackingWriter{ResponseWriter: w}
+		rw := &trackingWriter{ResponseWriter: w, status: http.StatusOK}
 		_ = http.NewResponseController(rw).EnableFullDuplex()
-		t0 := time.Now()
 		err := h(c, rw, r)
 		m.latencyUS.Observe(time.Since(t0).Microseconds())
 		// Full duplex also disables the server's post-handler body drain,
@@ -271,12 +358,25 @@ func (s *Server) admit(m *epMetrics, h func(*codec, http.ResponseWriter, *http.R
 		// connection instead of reading unbounded garbage.
 		drained, _ := io.Copy(io.Discard, io.LimitReader(r.Body, maxPostDrainBytes+1))
 		if drained > maxPostDrainBytes && !rw.started {
-			w.Header().Set("Connection", "close")
+			hdr.Set("Connection", "close")
 		}
 		if err != nil {
 			m.failures.Add(1)
-			writeError(rw, err)
+			sp.errMsg = err.Error()
+			writeError(rw, err, reqID)
 		}
+		sp.status.Store(int32(rw.status))
+		m.observeStatus(rw.status)
+		// Stage attribution back to the client: the Server-Timing trailer
+		// rides the chunked response epilogue (set after the body, as Go
+		// requires for declared trailers). Error responses written with a
+		// Content-Length skip trailers; clients treat that as "no timing".
+		totalNs := time.Since(t0).Nanoseconds()
+		hdr.Set("Server-Timing", sp.serverTiming(totalNs))
+		for st := stage(0); st < numStages; st++ {
+			m.stageUS[st].Observe(sp.stageNs[st].Load() / 1e3)
+		}
+		s.tr.finish(sp)
 		if drained > maxPostDrainBytes && rw.started {
 			// Headers are gone, so the close hint is no longer expressible;
 			// ErrAbortHandler is the sanctioned way to cut the connection.
@@ -285,22 +385,32 @@ func (s *Server) admit(m *epMetrics, h func(*codec, http.ResponseWriter, *http.R
 	})
 }
 
+// statusClientGone marks a request whose client disconnected while queued
+// for a worker (nginx's 499 convention; no response was written).
+const statusClientGone = 499
+
 // maxPostDrainBytes bounds how much of a request body left unread by a
 // handler admit will consume to keep the connection reusable (mirrors
 // net/http's own maxPostHandlerReadBytes). Past it, the connection is
 // closed instead.
 const maxPostDrainBytes = 256 << 10
 
-// trackingWriter records whether the response has started, which decides
+// trackingWriter records whether the response has started (which decides
 // how admit handles a body the handler left unread: before the first
 // write a Connection: close header still works, after it only aborting
-// the connection does. Unwrap keeps http.NewResponseController working.
+// the connection does) and the status code that went out, for the span
+// record and the RED status-class counters. Unwrap keeps
+// http.NewResponseController working.
 type trackingWriter struct {
 	http.ResponseWriter
 	started bool
+	status  int
 }
 
 func (tw *trackingWriter) WriteHeader(code int) {
+	if !tw.started {
+		tw.status = code
+	}
 	tw.started = true
 	tw.ResponseWriter.WriteHeader(code)
 }
@@ -332,8 +442,9 @@ var errResponseStarted = errors.New("server: response already started")
 
 // writeError maps a handler failure onto an HTTP status. Decode-limit and
 // malformed-input failures are the client's fault (400/413); everything
-// else is a 500.
-func writeError(w http.ResponseWriter, err error) {
+// else is a 500. The request id prefixes the error text so a client's
+// retry log lines correlate with the server's access log and span rings.
+func writeError(w http.ResponseWriter, err error, reqID string) {
 	if errors.Is(err, errResponseStarted) {
 		return // too late for a status line; the connection is cut short
 	}
@@ -349,7 +460,7 @@ func writeError(w http.ResponseWriter, err error) {
 		errors.Is(err, core.ErrBadStream):
 		status = http.StatusBadRequest
 	}
-	http.Error(w, err.Error(), status)
+	http.Error(w, "request "+reqID+": "+err.Error(), status)
 }
 
 // parseCompressParams resolves a compress request's query parameters
@@ -440,9 +551,13 @@ func (s *Server) handleCompress(c *codec, w http.ResponseWriter, r *http.Request
 			w.Header().Set("X-Ceresz-Eps", strconv.FormatFloat(c.stats.Eps, 'g', -1, 64))
 			started = true
 		}
+		tw := c.tr.now()
 		if _, err := w.Write(frame); err != nil {
 			return fmt.Errorf("%w: writing chunk %d: %v", errResponseStarted, chunks, err)
 		}
+		c.tr.observe(stageWrite, tw)
+		c.tr.addChunk()
+		c.tr.addBytes(int64(n), int64(len(frame)))
 		chunks++
 		rawBytes += int64(n)
 		compBytes += int64(len(frame))
@@ -467,7 +582,7 @@ func (s *Server) handleDecompress(c *codec, w http.ResponseWriter, r *http.Reque
 	default:
 		return badRequestf("elem must be f32 or f64, got %q", elem)
 	}
-	body := &countingReader{r: http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)}
+	body := &countingReader{r: http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), sp: c.tr}
 	c.sr.Reset(body)
 	c.sr.SetLimits(s.cfg.MaxFrameBytes, s.cfg.MaxChunkElems)
 
@@ -477,12 +592,20 @@ func (s *Server) handleDecompress(c *codec, w http.ResponseWriter, r *http.Reque
 	for {
 		var out []byte
 		var err error
+		// The StreamReader pulls body bytes from inside Next*Into; the
+		// countingReader attributes those reads, so codec time is the
+		// remainder of the call.
+		readBefore := c.tr.stageTotal(stageRead)
+		tc := c.tr.now()
 		if wantF64 {
 			c.f64, err = c.sr.Next64Into(c.f64[:0])
 			out = c.encodeF64(c.f64)
 		} else {
 			c.f32, err = c.sr.NextInto(c.f32[:0])
 			out = c.encodeF32(c.f32)
+		}
+		if err == nil {
+			c.tr.observeSub(stageCodec, tc, c.tr.stageTotal(stageRead)-readBefore)
 		}
 		if err == io.EOF {
 			break
@@ -497,12 +620,17 @@ func (s *Server) handleDecompress(c *codec, w http.ResponseWriter, r *http.Reque
 			w.Header().Set("Content-Type", "application/octet-stream")
 			started = true
 		}
+		tw := c.tr.now()
 		if _, err := w.Write(out); err != nil {
 			return fmt.Errorf("%w: writing chunk %d: %v", errResponseStarted, chunks, err)
 		}
+		c.tr.observe(stageWrite, tw)
+		c.tr.addChunk()
+		c.tr.addBytes(0, int64(len(out)))
 		chunks++
 		rawBytes += int64(len(out))
 	}
+	c.tr.addBytes(body.n, 0)
 	if !started {
 		w.Header().Set("Content-Type", "application/octet-stream")
 	}
@@ -510,14 +638,19 @@ func (s *Server) handleDecompress(c *codec, w http.ResponseWriter, r *http.Reque
 	return nil
 }
 
-// countingReader counts the bytes a decode path actually consumed.
+// countingReader counts the bytes a decode path actually consumed and
+// attributes the read time (which includes the client's upload pacing)
+// to the request's read stage.
 type countingReader struct {
-	r io.Reader
-	n int64
+	r  io.Reader
+	n  int64
+	sp *reqSpan
 }
 
 func (cr *countingReader) Read(p []byte) (int, error) {
+	t0 := cr.sp.now()
 	n, err := cr.r.Read(p)
+	cr.sp.accum(stageRead, t0)
 	cr.n += int64(n)
 	return n, err
 }
@@ -554,9 +687,11 @@ func (s *Server) handleBundle(c *codec, w http.ResponseWriter, r *http.Request) 
 	}
 
 	var lenBuf [4]byte
+	tr := c.tr.now()
 	if _, err := io.ReadFull(body, lenBuf[:]); err != nil {
 		return badRequestf("reading manifest length: %v", err)
 	}
+	c.tr.observe(stageRead, tr)
 	manifestLen := int(binary.LittleEndian.Uint32(lenBuf[:]))
 	if manifestLen == 0 || manifestLen > maxBundleManifest {
 		return badRequestf("manifest length %d outside (0, %d]", manifestLen, maxBundleManifest)
@@ -592,9 +727,13 @@ func (s *Server) handleBundle(c *codec, w http.ResponseWriter, r *http.Request) 
 		opts := ceresz.Options{Workers: 1, BlockLen: s.cfg.BlockLen}
 		switch spec.Elem {
 		case "", "f32":
+			tr := c.tr.now()
 			if _, err := c.readRaw(body, 4*elems); err != nil {
 				return badRequestf("field %d (%q): reading %d elements: %v", i, spec.Name, elems, err)
 			}
+			c.tr.observe(stageRead, tr)
+			c.tr.addBytes(int64(4*elems), 0)
+			tc := c.tr.now()
 			c.f32 = c.f32[:0]
 			for j := 0; j < elems; j++ {
 				c.f32 = append(c.f32, math.Float32frombits(binary.LittleEndian.Uint32(c.rawIn[4*j:])))
@@ -602,10 +741,15 @@ func (s *Server) handleBundle(c *codec, w http.ResponseWriter, r *http.Request) 
 			if _, err := bw.AddField(spec.Name, dims, c.f32, bound, opts); err != nil {
 				return badRequest{err}
 			}
+			c.tr.observe(stageCodec, tc)
 		case "f64":
+			tr := c.tr.now()
 			if _, err := c.readRaw(body, 8*elems); err != nil {
 				return badRequestf("field %d (%q): reading %d elements: %v", i, spec.Name, elems, err)
 			}
+			c.tr.observe(stageRead, tr)
+			c.tr.addBytes(int64(8*elems), 0)
+			tc := c.tr.now()
 			c.f64 = c.f64[:0]
 			for j := 0; j < elems; j++ {
 				c.f64 = append(c.f64, math.Float64frombits(binary.LittleEndian.Uint64(c.rawIn[8*j:])))
@@ -613,29 +757,40 @@ func (s *Server) handleBundle(c *codec, w http.ResponseWriter, r *http.Request) 
 			if _, err := bw.AddField64(spec.Name, dims, c.f64, bound, opts); err != nil {
 				return badRequest{err}
 			}
+			c.tr.observe(stageCodec, tc)
 		default:
 			return badRequestf("field %d (%q): elem must be f32 or f64, got %q", i, spec.Name, spec.Elem)
 		}
+		c.tr.addChunk()
 	}
+	tc := c.tr.now()
 	out, err := bw.Bytes()
 	if err != nil {
 		return badRequest{err}
 	}
+	c.tr.observe(stageCodec, tc)
 	w.Header().Set("Content-Type", "application/x-ceresz-bundle")
 	w.Header().Set("X-Ceresz-Fields", strconv.Itoa(len(specs)))
+	tw := c.tr.now()
 	if _, err := w.Write(out); err != nil {
 		return fmt.Errorf("%w: writing bundle: %v", errResponseStarted, err)
 	}
+	c.tr.observe(stageWrite, tw)
+	c.tr.addBytes(0, int64(len(out)))
 	s.recordVolume(s.mBundle, len(specs), 0, int64(len(out)))
 	return nil
 }
 
 // extractBundleField decompresses one member of a posted bundle.
 func (s *Server) extractBundleField(c *codec, w http.ResponseWriter, body io.Reader, field string) error {
+	tr := c.tr.now()
 	raw, err := io.ReadAll(body)
 	if err != nil {
 		return err
 	}
+	c.tr.observe(stageRead, tr)
+	c.tr.addBytes(int64(len(raw)), 0)
+	tc := c.tr.now()
 	br, err := ceresz.OpenBundleLimited(raw, s.cfg.MaxFrameBytes, s.cfg.MaxChunkElems)
 	if err != nil {
 		return badRequest{err}
@@ -666,11 +821,16 @@ func (s *Server) extractBundleField(c *codec, w http.ResponseWriter, body io.Rea
 		}
 		out, elem = c.encodeF32(vals), "f32"
 	}
+	c.tr.observe(stageCodec, tc)
+	c.tr.addChunk()
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-Ceresz-Elem", elem)
+	tw := c.tr.now()
 	if _, err := w.Write(out); err != nil {
 		return fmt.Errorf("%w: writing field: %v", errResponseStarted, err)
 	}
+	c.tr.observe(stageWrite, tw)
+	c.tr.addBytes(0, int64(len(out)))
 	s.recordVolume(s.mBundle, 1, int64(len(raw)), int64(len(out)))
 	return nil
 }

@@ -1,27 +1,16 @@
 package wse
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
+
+	"ceresz/internal/telemetry"
 )
 
-// chromeEvent is one entry of the Chrome trace-event JSON array format,
-// which Perfetto (ui.perfetto.dev) and chrome://tracing open directly.
-// Complete slices use ph "X"; per-track metadata uses ph "M".
-type chromeEvent struct {
-	Name  string         `json:"name"`
-	Cat   string         `json:"cat,omitempty"`
-	Ph    string         `json:"ph"`
-	Ts    int64          `json:"ts"`
-	Dur   int64          `json:"dur,omitempty"`
-	Pid   int            `json:"pid"`
-	Tid   int            `json:"tid"`
-	ID    string         `json:"id,omitempty"` // flow-event binding id (ph "s"/"t"/"f")
-	BP    string         `json:"bp,omitempty"` // flow binding point ("e" on the finish event)
-	Cname string         `json:"cname,omitempty"`
-	Args  map[string]any `json:"args,omitempty"`
-}
+// Chrome trace-event export for the simulator's Tracer and SpanLog. Both
+// render through the shared telemetry.ChromeTraceWriter — the same
+// machinery the serving path uses for request spans — so simulator and
+// server captures open in the same viewer with the same conventions.
 
 // WriteChromeTrace renders the trace as a Chrome trace-event JSON array:
 // one track (tid) per PE, one complete slice (ph "X") per dispatch, route
@@ -30,21 +19,7 @@ type chromeEvent struct {
 // Perfetto "µs" is one PE clock cycle. cfg must be the configuration of
 // the mesh that produced the trace (the column count assigns track ids).
 func (tr *Tracer) WriteChromeTrace(w io.Writer, cfg Config) error {
-	bw := &errWriter{w: w}
-	bw.writeString("[\n")
-	first := true
-	emit := func(ev chromeEvent) {
-		b, err := json.Marshal(ev)
-		if err != nil {
-			bw.err = err
-			return
-		}
-		if !first {
-			bw.writeString(",\n")
-		}
-		first = false
-		bw.write(b)
-	}
+	tw := telemetry.NewChromeTraceWriter(w)
 
 	// One named track per PE appearing in the trace, in first-seen order.
 	tid := func(c Coord) int { return c.Row*cfg.Cols + c.Col }
@@ -56,14 +31,11 @@ func (tr *Tracer) WriteChromeTrace(w io.Writer, cfg Config) error {
 			continue
 		}
 		seen[id] = true
-		emit(chromeEvent{
-			Name: "thread_name", Ph: "M", Pid: 0, Tid: id,
-			Args: map[string]any{"name": fmt.Sprintf("PE(%d,%d)", e.PE.Row, e.PE.Col)},
-		})
+		tw.Emit(telemetry.ThreadName(0, id, fmt.Sprintf("PE(%d,%d)", e.PE.Row, e.PE.Col)))
 	}
 
 	for _, e := range events {
-		ev := chromeEvent{
+		ev := telemetry.ChromeEvent{
 			Name: e.Kind.String(),
 			Cat:  e.Kind.String(),
 			Ph:   "X",
@@ -88,10 +60,9 @@ func (tr *Tracer) WriteChromeTrace(w io.Writer, cfg Config) error {
 		case TraceEmit:
 			ev.Cname = "grey"
 		}
-		emit(ev)
+		tw.Emit(ev)
 	}
-	bw.writeString("\n]\n")
-	return bw.err
+	return tw.Close()
 }
 
 // WriteChromeTrace renders the span log as a Chrome trace-event JSON
@@ -102,21 +73,7 @@ func (tr *Tracer) WriteChromeTrace(w io.Writer, cfg Config) error {
 // presented as microseconds (one Perfetto "µs" is one PE clock cycle);
 // cfg must be the configuration of the mesh that produced the log.
 func (sl *SpanLog) WriteChromeTrace(w io.Writer, cfg Config) error {
-	bw := &errWriter{w: w}
-	bw.writeString("[\n")
-	first := true
-	emit := func(ev chromeEvent) {
-		b, err := json.Marshal(ev)
-		if err != nil {
-			bw.err = err
-			return
-		}
-		if !first {
-			bw.writeString(",\n")
-		}
-		first = false
-		bw.write(b)
-	}
+	tw := telemetry.NewChromeTraceWriter(w)
 
 	tid := func(c Coord) int { return c.Row*cfg.Cols + c.Col }
 	seen := map[int]bool{}
@@ -126,10 +83,7 @@ func (sl *SpanLog) WriteChromeTrace(w io.Writer, cfg Config) error {
 			continue
 		}
 		seen[id] = true
-		emit(chromeEvent{
-			Name: "thread_name", Ph: "M", Pid: 0, Tid: id,
-			Args: map[string]any{"name": fmt.Sprintf("PE(%d,%d)", e.PE.Row, e.PE.Col)},
-		})
+		tw.Emit(telemetry.ThreadName(0, id, fmt.Sprintf("PE(%d,%d)", e.PE.Row, e.PE.Col)))
 	}
 
 	for _, b := range sl.BlockSpans() {
@@ -139,7 +93,7 @@ func (sl *SpanLog) WriteChromeTrace(w io.Writer, cfg Config) error {
 			if e.Kind == SpanDispatch && e.Label != "" {
 				name = e.Label
 			}
-			slice := chromeEvent{
+			slice := telemetry.ChromeEvent{
 				Name: name, Cat: "span", Ph: "X",
 				Ts: e.At, Dur: 1, Pid: 0, Tid: tid(e.PE),
 				Args: map[string]any{"span": b.Span, "wavelets": e.Wavelets},
@@ -159,12 +113,12 @@ func (sl *SpanLog) WriteChromeTrace(w io.Writer, cfg Config) error {
 			case SpanEject:
 				slice.Cname = "grey"
 			}
-			emit(slice)
+			tw.Emit(slice)
 			// Flow arrow chain: start on the first lifecycle point, step
 			// through the middle ones, finish (binding to the enclosing
 			// slice's start, bp "e") on the last. Flow events bind to the
 			// slice at the same (tid, ts), i.e. the one just emitted.
-			flow := chromeEvent{Name: "block", Cat: "span", Ts: e.At, Pid: 0,
+			flow := telemetry.ChromeEvent{Name: "block", Cat: "span", Ts: e.At, Pid: 0,
 				Tid: tid(e.PE), ID: flowID}
 			switch {
 			case len(b.Events) == 1:
@@ -177,27 +131,11 @@ func (sl *SpanLog) WriteChromeTrace(w io.Writer, cfg Config) error {
 			default:
 				flow.Ph = "t"
 			}
-			emit(flow)
+			tw.Emit(flow)
 		}
 	}
-	bw.writeString("\n]\n")
-	return bw.err
+	return tw.Close()
 }
-
-// errWriter folds write errors so the exporter body stays linear.
-type errWriter struct {
-	w   io.Writer
-	err error
-}
-
-func (e *errWriter) write(b []byte) {
-	if e.err != nil {
-		return
-	}
-	_, e.err = e.w.Write(b)
-}
-
-func (e *errWriter) writeString(s string) { e.write([]byte(s)) }
 
 // UtilizationGrid returns each PE's busy fraction (busy cycles / elapsed
 // cycles) as a Rows×Cols grid. An idle mesh yields all zeros.
