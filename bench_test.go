@@ -7,7 +7,11 @@ package ceresz
 // b.ReportMetric, so a bench run doubles as a regeneration pass.
 
 import (
+	"fmt"
 	"math"
+	"os"
+	"runtime"
+	"strconv"
 	"testing"
 
 	"ceresz/internal/baselines"
@@ -110,6 +114,94 @@ func BenchmarkHostCompressAlloc(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// hostBenchWorkers returns the worker counts the parallel host-codec
+// benchmarks sweep: 1, 2 and the powers of two up to NumCPU (deduped).
+// workers=2 is always present so the shard/stitch machinery is measured
+// even on a single-core host, where the pool caps concurrency but not
+// shard count.
+func hostBenchWorkers() []int {
+	ws := []int{1, 2}
+	for w := 4; w <= runtime.NumCPU(); w *= 2 {
+		ws = append(ws, w)
+	}
+	if n := runtime.NumCPU(); n > 2 && ws[len(ws)-1] != n {
+		ws = append(ws, n)
+	}
+	return ws
+}
+
+func benchHostCompressWorkers(b *testing.B, workers int) {
+	data := benchField(b, "NYX", 3)
+	var comp []byte
+	b.SetBytes(int64(4 * len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		comp, _, err = Compress(comp[:0], data, REL(1e-3), Options{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchHostDecompressWorkers(b *testing.B, workers int) {
+	data := benchField(b, "NYX", 3)
+	comp, _, err := Compress(nil, data, REL(1e-3), Options{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var out []float32
+	b.SetBytes(int64(4 * len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err = DecompressWith(out[:0], comp, Options{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHostCompressParallel sweeps the block-parallel compressor over
+// worker counts. The CERESZ_HOST_WORKERS environment variable pins a
+// single flat-named run instead — benchdiff strips only the -GOMAXPROCS
+// suffix when pairing, so a CERESZ_HOST_WORKERS=1 pass and a
+// CERESZ_HOST_WORKERS=N pass produce identical benchmark names and diff
+// cleanly (the same idiom as CERESZ_SIM_WORKERS for the simulator).
+func BenchmarkHostCompressParallel(b *testing.B) {
+	if s := os.Getenv("CERESZ_HOST_WORKERS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			b.Fatalf("CERESZ_HOST_WORKERS=%q: %v", s, err)
+		}
+		benchHostCompressWorkers(b, n)
+		return
+	}
+	for _, w := range hostBenchWorkers() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			benchHostCompressWorkers(b, w)
+		})
+	}
+}
+
+// BenchmarkHostDecompressParallel is the decode-side twin of
+// BenchmarkHostCompressParallel, with the same CERESZ_HOST_WORKERS
+// pairing contract.
+func BenchmarkHostDecompressParallel(b *testing.B) {
+	if s := os.Getenv("CERESZ_HOST_WORKERS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			b.Fatalf("CERESZ_HOST_WORKERS=%q: %v", s, err)
+		}
+		benchHostDecompressWorkers(b, n)
+		return
+	}
+	for _, w := range hostBenchWorkers() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			benchHostDecompressWorkers(b, w)
+		})
 	}
 }
 

@@ -47,7 +47,8 @@ func ABS(eps float64) Bound { return quant.ABS(eps) }
 func REL(lambda float64) Bound { return quant.REL(lambda) }
 
 // Options tunes a host compression pass. The zero value is the paper's
-// configuration: 32-element blocks, 4-byte block headers, all CPU cores.
+// configuration: 32-element blocks, 4-byte block headers, sequential
+// (zero-allocation) execution.
 type Options struct {
 	// BlockLen is the elements per block (positive multiple of 8;
 	// 0 = 32, the paper's choice).
@@ -55,7 +56,10 @@ type Options struct {
 	// SZpHeader selects 1-byte block headers (the SZp/cuSZp stream format)
 	// instead of CereSZ's 4-byte WSE-aligned headers.
 	SZpHeader bool
-	// Workers caps host parallelism (0 = GOMAXPROCS, 1 = sequential).
+	// Workers caps host parallelism. 0 and 1 run sequentially — the
+	// zero-allocation steady-state path; values > 1 shard the call's
+	// blocks across a shared worker pool (output bytes are identical at
+	// any count); negative uses all CPU cores.
 	Workers int
 }
 
@@ -104,9 +108,17 @@ func CompressWithEpsInto(dst []byte, data []float32, eps float64, opts Options, 
 }
 
 // Decompress reconstructs the float32 data from a CereSZ stream, appending
-// to dst (which may be nil).
+// to dst (which may be nil). It runs sequentially; use DecompressWith to
+// shard a large stream across CPU cores.
 func Decompress(dst []float32, comp []byte) ([]float32, error) {
 	out, _, err := core.Decompress(dst, comp, 0)
+	return out, err
+}
+
+// DecompressWith is Decompress honoring opts.Workers (only the Workers
+// field matters on the decode path: block geometry comes from the stream).
+func DecompressWith(dst []float32, comp []byte, opts Options) ([]float32, error) {
+	out, _, err := core.Decompress(dst, comp, opts.Workers)
 	return out, err
 }
 

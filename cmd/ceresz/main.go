@@ -12,7 +12,10 @@
 // Input files for -c are raw little-endian float32 arrays (the SDRBench
 // convention); -bundle compresses every field file in a directory into one
 // indexed archive (dims parsed from SDRBench-style names). Compression
-// prints the achieved ratio and block statistics.
+// prints the achieved ratio and block statistics. -hostworkers N (alias
+// -workers) shards each compress/decompress call across a pooled worker
+// runtime; the emitted stream is byte-identical at every worker count, so
+// the flag only changes throughput.
 package main
 
 import (
@@ -35,7 +38,9 @@ func main() {
 	f64 := flag.Bool("f64", false, "treat input as float64 (compression only; decompression auto-detects)")
 	bundle := flag.Bool("bundle", false, "compress a directory of field files into one bundle")
 	unbundle := flag.Bool("unbundle", false, "extract a bundle into a directory of raw field files")
-	workers := flag.Int("workers", 0, "worker goroutines (0 = all cores)")
+	var workers int
+	flag.IntVar(&workers, "hostworkers", 0, "host-codec worker shards: 0 or 1 = sequential, N > 1 = pooled block-parallel, negative = all cores (output bytes identical either way)")
+	flag.IntVar(&workers, "workers", 0, "alias for -hostworkers")
 	stats := flag.Bool("stats", false, "print internal telemetry (stage timings, worker occupancy) after the run")
 	flag.Parse()
 
@@ -44,9 +49,9 @@ func main() {
 	}
 	err := func() error {
 		if *bundle || *unbundle {
-			return runBundle(*bundle, *rel, *abs, *block, *szp, *workers, flag.Args())
+			return runBundle(*bundle, *rel, *abs, *block, *szp, workers, flag.Args())
 		}
-		return run(*compress, *decompress, *info, *rel, *abs, *block, *szp, *f64, *workers, flag.Args())
+		return run(*compress, *decompress, *info, *rel, *abs, *block, *szp, *f64, workers, flag.Args())
 	}()
 	if *stats {
 		fmt.Print("\ntelemetry:\n")
@@ -146,7 +151,7 @@ func run(compress, decompress, info bool, rel, abs float64, block int, szp, f64 
 			return err
 		}
 		if elem == ceresz.Float64 {
-			data, err := ceresz.Decompress64(nil, comp)
+			data, err := ceresz.Decompress64With(nil, comp, ceresz.Options{Workers: workers})
 			if err != nil {
 				return err
 			}
@@ -156,7 +161,7 @@ func run(compress, decompress, info bool, rel, abs float64, block int, szp, f64 
 			fmt.Printf("decompressed %d float64 elements (%d bytes)\n", len(data), 8*len(data))
 			return nil
 		}
-		data, err := ceresz.Decompress(nil, comp)
+		data, err := ceresz.DecompressWith(nil, comp, ceresz.Options{Workers: workers})
 		if err != nil {
 			return err
 		}

@@ -19,6 +19,10 @@
 //	-simworkers N              simulator worker pool: 0 = one per CPU,
 //	                           1 = sequential reference engine (results
 //	                           are identical; only wall time changes)
+//	-hostworkers N             host-codec worker shards for the host
+//	                           experiment: 0/1 = sequential, N > 1 =
+//	                           pooled block-parallel, negative = all
+//	                           cores (bytes are identical either way)
 //	-json                      emit one JSON object per experiment instead
 //	                           of formatted tables
 //	-debug-addr host:port      serve net/http/pprof, expvar, the live
@@ -44,11 +48,12 @@ func main() {
 	seed := flag.Int64("seed", 7, "dataset generator seed")
 	maxFields := flag.Int("maxfields", 0, "limit fields per dataset (0 = all)")
 	simWorkers := flag.Int("simworkers", 0, "simulator workers: 0 = one per CPU, 1 = sequential reference engine")
+	hostWorkers := flag.Int("hostworkers", 1, "host-codec workers for the host experiment: 0/1 = sequential, N > 1 = pooled shards, negative = all cores")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON results (one object per experiment)")
 	debugAddr := flag.String("debug-addr", "", "serve pprof/expvar/telemetry on this address (e.g. localhost:6060)")
 	flag.Parse()
 
-	cfg := experiments.Config{Seed: *seed, MaxFieldsPerDataset: *maxFields, SimWorkers: *simWorkers}
+	cfg := experiments.Config{Seed: *seed, MaxFieldsPerDataset: *maxFields, SimWorkers: *simWorkers, HostWorkers: *hostWorkers}
 	switch *scale {
 	case "small":
 		cfg.Scale = datasets.Small

@@ -23,6 +23,12 @@
 //	-chunk N       elements per compressed frame (default 64Ki)
 //	-eps F         absolute error bound (default 1e-3)
 //	-out FILE      result path (default BENCH_serve.json)
+//	-hostworkers N annotate each sweep point with the driven server's
+//	               -hostworkers setting (the intra-request budget lives
+//	               server-side; this flag only labels the results)
+//	-append        merge this sweep's points into an existing -out file
+//	               instead of overwriting it, so sequential and parallel
+//	               server points land in one report
 //	-trace FILE    fetch /debug/trace after the sweep and write the Chrome
 //	               trace-event JSON there (open in ui.perfetto.dev)
 //	-smoke         run the correctness round-trip instead of the sweep
@@ -60,7 +66,10 @@ func synthData(n int, seed int64) []float32 {
 }
 
 type sweepPoint struct {
-	Clients        int     `json:"clients"`
+	Clients int `json:"clients"`
+	// HostWorkers labels the point with the server's -hostworkers
+	// setting (0 = unknown/sequential); the budget itself is server-side.
+	HostWorkers    int     `json:"host_workers,omitempty"`
 	Requests       int     `json:"requests"`
 	RawBytes       int64   `json:"raw_bytes"`
 	CompBytes      int64   `json:"compressed_bytes"`
@@ -131,6 +140,8 @@ func main() {
 	out := flag.String("out", "BENCH_serve.json", "result file")
 	traceOut := flag.String("trace", "", "fetch /debug/trace after the sweep into this file")
 	smoke := flag.Bool("smoke", false, "run the correctness round-trip instead of the sweep")
+	hostWorkers := flag.Int("hostworkers", 0, "label sweep points with the driven server's -hostworkers setting")
+	appendOut := flag.Bool("append", false, "merge points into an existing -out file instead of overwriting")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -142,7 +153,7 @@ func main() {
 		fmt.Println("cereszload: smoke OK")
 		return
 	}
-	if err := runSweep(ctx, *addr, *elems, *requests, *chunk, *eps, *out, *traceOut); err != nil {
+	if err := runSweep(ctx, *addr, *elems, *requests, *chunk, *eps, *out, *traceOut, *hostWorkers, *appendOut); err != nil {
 		fmt.Fprintln(os.Stderr, "cereszload:", err)
 		os.Exit(1)
 	}
@@ -265,7 +276,7 @@ func sweepCounts() []int {
 	return append(counts, ncpu)
 }
 
-func runSweep(ctx context.Context, addr string, elems, requests, chunk int, eps float64, out, traceOut string) error {
+func runSweep(ctx context.Context, addr string, elems, requests, chunk int, eps float64, out, traceOut string, hostWorkers int, appendOut bool) error {
 	c := client.New(client.Config{BaseURL: addr, ChunkElems: chunk})
 	if err := c.Health(ctx); err != nil {
 		return fmt.Errorf("health: %w", err)
@@ -279,6 +290,7 @@ func runSweep(ctx context.Context, addr string, elems, requests, chunk int, eps 
 		if err != nil {
 			return fmt.Errorf("%d clients: %w", k, err)
 		}
+		pt.HostWorkers = hostWorkers
 		report.Points = append(report.Points, pt)
 		fmt.Printf("%8d %9d %12.3f %9dus %9dus %9dus %9d %7d %5d\n",
 			pt.Clients, pt.Requests, pt.ThroughputGBps, pt.P50us, pt.P95us, pt.P99us,
@@ -309,6 +321,18 @@ func runSweep(ctx context.Context, addr string, elems, requests, chunk int, eps 
 		fmt.Println("wrote", traceOut)
 	}
 
+	if appendOut {
+		// Merge with a previous run (e.g. a sequential-server sweep) so one
+		// report carries both server configurations, distinguished by each
+		// point's host_workers label.
+		if prev, err := os.ReadFile(out); err == nil {
+			var old benchReport
+			if err := json.Unmarshal(prev, &old); err != nil {
+				return fmt.Errorf("-append: existing %s is not a sweep report: %w", out, err)
+			}
+			report.Points = append(old.Points, report.Points...)
+		}
+	}
 	f, err := os.Create(out)
 	if err != nil {
 		return err

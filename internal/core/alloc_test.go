@@ -55,6 +55,42 @@ func TestCompressZeroAllocSteadyState(t *testing.T) {
 	}
 }
 
+// TestCompressZeroAllocWorkersZero pins the Workers: 0 contract: the zero
+// value means sequential (not GOMAXPROCS), so the default-options path
+// stays on the zero-allocation track.
+func TestCompressZeroAllocWorkersZero(t *testing.T) {
+	skipUnderRace(t)
+	data := allocTestData(4100)
+	opts := Options{Bound: quant.REL(1e-3)} // Workers: 0 — must stay sequential
+	var stats Stats
+	dst, err := CompressInto(nil, data, opts, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		dst, err = CompressInto(dst[:0], data, opts, &stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state CompressInto with Workers: 0 allocates %.1f times per run, want 0", allocs)
+	}
+	out, _, err := Decompress(nil, dst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(20, func() {
+		out, _, err = Decompress(out[:0], dst, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Decompress with workers 0 allocates %.1f times per run, want 0", allocs)
+	}
+}
+
 func TestCompressWithEpsZeroAllocSteadyState(t *testing.T) {
 	skipUnderRace(t)
 	data := allocTestData(4096)

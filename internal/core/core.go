@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"ceresz/internal/flenc"
+	"ceresz/internal/hostpool"
 	"ceresz/internal/lorenzo"
 	"ceresz/internal/quant"
 	"ceresz/internal/telemetry"
@@ -96,8 +97,10 @@ type Options struct {
 	// flenc.HeaderU32 (CereSZ) or flenc.HeaderU8 (SZp family).
 	// Zero selects flenc.HeaderU32.
 	HeaderBytes int
-	// Workers bounds host-side parallelism. 0 uses GOMAXPROCS; 1 forces the
-	// sequential path (which is also the zero-allocation path). Output
+	// Workers bounds host-side parallelism. 0 and 1 select the sequential
+	// path (which is also the zero-allocation path); values > 1 shard the
+	// block range over the shared host worker pool (internal/hostpool)
+	// with pooled per-shard buffers; negative uses GOMAXPROCS. Output
 	// bytes are identical regardless.
 	Workers int
 }
@@ -109,8 +112,10 @@ func (o Options) withDefaults() Options {
 	if o.HeaderBytes == 0 {
 		o.HeaderBytes = flenc.HeaderU32
 	}
-	if o.Workers <= 0 {
+	if o.Workers < 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	} else if o.Workers == 0 {
+		o.Workers = 1
 	}
 	return o
 }
@@ -296,42 +301,34 @@ func compressEps(dst []byte, data []float32, eps float64, opts Options, stats *S
 		return dst, nil
 	}
 
-	// Parallel path: split the block range into one contiguous chunk per
-	// worker, encode each chunk into its own buffer, then concatenate in
-	// order. The output is byte-identical to the sequential path.
-	type chunk struct {
-		buf   []byte
-		stats Stats
-	}
-	chunks := make([]chunk, workers)
-	var wg sync.WaitGroup
-	for wkr := 0; wkr < workers; wkr++ {
-		lo := wkr * nBlocks / workers
-		hi := (wkr + 1) * nBlocks / workers
-		wg.Add(1)
-		go func(wkr, lo, hi int) {
-			defer wg.Done()
-			telWorkers.Add(1)
-			defer telWorkers.Add(-1)
-			enc := getEncoder(L, opts.HeaderBytes, q)
-			c := &chunks[wkr]
-			// Worst case: every block verbatim.
-			c.buf = make([]byte, 0, (hi-lo)*flenc.VerbatimSize(L, opts.HeaderBytes))
-			for b := lo; b < hi; b++ {
-				c.buf = enc.encode(c.buf, blockSlice(data, b, L), &c.stats)
-			}
-			putEncoder(enc)
-		}(wkr, lo, hi)
-	}
-	wg.Wait()
-	for i := range chunks {
-		dst = append(dst, chunks[i].buf...)
-		stats.ZeroBlocks += chunks[i].stats.ZeroBlocks
-		stats.VerbatimBlocks += chunks[i].stats.VerbatimBlocks
+	// Parallel path: shard the block range over the shared host pool
+	// (internal/hostpool), encode each shard into a pooled buffer, then
+	// stitch the shards back in order. The output is byte-identical to the
+	// sequential path at any worker count.
+	sp := getShards(workers)
+	shards := *sp
+	hostpool.Run(workers, nBlocks, func(k, lo, hi int) {
+		telWorkers.Add(1)
+		defer telWorkers.Add(-1)
+		enc := getEncoder(L, opts.HeaderBytes, q)
+		sb := &shards[k]
+		sb.stats = Stats{}
+		// Worst case: every block verbatim.
+		sb.buf = slices.Grow(sb.buf[:0], (hi-lo)*flenc.VerbatimSize(L, opts.HeaderBytes))
+		for b := lo; b < hi; b++ {
+			sb.buf = enc.encode(sb.buf, blockSlice(data, b, L), &sb.stats)
+		}
+		putEncoder(enc)
+	})
+	for i := range shards {
+		dst = append(dst, shards[i].buf...)
+		stats.ZeroBlocks += shards[i].stats.ZeroBlocks
+		stats.VerbatimBlocks += shards[i].stats.VerbatimBlocks
 		for w := range stats.WidthHistogram {
-			stats.WidthHistogram[w] += chunks[i].stats.WidthHistogram[w]
+			stats.WidthHistogram[w] += shards[i].stats.WidthHistogram[w]
 		}
 	}
+	putShards(sp)
 	stats.CompressedBytes = len(dst) - start
 	recordCompressTelemetry(stats)
 	return dst, nil
@@ -349,6 +346,35 @@ func recordCompressTelemetry(stats *Stats) {
 	telCompressZero.Add(int64(stats.ZeroBlocks))
 	telCompressVerbatim.Add(int64(stats.VerbatimBlocks))
 }
+
+// shardBuf is one shard's output in a parallel pass: a recycled byte
+// buffer (compress), per-shard stats to merge, and a per-shard error
+// (decompress). Recycling the buffers through shardSetPool is what lets
+// Workers > 1 amortize its per-call allocations across calls.
+type shardBuf struct {
+	buf   []byte
+	stats Stats
+	err   error
+}
+
+// shardSetPool recycles the per-call shard tables (and their buffers)
+// between parallel Compress/Decompress passes.
+var shardSetPool sync.Pool
+
+func getShards(n int) *[]shardBuf {
+	p, _ := shardSetPool.Get().(*[]shardBuf)
+	if p == nil {
+		s := make([]shardBuf, n)
+		return &s
+	}
+	if cap(*p) < n {
+		*p = make([]shardBuf, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putShards(p *[]shardBuf) { shardSetPool.Put(p) }
 
 // blockSlice returns block b of data (length ≤ L; the caller pads).
 func blockSlice(data []float32, b, L int) []float32 {
@@ -706,9 +732,10 @@ func ParseHeader(comp []byte) (Meta, error) {
 }
 
 // Decompress reconstructs the float32 data from a CereSZ stream, appending
-// to dst (which may be nil). workers bounds host parallelism (≤ 0 means
-// GOMAXPROCS). With workers 1 and a dst of sufficient capacity it performs
-// zero allocations in steady state.
+// to dst (which may be nil). workers bounds host parallelism with the same
+// semantics as Options.Workers: 0/1 sequential, > 1 sharded over the host
+// pool, negative = GOMAXPROCS. With workers 0/1 and a dst of sufficient
+// capacity it performs zero allocations in steady state.
 func Decompress(dst []float32, comp []byte, workers int) ([]float32, Meta, error) {
 	defer telDecompress.Start().End()
 	m, err := ParseHeader(comp)
@@ -744,7 +771,7 @@ func Decompress(dst []float32, comp []byte, workers int) ([]float32, Meta, error
 	dst = slices.Grow(dst, m.Elements)[:start+m.Elements]
 	out := dst[start:]
 
-	if workers <= 0 {
+	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > nBlocks {
@@ -763,31 +790,33 @@ func Decompress(dst []float32, comp []byte, workers int) ([]float32, Meta, error
 		return dst, m, nil
 	}
 
-	var wg sync.WaitGroup
-	errs := make([]error, workers)
-	for wkr := 0; wkr < workers; wkr++ {
-		lo := wkr * nBlocks / workers
-		hi := (wkr + 1) * nBlocks / workers
-		wg.Add(1)
-		go func(wkr, lo, hi int) {
-			defer wg.Done()
-			telWorkers.Add(1)
-			defer telWorkers.Add(-1)
-			dec := getDecoder(L, m.HeaderBytes, q)
-			defer putDecoder(dec)
-			for b := lo; b < hi; b++ {
-				if err := dec.decode(outBlock(out, b, L), body[offsets[b]:offsets[b+1]]); err != nil {
-					errs[wkr] = fmt.Errorf("%w: block %d: %v", ErrBadStream, b, err)
-					return
-				}
+	// Parallel path: shards write disjoint regions of out, so no stitch is
+	// needed — only the first shard error is reported.
+	sp := getShards(workers)
+	shards := *sp
+	hostpool.Run(workers, nBlocks, func(k, lo, hi int) {
+		telWorkers.Add(1)
+		defer telWorkers.Add(-1)
+		shards[k].err = nil
+		dec := getDecoder(L, m.HeaderBytes, q)
+		defer putDecoder(dec)
+		for b := lo; b < hi; b++ {
+			if err := dec.decode(outBlock(out, b, L), body[offsets[b]:offsets[b+1]]); err != nil {
+				shards[k].err = fmt.Errorf("%w: block %d: %v", ErrBadStream, b, err)
+				return
 			}
-		}(wkr, lo, hi)
-	}
-	wg.Wait()
-	for _, e := range errs {
-		if e != nil {
-			return dst, m, e
 		}
+	})
+	var derr error
+	for i := range shards {
+		if shards[i].err != nil {
+			derr = shards[i].err
+			break
+		}
+	}
+	putShards(sp)
+	if derr != nil {
+		return dst, m, derr
 	}
 	recordDecompressTelemetry(m, len(comp))
 	return dst, m, nil

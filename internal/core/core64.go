@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"ceresz/internal/flenc"
+	"ceresz/internal/hostpool"
 	"ceresz/internal/lorenzo"
 	"ceresz/internal/quant"
 )
@@ -129,36 +130,31 @@ func compressEps64(dst []byte, data []float64, eps float64, opts Options, stats 
 		return dst, nil
 	}
 
-	type chunk struct {
-		buf   []byte
-		stats Stats
-	}
-	chunks := make([]chunk, workers)
-	var wg sync.WaitGroup
-	for wkr := 0; wkr < workers; wkr++ {
-		lo := wkr * nBlocks / workers
-		hi := (wkr + 1) * nBlocks / workers
-		wg.Add(1)
-		go func(wkr, lo, hi int) {
-			defer wg.Done()
-			enc := getEncoder64(L, opts.HeaderBytes, q)
-			c := &chunks[wkr]
-			c.buf = make([]byte, 0, (hi-lo)*(opts.HeaderBytes+8*L))
-			for b := lo; b < hi; b++ {
-				c.buf = enc.encode(c.buf, blockSlice64(data, b, L), &c.stats)
-			}
-			putEncoder64(enc)
-		}(wkr, lo, hi)
-	}
-	wg.Wait()
-	for i := range chunks {
-		dst = append(dst, chunks[i].buf...)
-		stats.ZeroBlocks += chunks[i].stats.ZeroBlocks
-		stats.VerbatimBlocks += chunks[i].stats.VerbatimBlocks
+	// Parallel path: same shard/stitch scheme as compressEps, shared host
+	// pool and pooled per-shard buffers included.
+	sp := getShards(workers)
+	shards := *sp
+	hostpool.Run(workers, nBlocks, func(k, lo, hi int) {
+		telWorkers.Add(1)
+		defer telWorkers.Add(-1)
+		enc := getEncoder64(L, opts.HeaderBytes, q)
+		sb := &shards[k]
+		sb.stats = Stats{}
+		sb.buf = slices.Grow(sb.buf[:0], (hi-lo)*(opts.HeaderBytes+8*L))
+		for b := lo; b < hi; b++ {
+			sb.buf = enc.encode(sb.buf, blockSlice64(data, b, L), &sb.stats)
+		}
+		putEncoder64(enc)
+	})
+	for i := range shards {
+		dst = append(dst, shards[i].buf...)
+		stats.ZeroBlocks += shards[i].stats.ZeroBlocks
+		stats.VerbatimBlocks += shards[i].stats.VerbatimBlocks
 		for w := range stats.WidthHistogram {
-			stats.WidthHistogram[w] += chunks[i].stats.WidthHistogram[w]
+			stats.WidthHistogram[w] += shards[i].stats.WidthHistogram[w]
 		}
 	}
+	putShards(sp)
 	stats.CompressedBytes = len(dst) - start
 	return dst, nil
 }
@@ -319,8 +315,9 @@ func appendVerbatim64(dst []byte, block []float64, headerBytes int) []byte {
 }
 
 // Decompress64 reconstructs float64 data from a CereSZ stream produced by
-// Compress64. With workers 1 and sufficient dst capacity it performs zero
-// allocations in steady state.
+// Compress64. workers follows Options.Workers semantics (0/1 sequential,
+// > 1 sharded over the host pool, negative = GOMAXPROCS). With workers 0/1
+// and sufficient dst capacity it performs zero allocations in steady state.
 func Decompress64(dst []float64, comp []byte, workers int) ([]float64, Meta, error) {
 	m, err := ParseHeader(comp)
 	if err != nil {
@@ -351,7 +348,7 @@ func Decompress64(dst []float64, comp []byte, workers int) ([]float64, Meta, err
 	dst = slices.Grow(dst, m.Elements)[:start+m.Elements]
 	out := dst[start:]
 
-	if workers <= 0 {
+	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > nBlocks {
@@ -368,29 +365,31 @@ func Decompress64(dst []float64, comp []byte, workers int) ([]float64, Meta, err
 		putDecoder64(dec)
 		return dst, m, nil
 	}
-	var wg sync.WaitGroup
-	errs := make([]error, workers)
-	for wkr := 0; wkr < workers; wkr++ {
-		lo := wkr * nBlocks / workers
-		hi := (wkr + 1) * nBlocks / workers
-		wg.Add(1)
-		go func(wkr, lo, hi int) {
-			defer wg.Done()
-			dec := getDecoder64(L, m.HeaderBytes, q)
-			defer putDecoder64(dec)
-			for b := lo; b < hi; b++ {
-				if err := dec.decode(outBlock64(out, b, L), body[offsets[b]:offsets[b+1]]); err != nil {
-					errs[wkr] = fmt.Errorf("%w: block %d: %v", ErrBadStream, b, err)
-					return
-				}
+	sp := getShards(workers)
+	shards := *sp
+	hostpool.Run(workers, nBlocks, func(k, lo, hi int) {
+		telWorkers.Add(1)
+		defer telWorkers.Add(-1)
+		shards[k].err = nil
+		dec := getDecoder64(L, m.HeaderBytes, q)
+		defer putDecoder64(dec)
+		for b := lo; b < hi; b++ {
+			if err := dec.decode(outBlock64(out, b, L), body[offsets[b]:offsets[b+1]]); err != nil {
+				shards[k].err = fmt.Errorf("%w: block %d: %v", ErrBadStream, b, err)
+				return
 			}
-		}(wkr, lo, hi)
-	}
-	wg.Wait()
-	for _, e := range errs {
-		if e != nil {
-			return dst, m, e
 		}
+	})
+	var derr error
+	for i := range shards {
+		if shards[i].err != nil {
+			derr = shards[i].err
+			break
+		}
+	}
+	putShards(sp)
+	if derr != nil {
+		return dst, m, derr
 	}
 	return dst, m, nil
 }

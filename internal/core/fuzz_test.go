@@ -251,6 +251,78 @@ func FuzzHostKernels64(f *testing.F) {
 	})
 }
 
+// FuzzParallelHostCodec is the differential target for the block-parallel
+// execution layer: across random data, error bounds, block lengths, header
+// widths and worker counts, the sharded compressor must emit bytes
+// identical to the sequential path (workers are a pure execution knob, not
+// a format knob), the parallel decoder must reproduce the sequential
+// decode bit for bit, and the round trip must honor the bound.
+func FuzzParallelHostCodec(f *testing.F) {
+	f.Add(make([]byte, 600), uint8(0), false, uint8(3), uint8(4))
+	f.Add([]byte{0, 0, 128, 63, 0, 0, 0, 64, 1, 2, 3, 4}, uint8(2), true, uint8(1), uint8(2))
+	f.Add([]byte{0xff, 0xff, 0x7f, 0x7f, 0, 0, 0x80, 0xff}, uint8(11), false, uint8(0), uint8(9))
+	f.Fuzz(func(t *testing.T, raw []byte, blockSel uint8, szpHeader bool, epsExp uint8, workerSel uint8) {
+		n := len(raw) / 4
+		data := make([]float32, n)
+		for i := 0; i < n; i++ {
+			data[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+		}
+		opts := Options{BlockLen: 8 * (1 + int(blockSel)%12), Workers: 1}
+		if szpHeader {
+			opts.HeaderBytes = flenc.HeaderU8
+		} else {
+			opts.HeaderBytes = flenc.HeaderU32
+		}
+		eps := math.Pow(10, -float64(epsExp%7))
+		seq, stats, err := CompressWithEps(nil, data, eps, opts)
+		if err != nil {
+			t.Fatalf("sequential compress: %v", err)
+		}
+		// 2..17 workers, independent of the host's core count: shard counts
+		// above GOMAXPROCS still run (the pool caps concurrency, not
+		// shards), so the stitch path is exercised even on one CPU.
+		opts.Workers = 2 + int(workerSel)%16
+		par, parStats, err := CompressWithEps(nil, data, eps, opts)
+		if err != nil {
+			t.Fatalf("parallel compress (workers=%d): %v", opts.Workers, err)
+		}
+		if !bytes.Equal(par, seq) {
+			t.Fatalf("parallel stream differs from sequential (n=%d L=%d workers=%d eps=%g)",
+				n, opts.BlockLen, opts.Workers, eps)
+		}
+		if parStats.ZeroBlocks != stats.ZeroBlocks || parStats.VerbatimBlocks != stats.VerbatimBlocks ||
+			parStats.WidthHistogram != stats.WidthHistogram {
+			t.Fatalf("parallel stats differ from sequential: %+v vs %+v", parStats, stats)
+		}
+		seqOut, _, err := Decompress(nil, seq, 1)
+		if err != nil {
+			t.Fatalf("sequential decompress: %v", err)
+		}
+		parOut, _, err := Decompress(nil, seq, opts.Workers)
+		if err != nil {
+			t.Fatalf("parallel decompress (workers=%d): %v", opts.Workers, err)
+		}
+		for i := range seqOut {
+			if math.Float32bits(parOut[i]) != math.Float32bits(seqOut[i]) {
+				t.Fatalf("parallel decode differs from sequential at %d: %x vs %x",
+					i, math.Float32bits(parOut[i]), math.Float32bits(seqOut[i]))
+			}
+		}
+		for i := range data {
+			o, r := float64(data[i]), float64(parOut[i])
+			if math.IsNaN(o) || math.IsInf(o, 0) {
+				if math.Float32bits(data[i]) != math.Float32bits(parOut[i]) {
+					t.Fatalf("non-finite value not preserved at %d", i)
+				}
+				continue
+			}
+			if math.Abs(r-o) > stats.Eps {
+				t.Fatalf("bound violated at %d: |%g − %g| > %g", i, r, o, stats.Eps)
+			}
+		}
+	})
+}
+
 // FuzzRoundTrip feeds arbitrary bytes reinterpreted as float32s through a
 // full compress/decompress cycle and checks the error bound.
 func FuzzRoundTrip(f *testing.F) {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"ceresz/internal/core"
@@ -63,12 +64,18 @@ func timeBest(iters int, fn func()) float64 {
 	return best
 }
 
-// HostBench times the real host compressor and decompressor (sequential,
-// steady state, reused buffers) over every dataset at the paper's three
-// REL bounds.
+// HostBench times the real host compressor and decompressor (steady
+// state, reused buffers) over every dataset at the paper's three REL
+// bounds, running each call with cfg.HostWorkers block shards (0/1 =
+// sequential, negative = one per core).
 func HostBench(cfg Config) (*HostBenchResult, error) {
 	cfg = cfg.WithDefaults()
-	res := &HostBenchResult{Workers: 1}
+	res := &HostBenchResult{Workers: cfg.HostWorkers}
+	if res.Workers < 0 {
+		res.Workers = runtime.GOMAXPROCS(0)
+	} else if res.Workers == 0 {
+		res.Workers = 1
+	}
 	const targetNs = 30e6 // ~30ms per measurement
 	var comp []byte
 	var out []float32

@@ -26,6 +26,10 @@ type codec struct {
 	stats ceresz.Stats
 	sr    *ceresz.StreamReader
 	tr    *reqSpan // span of the request currently holding this codec; nil when untraced
+	// workers is this request's share of the server's intra-request
+	// parallelism budget (Config.HostWorkers), set by admit on checkout.
+	// 1 keeps the sequential zero-alloc path.
+	workers int
 }
 
 func newCodec(id int) *codec {
@@ -44,7 +48,7 @@ type cparams struct {
 	abs        bool         // true: bound.Value is a pre-resolved absolute ε
 	elem       ceresz.Elem
 	chunkElems int
-	opts       ceresz.Options // Workers:1 — the sequential zero-alloc path
+	opts       ceresz.Options // Workers: the request's budget share (1 = zero-alloc path)
 }
 
 // elemSize returns the element byte width.

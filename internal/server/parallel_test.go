@@ -1,0 +1,134 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+	"testing"
+
+	"ceresz"
+)
+
+// rawBytes serializes floats as the wire's little-endian body format.
+func rawBytes(data []float32) []byte {
+	raw := make([]byte, 4*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(v))
+	}
+	return raw
+}
+
+// postBody POSTs body to url and returns the response bytes, failing on a
+// non-200 status.
+func postBody(t *testing.T, url string, body []byte) []byte {
+	t.Helper()
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, out)
+	}
+	return out
+}
+
+// TestHostWorkersByteIdentity checks that a server granted an intra-request
+// worker budget emits compress responses byte-identical to a sequential
+// server's (and to the library reference), and that the decompress path
+// round-trips bit-for-bit — the serving form of the codec's byte-identity
+// invariant.
+func TestHostWorkersByteIdentity(t *testing.T) {
+	const chunkElems = 300 // not a block multiple: exercises padded tails
+	data := testData(4*chunkElems+17, 7)
+	raw := rawBytes(data)
+	bound := ceresz.ABS(1e-3)
+	want := localFrames(t, data, bound, chunkElems)
+
+	for _, hw := range []int{1, 2, 4, -1} {
+		t.Run(fmt.Sprintf("hostworkers=%d", hw), func(t *testing.T) {
+			_, ts := newTestServer(t, Config{Workers: 2, HostWorkers: hw, ChunkElems: chunkElems})
+			url := fmt.Sprintf("%s/v1/compress?eps=1e-3&chunk=%d", ts.URL, chunkElems)
+			got := postBody(t, url, raw)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("hostworkers=%d: compressed response differs from sequential reference (%d vs %d bytes)",
+					hw, len(got), len(want))
+			}
+			back := postBody(t, ts.URL+"/v1/decompress", got)
+			dec := ceresz.NewStreamReader(bytes.NewReader(want))
+			var ref []float32
+			for {
+				chunk, err := dec.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref = append(ref, chunk...)
+			}
+			if !bytes.Equal(back, rawBytes(ref)) {
+				t.Fatalf("hostworkers=%d: decompressed response differs from library reference", hw)
+			}
+		})
+	}
+}
+
+// TestHostWorkersBudgetUnderLoad drives concurrent requests at a server
+// with a worker budget, checking every response stays byte-identical while
+// the budget is being split and re-split across executing requests.
+func TestHostWorkersBudgetUnderLoad(t *testing.T) {
+	const chunkElems = 256
+	data := testData(6*chunkElems, 11)
+	raw := rawBytes(data)
+	want := localFrames(t, data, ceresz.ABS(1e-3), chunkElems)
+	_, ts := newTestServer(t, Config{Workers: 4, HostWorkers: 4, ChunkElems: chunkElems})
+	url := fmt.Sprintf("%s/v1/compress?eps=1e-3&chunk=%d", ts.URL, chunkElems)
+
+	const clients, perClient = 8, 4
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for k := 0; k < clients; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(raw))
+				if err != nil {
+					errs <- err
+					return
+				}
+				got, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode == http.StatusTooManyRequests {
+					continue // admission backpressure, not a correctness failure
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("status %d: %s", resp.StatusCode, got)
+					return
+				}
+				if !bytes.Equal(got, want) {
+					errs <- fmt.Errorf("response differs from sequential reference")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -39,6 +39,7 @@ import (
 
 	"ceresz"
 	"ceresz/internal/core"
+	"ceresz/internal/hostpool"
 	"ceresz/internal/telemetry"
 )
 
@@ -52,6 +53,13 @@ type Config struct {
 	// QueueDepth is how many admitted requests may wait for a worker
 	// beyond the Workers executing (0 = 2×Workers, negative = 0).
 	QueueDepth int
+	// HostWorkers is the intra-request parallelism budget: how many host
+	// codec shards the executing requests may use in total (0 or 1 =
+	// sequential per request, the zero-alloc path; negative = GOMAXPROCS).
+	// The budget is split across the requests currently executing, so one
+	// big request alone uses every core while a saturated pool degrades
+	// each request to the sequential path — never oversubscribing.
+	HostWorkers int
 	// MaxBodyBytes caps a request body (0 = 1 GiB).
 	MaxBodyBytes int64
 	// MaxChunkElems caps the elements in one chunk, one decoded frame and
@@ -94,6 +102,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth < 0 {
 		c.QueueDepth = 0
+	}
+	if c.HostWorkers < 0 {
+		c.HostWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.HostWorkers == 0 {
+		c.HostWorkers = 1
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 30
@@ -187,11 +201,19 @@ type Server struct {
 	tr     *tracer       // request spans, rings, access log
 
 	draining atomic.Bool
+	// executing counts requests currently holding a codec; the intra-
+	// request worker budget (Config.HostWorkers) is divided by it.
+	executing atomic.Int64
 	// gauges mirror state for /debug/metrics; functional state never
 	// lives in telemetry (a disabled registry makes gauges no-ops).
 	drainGauge *telemetry.Gauge
 	inflight   *telemetry.Gauge
 	queueDepth *telemetry.Gauge
+	// hostPeak / hostImbalance mirror the shared host pool's occupancy
+	// atomics (internal/hostpool) into this server's registry, so cereszd's
+	// private /debug/metrics sees them even with telemetry.Default off.
+	hostPeak      *telemetry.Gauge
+	hostImbalance *telemetry.Gauge
 
 	mCompress   *epMetrics
 	mDecompress *epMetrics
@@ -202,16 +224,18 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:         cfg,
-		codecs:      make(chan *codec, cfg.Workers),
-		sem:         make(chan struct{}, cfg.Workers+cfg.QueueDepth),
-		tr:          newTracer(cfg.Workers+cfg.QueueDepth, cfg),
-		drainGauge:  cfg.Registry.Gauge("server.draining"),
-		inflight:    cfg.Registry.Gauge("server.inflight"),
-		queueDepth:  cfg.Registry.Gauge("server.queue_depth"),
-		mCompress:   newEpMetrics(cfg.Registry, epCompress),
-		mDecompress: newEpMetrics(cfg.Registry, epDecompress),
-		mBundle:     newEpMetrics(cfg.Registry, epBundle),
+		cfg:           cfg,
+		codecs:        make(chan *codec, cfg.Workers),
+		sem:           make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		tr:            newTracer(cfg.Workers+cfg.QueueDepth, cfg),
+		drainGauge:    cfg.Registry.Gauge("server.draining"),
+		inflight:      cfg.Registry.Gauge("server.inflight"),
+		queueDepth:    cfg.Registry.Gauge("server.queue_depth"),
+		hostPeak:      cfg.Registry.Gauge("server.host_pool_peak_workers"),
+		hostImbalance: cfg.Registry.Gauge("server.host_shard_imbalance_pct"),
+		mCompress:     newEpMetrics(cfg.Registry, epCompress),
+		mDecompress:   newEpMetrics(cfg.Registry, epDecompress),
+		mBundle:       newEpMetrics(cfg.Registry, epBundle),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.codecs <- newCodec(i)
@@ -337,7 +361,15 @@ func (s *Server) admit(m *epMetrics, h func(*codec, http.ResponseWriter, *http.R
 		sp.worker = int32(c.id)
 		sp.mu.Unlock()
 		c.tr = sp
-		defer func() { c.tr = nil; s.codecs <- c }()
+		// Split the intra-request worker budget across the requests
+		// executing right now (self included): one big request alone gets
+		// the whole budget, a saturated pool degrades each request to the
+		// sequential zero-alloc path.
+		c.workers = s.cfg.HostWorkers / int(s.executing.Add(1))
+		if c.workers < 1 {
+			c.workers = 1
+		}
+		defer func() { c.tr = nil; s.executing.Add(-1); s.codecs <- c }()
 
 		s.inflight.Add(1)
 		defer s.inflight.Add(-1)
@@ -367,6 +399,11 @@ func (s *Server) admit(m *epMetrics, h func(*codec, http.ResponseWriter, *http.R
 		}
 		sp.status.Store(int32(rw.status))
 		m.observeStatus(rw.status)
+		// Mirror the shared host pool's occupancy into this server's
+		// registry so /debug/metrics shows it even when telemetry.Default
+		// (which internal/hostpool instruments) is disabled.
+		s.hostPeak.Set(int64(hostpool.Peak()))
+		s.hostImbalance.Set(int64(hostpool.LastImbalance()))
 		// Stage attribution back to the client: the Server-Timing trailer
 		// rides the chunked response epilogue (set after the body, as Go
 		// requires for declared trailers). Error responses written with a
@@ -526,6 +563,7 @@ func (s *Server) handleCompress(c *codec, w http.ResponseWriter, r *http.Request
 	if err != nil {
 		return err
 	}
+	p.opts.Workers = c.workers
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	next := c.nextFrameF32
 	if p.elem == ceresz.Float64 {
@@ -585,6 +623,7 @@ func (s *Server) handleDecompress(c *codec, w http.ResponseWriter, r *http.Reque
 	body := &countingReader{r: http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), sp: c.tr}
 	c.sr.Reset(body)
 	c.sr.SetLimits(s.cfg.MaxFrameBytes, s.cfg.MaxChunkElems)
+	c.sr.SetWorkers(c.workers)
 
 	var chunks int
 	var rawBytes int64
@@ -724,7 +763,7 @@ func (s *Server) handleBundle(c *codec, w http.ResponseWriter, r *http.Request) 
 		default:
 			return badRequestf("field %d (%q): mode must be abs or rel, got %q", i, spec.Name, spec.Mode)
 		}
-		opts := ceresz.Options{Workers: 1, BlockLen: s.cfg.BlockLen}
+		opts := ceresz.Options{Workers: c.workers, BlockLen: s.cfg.BlockLen}
 		switch spec.Elem {
 		case "", "f32":
 			tr := c.tr.now()

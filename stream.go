@@ -42,9 +42,16 @@ func Compress64WithEps(dst []byte, data []float64, eps float64, opts Options) ([
 	return core.Compress64WithEps(dst, data, eps, opts.coreOptions(Bound{}))
 }
 
-// Decompress64 reconstructs float64 data from a Compress64 stream.
+// Decompress64 reconstructs float64 data from a Compress64 stream. It runs
+// sequentially; use Decompress64With to shard across CPU cores.
 func Decompress64(dst []float64, comp []byte) ([]float64, error) {
 	out, _, err := core.Decompress64(dst, comp, 0)
+	return out, err
+}
+
+// Decompress64With is Decompress64 honoring opts.Workers.
+func Decompress64With(dst []float64, comp []byte, opts Options) ([]float64, error) {
+	out, _, err := core.Decompress64(dst, comp, opts.Workers)
 	return out, err
 }
 
@@ -212,6 +219,7 @@ type StreamReader struct {
 	hdr      [frameHeaderSize]byte
 	maxFrame int
 	maxElems int
+	workers  int
 }
 
 // NewStreamReader returns a StreamReader over r.
@@ -235,6 +243,16 @@ func (sr *StreamReader) Reset(r io.Reader) {
 func (sr *StreamReader) SetLimits(maxFrameBytes, maxElements int) {
 	sr.maxFrame = maxFrameBytes
 	sr.maxElems = maxElements
+}
+
+// SetWorkers bounds the parallelism each frame is decoded with, following
+// Options.Workers semantics (0/1 sequential, > 1 sharded over the host
+// pool, negative = all cores). Frames are still delivered strictly in
+// stream order; only the blocks inside one frame decode in parallel, so
+// the decoded values are identical at any setting. The setting survives
+// Reset.
+func (sr *StreamReader) SetWorkers(n int) {
+	sr.workers = n
 }
 
 // next reads one frame payload into the internal buffer.
@@ -291,7 +309,7 @@ func (sr *StreamReader) Next() ([]float32, error) {
 	if err != nil {
 		return nil, err
 	}
-	sr.out, err = Decompress(sr.out[:0], payload)
+	sr.out, _, err = core.Decompress(sr.out[:0], payload, sr.workers)
 	if err != nil {
 		return nil, err
 	}
@@ -310,7 +328,8 @@ func (sr *StreamReader) NextInto(dst []float32) ([]float32, error) {
 	if err != nil {
 		return dst, err
 	}
-	return Decompress(dst, payload)
+	out, _, err := core.Decompress(dst, payload, sr.workers)
+	return out, err
 }
 
 // Next64 decodes the next float64 chunk.
@@ -320,7 +339,8 @@ func (sr *StreamReader) Next64() ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Decompress64(nil, payload)
+	out, _, err := core.Decompress64(nil, payload, sr.workers)
+	return out, err
 }
 
 // Next64Into decodes the next float64 chunk appending to dst (which may be
@@ -332,7 +352,8 @@ func (sr *StreamReader) Next64Into(dst []float64) ([]float64, error) {
 	if err != nil {
 		return dst, err
 	}
-	return Decompress64(dst, payload)
+	out, _, err := core.Decompress64(dst, payload, sr.workers)
+	return out, err
 }
 
 // Skip advances past the next frame without decoding it, returning its

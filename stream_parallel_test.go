@@ -1,0 +1,140 @@
+package ceresz
+
+import (
+	"bytes"
+	"math"
+	"runtime"
+	"testing"
+)
+
+// streamWorkerCounts sweeps sequential, minimal sharding, the host's core
+// count and a count above it — shard counts are decoupled from pool
+// concurrency, so the stitch path runs at every one of these.
+func streamWorkerCounts() []int {
+	return []int{0, 1, 2, runtime.GOMAXPROCS(0), 2*runtime.GOMAXPROCS(0) + 3}
+}
+
+// TestStreamParallelByteIdentity writes the same chunk sequence — uneven
+// chunk sizes so frames end mid-block — at every worker count and checks
+// the framed streams are byte-identical; a parallel reader must then
+// reproduce the sequential reader's values bit for bit at every count.
+func TestStreamParallelByteIdentity(t *testing.T) {
+	var chunks [][]float32
+	for c, n := range []int{1000, 33, 1, 4097, 640} {
+		chunks = append(chunks, testField(n, int64(c)))
+	}
+
+	var want bytes.Buffer
+	sw := NewStreamWriter(&want, ABS(1e-3), Options{Workers: 1})
+	for _, chunk := range chunks {
+		if _, err := sw.WriteChunk(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, w := range streamWorkerCounts() {
+		var got bytes.Buffer
+		pw := NewStreamWriter(&got, ABS(1e-3), Options{Workers: w})
+		for c, chunk := range chunks {
+			if _, err := pw.WriteChunk(chunk); err != nil {
+				t.Fatalf("workers=%d chunk %d: %v", w, c, err)
+			}
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatalf("workers=%d: framed stream differs from sequential (%d vs %d bytes)",
+				w, got.Len(), want.Len())
+		}
+	}
+
+	ref := NewStreamReader(bytes.NewReader(want.Bytes()))
+	var refChunks [][]float32
+	for range chunks {
+		chunk, err := ref.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		refChunks = append(refChunks, chunk)
+	}
+	for _, w := range streamWorkerCounts() {
+		sr := NewStreamReader(bytes.NewReader(want.Bytes()))
+		sr.SetWorkers(w)
+		var out []float32
+		for c, wantChunk := range refChunks {
+			var err error
+			out, err = sr.NextInto(out[:0])
+			if err != nil {
+				t.Fatalf("workers=%d chunk %d: %v", w, c, err)
+			}
+			if len(out) != len(wantChunk) {
+				t.Fatalf("workers=%d chunk %d: %d elements, want %d", w, c, len(out), len(wantChunk))
+			}
+			for i := range wantChunk {
+				if math.Float32bits(out[i]) != math.Float32bits(wantChunk[i]) {
+					t.Fatalf("workers=%d chunk %d elem %d: bit mismatch", w, c, i)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamParallel64 covers the float64 framed path: parallel writes are
+// byte-identical and a parallel Next64Into matches the sequential decode.
+func TestStreamParallel64(t *testing.T) {
+	data := make([]float64, 5000)
+	for i := range data {
+		data[i] = math.Sin(float64(i)*0.001) * 100
+	}
+	write := func(workers int) []byte {
+		var buf bytes.Buffer
+		sw := NewStreamWriter(&buf, ABS(1e-7), Options{Workers: workers})
+		for start := 0; start < len(data); start += 777 {
+			end := start + 777
+			if end > len(data) {
+				end = len(data)
+			}
+			if _, err := sw.WriteChunk64(data[start:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.Bytes()
+	}
+	want := write(1)
+	for _, w := range streamWorkerCounts() {
+		if got := write(w); !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d: float64 framed stream differs from sequential", w)
+		}
+	}
+	seq := NewStreamReader(bytes.NewReader(want))
+	var refAll []float64
+	for {
+		chunk, err := seq.Next64()
+		if err != nil {
+			break
+		}
+		refAll = append(refAll, chunk...)
+	}
+	if len(refAll) != len(data) {
+		t.Fatalf("sequential decode returned %d elements, want %d", len(refAll), len(data))
+	}
+	for _, w := range streamWorkerCounts() {
+		sr := NewStreamReader(bytes.NewReader(want))
+		sr.SetWorkers(w)
+		var got, out []float64
+		for {
+			var err error
+			out, err = sr.Next64Into(out[:0])
+			if err != nil {
+				break
+			}
+			got = append(got, out...)
+		}
+		if len(got) != len(refAll) {
+			t.Fatalf("workers=%d: decoded %d elements, want %d", w, len(got), len(refAll))
+		}
+		for i := range refAll {
+			if math.Float64bits(got[i]) != math.Float64bits(refAll[i]) {
+				t.Fatalf("workers=%d elem %d: bit mismatch", w, i)
+			}
+		}
+	}
+}
