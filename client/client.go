@@ -59,6 +59,11 @@ type Config struct {
 	// ChunkElems asks the server to frame compress responses every N
 	// elements (0 = server default).
 	ChunkElems int
+	// MaxIdleConnsPerHost sizes the default transport's connection pool
+	// (0 = 64). Keep it at or above the caller's concurrency so every
+	// in-flight request reuses a warm connection instead of re-dialing.
+	// Ignored when HTTPClient is set.
+	MaxIdleConnsPerHost int
 }
 
 // Client talks to one cereszd instance.
@@ -70,10 +75,30 @@ type Client struct {
 	rng *rand.Rand
 }
 
+// defaultHTTPClient builds the package's transport: DefaultTransport's
+// dialer, proxy and TLS behavior, but with a connection pool sized for
+// many concurrent requests against one host. http.DefaultTransport keeps
+// only 2 idle connections per host, so a k-way load generator would
+// re-dial (and re-handshake) on almost every request beyond k=2; the
+// explicit idle timeout keeps pooled connections from outliving the
+// server's own keep-alive window.
+func defaultHTTPClient(maxIdlePerHost int) *http.Client {
+	if maxIdlePerHost <= 0 {
+		maxIdlePerHost = 64
+	}
+	t := http.DefaultTransport.(*http.Transport).Clone()
+	t.MaxIdleConnsPerHost = maxIdlePerHost
+	if t.MaxIdleConns < maxIdlePerHost {
+		t.MaxIdleConns = maxIdlePerHost
+	}
+	t.IdleConnTimeout = 90 * time.Second
+	return &http.Client{Transport: t}
+}
+
 // New returns a Client for cfg.BaseURL.
 func New(cfg Config) *Client {
 	if cfg.HTTPClient == nil {
-		cfg.HTTPClient = http.DefaultClient
+		cfg.HTTPClient = defaultHTTPClient(cfg.MaxIdleConnsPerHost)
 	}
 	if cfg.MaxRetries == 0 {
 		cfg.MaxRetries = 4

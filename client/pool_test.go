@@ -1,0 +1,84 @@
+package client
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// newCountingServer returns a stub server that counts accepted TCP
+// connections: every request that cannot reuse a pooled connection
+// shows up as a fresh dial here.
+func newCountingServer(conns *atomic.Int64) *httptest.Server {
+	ts := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte{1, 2, 3, 4})
+	}))
+	ts.Config.ConnState = func(c net.Conn, s http.ConnState) {
+		if s == http.StateNew {
+			conns.Add(1)
+		}
+	}
+	ts.Start()
+	return ts
+}
+
+// TestConnectionReuse pins the default transport's pooling: a burst of
+// concurrent calls followed by more rounds of the same traffic must
+// reuse the connections the first burst opened, not re-dial per
+// request. (The stock http.DefaultTransport keeps only 2 idle
+// connections per host, which made every load-generator worker beyond
+// the second re-dial — and re-handshake — on almost every request.)
+func TestConnectionReuse(t *testing.T) {
+	var conns atomic.Int64
+	ts := newCountingServer(&conns)
+	defer ts.Close()
+
+	const workers = 8
+	const rounds = 4
+	c := New(Config{BaseURL: ts.URL, MaxRetries: -1, MaxIdleConnsPerHost: workers})
+
+	ctx := context.Background()
+	for r := 0; r < rounds; r++ {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, err := c.Compress(ctx, []float32{1, 2, 3}, ABS(1e-3)); err != nil {
+					t.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	total := int64(workers * rounds)
+	if got := conns.Load(); got > workers+2 {
+		t.Errorf("server accepted %d connections for %d requests from %d workers; pool is not reusing connections",
+			got, total, workers)
+	}
+}
+
+// TestSequentialReusesOneConnection: back-to-back calls on one goroutine
+// must ride a single pooled connection.
+func TestSequentialReusesOneConnection(t *testing.T) {
+	var conns atomic.Int64
+	ts := newCountingServer(&conns)
+	defer ts.Close()
+
+	c := New(Config{BaseURL: ts.URL, MaxRetries: -1})
+	ctx := context.Background()
+	for i := 0; i < 16; i++ {
+		if _, err := c.Compress(ctx, []float32{1, 2, 3}, ABS(1e-3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := conns.Load(); got > 2 {
+		t.Errorf("sequential requests opened %d connections, want 1 (pool reuse)", got)
+	}
+}

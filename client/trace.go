@@ -19,13 +19,14 @@ import (
 // ServerTiming is the server's per-stage breakdown of one request,
 // parsed from the Server-Timing response trailer. Stages follow the
 // request lifecycle: admission wait, codec-worker wait, body read,
-// codec compute, response write. Total is the server's own wall time
-// for the request; the gap between a client-measured latency and Total
-// is network plus client overhead.
+// chunk-cache lookup, codec compute, response write. Total is the
+// server's own wall time for the request; the gap between a
+// client-measured latency and Total is network plus client overhead.
 type ServerTiming struct {
 	Admit  time.Duration
 	Worker time.Duration
 	Read   time.Duration
+	Cache  time.Duration
 	Codec  time.Duration
 	Write  time.Duration
 	Total  time.Duration
@@ -37,7 +38,7 @@ type ServerTiming struct {
 // Stages returns the sum of the individual stage durations (excluding
 // Total, which also covers unattributed handler time).
 func (st ServerTiming) Stages() time.Duration {
-	return st.Admit + st.Worker + st.Read + st.Codec + st.Write
+	return st.Admit + st.Worker + st.Read + st.Cache + st.Codec + st.Write
 }
 
 // parseServerTiming parses a Server-Timing header value of the form
@@ -74,6 +75,8 @@ func parseServerTiming(h string) ServerTiming {
 			st.Worker, st.Valid = d, true
 		case "read":
 			st.Read, st.Valid = d, true
+		case "cache":
+			st.Cache, st.Valid = d, true
 		case "codec":
 			st.Codec, st.Valid = d, true
 		case "write":

@@ -13,20 +13,21 @@ import (
 )
 
 func TestParseServerTiming(t *testing.T) {
-	st := parseServerTiming("admit;dur=0.010, worker;dur=0.200, read;dur=1.500, codec;dur=40.000, write;dur=2.250, total;dur=44.100")
+	st := parseServerTiming("admit;dur=0.010, worker;dur=0.200, read;dur=1.500, cache;dur=0.050, codec;dur=40.000, write;dur=2.250, total;dur=44.100")
 	if !st.Valid {
 		t.Fatal("valid header not recognized")
 	}
 	want := ServerTiming{
 		Admit: 10 * time.Microsecond, Worker: 200 * time.Microsecond,
-		Read: 1500 * time.Microsecond, Codec: 40 * time.Millisecond,
+		Read: 1500 * time.Microsecond, Cache: 50 * time.Microsecond,
+		Codec: 40 * time.Millisecond,
 		Write: 2250 * time.Microsecond, Total: 44100 * time.Microsecond,
 		Valid: true,
 	}
 	if st != want {
 		t.Fatalf("parsed %+v, want %+v", st, want)
 	}
-	if st.Stages() != st.Admit+st.Worker+st.Read+st.Codec+st.Write {
+	if st.Stages() != st.Admit+st.Worker+st.Read+st.Cache+st.Codec+st.Write {
 		t.Fatal("Stages() does not sum the stage fields")
 	}
 

@@ -8,7 +8,10 @@
 //	                     (?mode=abs|rel&eps=&elem=f32|f64&chunk=N&block=N)
 //	POST /v1/decompress  CSZF framed stream -> raw floats (?elem=f32|f64)
 //	POST /v1/bundle      multi-field payload -> CSZB bundle (?field= extracts)
-//	GET  /healthz        200 while serving, 503 while draining
+//	GET  /healthz        readiness (alias of /healthz/ready)
+//	GET  /healthz/live   liveness: 200 while the process is up
+//	GET  /healthz/ready  readiness: 503 before the listener accepts and
+//	                     while draining, 200 otherwise
 //	GET  /debug/metrics  Prometheus text metrics (also /debug/pprof/*,
 //	                     /debug/vars, /debug/telemetry)
 //
@@ -32,6 +35,9 @@
 //	-max-chunk-elems N     per-chunk / per-frame / per-field element cap
 //	-max-frame-bytes N     compressed frame cap on the decode path
 //	-retry-after DUR       hint sent with 429/503 responses
+//	-cache-bytes BYTES     content-addressed chunk-cache budget: repeated
+//	                       chunks are served from memory instead of
+//	                       re-running the codec (0 = caching off)
 //	-drain-timeout DUR     shutdown grace for in-flight requests
 //	-trace-sample N        trace 1-in-N requests into the span rings and
 //	                       /debug/trace (0 = tracing off; IDs, RED metrics
@@ -55,6 +61,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -76,6 +83,7 @@ func main() {
 	maxChunkElems := flag.Int("max-chunk-elems", 0, "chunk/frame/field element cap (0 = 4Mi)")
 	maxFrameBytes := flag.Int("max-frame-bytes", 0, "compressed frame byte cap (0 = 64MiB)")
 	retryAfter := flag.Duration("retry-after", 0, "Retry-After hint for 429/503 (0 = 1s)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "content-addressed chunk-cache memory budget in bytes (0 = caching off)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown grace for in-flight requests")
 	traceSample := flag.Int("trace-sample", 0, "trace 1-in-N requests into the span rings (0 = off)")
 	traceRing := flag.Int("trace-ring", 0, "recent-request ring capacity (0 = 256)")
@@ -109,6 +117,7 @@ func main() {
 		MaxFrameBytes:  *maxFrameBytes,
 		ChunkElems:     *chunk,
 		RetryAfter:     *retryAfter,
+		CacheBytes:     *cacheBytes,
 		BlockLen:       *block,
 		Registry:       reg,
 		TraceEvery:     *traceSample,
@@ -130,9 +139,19 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// Listen before flipping readiness: /healthz/ready answers 503 until
+	// the socket actually accepts, so a poller that sees 200 can send
+	// traffic immediately instead of sleeping an arbitrary grace period.
+	srv.SetReady(false)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cereszd:", err)
+		os.Exit(1)
+	}
 	errc := make(chan error, 1)
-	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "cereszd listening on %s\n", *addr)
+	go func() { errc <- hs.Serve(ln) }()
+	srv.SetReady(true)
+	fmt.Fprintf(os.Stderr, "cereszd listening on %s\n", ln.Addr())
 
 	select {
 	case err := <-errc:

@@ -2,12 +2,18 @@
 // throughput and latency. It sweeps client concurrency from 1 to NumCPU
 // (powers of two plus NumCPU itself), fires -requests compress round-trips
 // per client, and writes BENCH_serve.json with throughput (GB/s of raw
-// input), exact p50/p95/p99 latency percentiles, attempt/error/429 counts
+// input), rank-interpolated p50/p95/p99 latency percentiles (points with
+// under 100 samples are flagged small_sample), attempt/error/429 counts
 // and a client-vs-server latency attribution per client count: the
 // server's per-stage timings (admission wait, worker wait, body read,
-// codec, response write) arrive in each response's Server-Timing trailer,
-// so the report splits measured latency into server stages versus
-// network-plus-client overhead.
+// chunk-cache lookup, codec, response write) arrive in each response's
+// Server-Timing trailer, so the report splits measured latency into
+// server stages versus network-plus-client overhead.
+//
+// -repeat-ratio shapes the traffic for chunk-cache benchmarking: that
+// fraction of requests resends a payload shared across all clients
+// (warm traffic a caching server can answer from memory), the rest
+// carry never-seen chunks. With -repeat-ratio 0 every request is unique.
 //
 // With -smoke it instead performs one quick correctness round-trip and
 // exits non-zero on any mismatch: the server's compressed stream must be
@@ -31,6 +37,10 @@
 //	               server points land in one report
 //	-trace FILE    fetch /debug/trace after the sweep and write the Chrome
 //	               trace-event JSON there (open in ui.perfetto.dev)
+//	-repeat-ratio F  fraction of requests resending an already-seen
+//	               payload (0..1, default 0); label lands in each point
+//	-wait DUR      poll the server's readiness up to DUR before starting
+//	               instead of failing on the first probe
 //	-smoke         run the correctness round-trip instead of the sweep
 package main
 
@@ -47,6 +57,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ceresz"
@@ -78,6 +89,16 @@ type sweepPoint struct {
 	P50us          int64   `json:"p50_us"`
 	P95us          int64   `json:"p95_us"`
 	P99us          int64   `json:"p99_us"`
+	// Samples is the number of measured requests behind the percentiles;
+	// SmallSample flags points whose tail percentiles were interpolated
+	// from fewer than 100 samples (p99 is then an estimate between
+	// observed requests, not an observed request).
+	Samples     int  `json:"samples"`
+	SmallSample bool `json:"small_sample,omitempty"`
+	// RepeatRatio is the fraction of requests that resent an
+	// already-seen payload (cache-warm traffic); 0 = every request
+	// carried chunks the server had never seen.
+	RepeatRatio float64 `json:"repeat_ratio,omitempty"`
 	// Attempts counts HTTP requests sent including retries; Errors and
 	// Rejected429 count failed and backpressured attempts among them.
 	Attempts    int `json:"attempts"`
@@ -99,6 +120,7 @@ type stageAttr struct {
 	AdmitUS    int64 `json:"admit_us"`
 	WorkerUS   int64 `json:"worker_us"`
 	ReadUS     int64 `json:"read_us"`
+	CacheUS    int64 `json:"cache_us"`
 	CodecUS    int64 `json:"codec_us"`
 	WriteUS    int64 `json:"write_us"`
 	ServerUS   int64 `json:"server_total_us"`
@@ -115,20 +137,30 @@ type benchReport struct {
 	Points     []sweepPoint `json:"points"`
 }
 
-// percentile returns the exact p-th percentile of sorted samples
-// (nearest-rank; no interpolation, so reported values are real requests).
+// percentile returns the p-th percentile of sorted samples by linear
+// rank interpolation (the R-7 definition: rank p/100*(n-1), fractional
+// part split between the two neighboring samples). Nearest-rank made
+// every tail percentile collapse onto the max at small n — with the
+// default 8 requests per client, p99 == p95 == the single slowest
+// request. Interpolation keeps p50/p95/p99 distinct and monotone;
+// points with under 100 samples are flagged in the report, since their
+// p99 is an interpolation rather than an observed request.
 func percentile(sorted []time.Duration, p float64) int64 {
-	if len(sorted) == 0 {
+	n := len(sorted)
+	if n == 0 {
 		return 0
 	}
-	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
-	if idx < 0 {
-		idx = 0
+	if n == 1 {
+		return sorted[0].Microseconds()
 	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
+	rank := p / 100 * float64(n-1)
+	lo := int(rank)
+	if lo >= n-1 {
+		return sorted[n-1].Microseconds()
 	}
-	return sorted[idx].Microseconds()
+	frac := rank - float64(lo)
+	v := float64(sorted[lo]) + frac*float64(sorted[lo+1]-sorted[lo])
+	return time.Duration(v).Microseconds()
 }
 
 func main() {
@@ -142,20 +174,52 @@ func main() {
 	smoke := flag.Bool("smoke", false, "run the correctness round-trip instead of the sweep")
 	hostWorkers := flag.Int("hostworkers", 0, "label sweep points with the driven server's -hostworkers setting")
 	appendOut := flag.Bool("append", false, "merge points into an existing -out file instead of overwriting")
+	repeatRatio := flag.Float64("repeat-ratio", 0, "fraction of requests resending an already-seen payload (cache-warm traffic, 0..1)")
+	wait := flag.Duration("wait", 0, "poll the server's readiness up to this long before starting (0 = single probe)")
 	flag.Parse()
 
+	if *repeatRatio < 0 || *repeatRatio > 1 {
+		fmt.Fprintln(os.Stderr, "cereszload: -repeat-ratio must be in [0,1]")
+		os.Exit(1)
+	}
 	ctx := context.Background()
 	if *smoke {
-		if err := runSmoke(ctx, *addr, *chunk, *eps); err != nil {
+		if err := runSmoke(ctx, *addr, *chunk, *eps, *wait); err != nil {
 			fmt.Fprintln(os.Stderr, "cereszload: smoke FAILED:", err)
 			os.Exit(1)
 		}
 		fmt.Println("cereszload: smoke OK")
 		return
 	}
-	if err := runSweep(ctx, *addr, *elems, *requests, *chunk, *eps, *out, *traceOut, *hostWorkers, *appendOut); err != nil {
+	if err := runSweep(ctx, *addr, *elems, *requests, *chunk, *eps, *out, *traceOut, *hostWorkers, *appendOut, *repeatRatio, *wait); err != nil {
 		fmt.Fprintln(os.Stderr, "cereszload:", err)
 		os.Exit(1)
+	}
+}
+
+// waitReady polls the server's readiness endpoint (/healthz, the
+// readiness alias) until it answers 200 or the window closes. A zero
+// window preserves the old single-probe behavior. This replaces
+// arbitrary sleeps in scripts: the daemon reports ready only once its
+// listener is actually accepting.
+func waitReady(ctx context.Context, c *client.Client, window time.Duration) error {
+	if window <= 0 {
+		return c.Health(ctx)
+	}
+	deadline := time.Now().Add(window)
+	for {
+		err := c.Health(ctx)
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server not ready after %v: %w", window, err)
+		}
+		select {
+		case <-time.After(100 * time.Millisecond):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
 }
 
@@ -186,9 +250,9 @@ func fetchTrace(ctx context.Context, addr, path string) error {
 
 // runSmoke is the CI gate: one compress + one decompress against a live
 // server, checked for exactness against the library.
-func runSmoke(ctx context.Context, addr string, chunk int, eps float64) error {
+func runSmoke(ctx context.Context, addr string, chunk int, eps float64, wait time.Duration) error {
 	c := client.New(client.Config{BaseURL: addr, ChunkElems: chunk})
-	if err := c.Health(ctx); err != nil {
+	if err := waitReady(ctx, c, wait); err != nil {
 		return fmt.Errorf("health: %w", err)
 	}
 	const n = 200_000 // several frames plus a partial trailing chunk
@@ -260,9 +324,9 @@ func runSmoke(ctx context.Context, addr string, chunk int, eps float64) error {
 
 	fmt.Printf("round-trip: %d elements, %d compressed bytes (ratio %.2fx), bound %g held\n",
 		n, len(comp), float64(4*n)/float64(len(comp)), eps)
-	fmt.Printf("request %s server stages: admit=%v worker=%v read=%v codec=%v write=%v total=%v\n",
+	fmt.Printf("request %s server stages: admit=%v worker=%v read=%v cache=%v codec=%v write=%v total=%v\n",
 		tr.RequestID, tr.Server.Admit, tr.Server.Worker, tr.Server.Read,
-		tr.Server.Codec, tr.Server.Write, tr.Server.Total)
+		tr.Server.Cache, tr.Server.Codec, tr.Server.Write, tr.Server.Total)
 	return nil
 }
 
@@ -276,9 +340,12 @@ func sweepCounts() []int {
 	return append(counts, ncpu)
 }
 
-func runSweep(ctx context.Context, addr string, elems, requests, chunk int, eps float64, out, traceOut string, hostWorkers int, appendOut bool) error {
-	c := client.New(client.Config{BaseURL: addr, ChunkElems: chunk})
-	if err := c.Health(ctx); err != nil {
+func runSweep(ctx context.Context, addr string, elems, requests, chunk int, eps float64, out, traceOut string, hostWorkers int, appendOut bool, repeatRatio float64, wait time.Duration) error {
+	// Size the connection pool to the widest sweep point so every client
+	// goroutine keeps a warm connection.
+	maxClients := sweepCounts()[len(sweepCounts())-1]
+	c := client.New(client.Config{BaseURL: addr, ChunkElems: chunk, MaxIdleConnsPerHost: maxClients})
+	if err := waitReady(ctx, c, wait); err != nil {
 		return fmt.Errorf("health: %w", err)
 	}
 	report := benchReport{Addr: addr, Elems: elems, ChunkElems: chunk, Eps: eps, NumCPU: runtime.NumCPU()}
@@ -286,7 +353,7 @@ func runSweep(ctx context.Context, addr string, elems, requests, chunk int, eps 
 	fmt.Printf("%8s %9s %12s %10s %10s %10s %9s %7s %5s\n",
 		"clients", "requests", "GB/s", "p50", "p95", "p99", "attempts", "errors", "429s")
 	for _, k := range sweepCounts() {
-		pt, err := runPoint(ctx, c, k, elems, requests, eps)
+		pt, err := runPoint(ctx, c, k, elems, requests, chunk, eps, repeatRatio)
 		if err != nil {
 			return fmt.Errorf("%d clients: %w", k, err)
 		}
@@ -301,17 +368,17 @@ func runSweep(ctx context.Context, addr string, elems, requests, chunk int, eps 
 	// Server stages come from Server-Timing trailers; "net+client" is the
 	// measured mean minus the server's own total.
 	fmt.Printf("\nlatency attribution (mean per request):\n")
-	fmt.Printf("%8s %10s %10s %9s %9s %9s %9s %9s %11s\n",
-		"clients", "measured", "server", "admit", "worker", "read", "codec", "write", "net+client")
+	fmt.Printf("%8s %10s %10s %9s %9s %9s %9s %9s %9s %11s\n",
+		"clients", "measured", "server", "admit", "worker", "read", "cache", "codec", "write", "net+client")
 	for _, pt := range report.Points {
 		a := pt.Stages
 		if a == nil || a.Samples == 0 {
 			fmt.Printf("%8d %10s (no Server-Timing trailers observed)\n", pt.Clients, "-")
 			continue
 		}
-		fmt.Printf("%8d %8dus %8dus %7dus %7dus %7dus %7dus %7dus %9dus\n",
+		fmt.Printf("%8d %8dus %8dus %7dus %7dus %7dus %7dus %7dus %7dus %9dus\n",
 			pt.Clients, a.ClientUS, a.ServerUS, a.AdmitUS, a.WorkerUS,
-			a.ReadUS, a.CodecUS, a.WriteUS, a.OverheadUS)
+			a.ReadUS, a.CacheUS, a.CodecUS, a.WriteUS, a.OverheadUS)
 	}
 
 	if traceOut != "" {
@@ -350,10 +417,31 @@ func runSweep(ctx context.Context, addr string, elems, requests, chunk int, eps 
 	return nil
 }
 
+// uniqueStamp hands out distinct chunk markers across all workers of a
+// sweep so "unique" requests never collide with each other or with the
+// shared repeat payload.
+var uniqueStamp atomic.Int64
+
+// stampUnique overwrites the first element of every chunk-sized window
+// with a globally unique value well outside the synthetic wave's range,
+// so no chunk of this payload matches any chunk the server has seen.
+// Restamping the same buffer for the next unique request needs no
+// re-clone: the stamp positions are simply overwritten again.
+func stampUnique(data []float32, chunk int) {
+	stamp := float32(1000 + uniqueStamp.Add(1))
+	for off := 0; off < len(data); off += chunk {
+		data[off] = stamp
+	}
+}
+
 // runPoint fires requests from k concurrent clients and aggregates wall
 // time, volume, per-request latencies, attempt/error/429 counts and the
 // server-side stage timings carried back in Server-Timing trailers.
-func runPoint(ctx context.Context, c *client.Client, k, elems, requests int, eps float64) (sweepPoint, error) {
+// repeatRatio ∈ [0,1] sets the fraction of requests that resend a
+// payload shared by all workers (evenly interleaved with unique-chunk
+// requests), so a chunk-caching server sees that fraction as warm
+// traffic; 0 keeps every request's chunks unseen.
+func runPoint(ctx context.Context, c *client.Client, k, elems, requests, chunk int, eps, repeatRatio float64) (sweepPoint, error) {
 	type result struct {
 		lat      []time.Duration
 		comp     int64
@@ -361,21 +449,33 @@ func runPoint(ctx context.Context, c *client.Client, k, elems, requests int, eps
 		errors   int
 		rej429   int
 		// server stage sums over timed requests: admit, worker, read,
-		// codec, write, total.
-		stages [6]time.Duration
+		// cache, codec, write, total.
+		stages [7]time.Duration
 		timed  int
 		err    error
 	}
 	results := make([]result, k)
+	// The repeat payload is shared (read-only) by every worker: repeats
+	// should hit the server's cache no matter which client sent the
+	// chunks first.
+	shared := synthData(elems, 1)
 	var wg sync.WaitGroup
 	t0 := time.Now()
 	for w := 0; w < k; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			data := synthData(elems, int64(w))
+			mine := synthData(elems, int64(w))
 			r := &results[w]
 			for i := 0; i < requests; i++ {
+				// Evenly interleave repeats among uniques: request i is a
+				// repeat when the running integral of the ratio steps.
+				repeat := int(float64(i+1)*repeatRatio) > int(float64(i)*repeatRatio)
+				data := shared
+				if !repeat {
+					stampUnique(mine, chunk)
+					data = mine
+				}
 				rt0 := time.Now()
 				comp, tr, err := c.CompressTraced(ctx, data, client.ABS(eps))
 				r.attempts += tr.Attempts
@@ -391,9 +491,10 @@ func runPoint(ctx context.Context, c *client.Client, k, elems, requests int, eps
 					r.stages[0] += st.Admit
 					r.stages[1] += st.Worker
 					r.stages[2] += st.Read
-					r.stages[3] += st.Codec
-					r.stages[4] += st.Write
-					r.stages[5] += st.Total
+					r.stages[3] += st.Cache
+					r.stages[4] += st.Codec
+					r.stages[5] += st.Write
+					r.stages[6] += st.Total
 					r.timed++
 				}
 			}
@@ -405,7 +506,7 @@ func runPoint(ctx context.Context, c *client.Client, k, elems, requests int, eps
 	var lats []time.Duration
 	var comp int64
 	var attempts, errors, rej429, timed int
-	var stages [6]time.Duration
+	var stages [7]time.Duration
 	var latSum time.Duration
 	for _, r := range results {
 		if r.err != nil {
@@ -436,6 +537,9 @@ func runPoint(ctx context.Context, c *client.Client, k, elems, requests int, eps
 		P50us:          percentile(lats, 50),
 		P95us:          percentile(lats, 95),
 		P99us:          percentile(lats, 99),
+		Samples:        len(lats),
+		SmallSample:    len(lats) < 100,
+		RepeatRatio:    repeatRatio,
 		Attempts:       attempts,
 		Errors:         errors,
 		Rejected429:    rej429,
@@ -447,9 +551,10 @@ func runPoint(ctx context.Context, c *client.Client, k, elems, requests int, eps
 			AdmitUS:  mean(stages[0]),
 			WorkerUS: mean(stages[1]),
 			ReadUS:   mean(stages[2]),
-			CodecUS:  mean(stages[3]),
-			WriteUS:  mean(stages[4]),
-			ServerUS: mean(stages[5]),
+			CacheUS:  mean(stages[3]),
+			CodecUS:  mean(stages[4]),
+			WriteUS:  mean(stages[5]),
+			ServerUS: mean(stages[6]),
 		}
 		if len(lats) > 0 {
 			a.ClientUS = latSum.Microseconds() / int64(len(lats))

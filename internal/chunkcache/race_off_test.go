@@ -1,0 +1,5 @@
+//go:build !race
+
+package chunkcache
+
+const raceEnabled = false

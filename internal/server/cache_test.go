@@ -1,0 +1,457 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"ceresz"
+	"ceresz/internal/telemetry"
+)
+
+// postRec drives one request through the server's full handler chain
+// without a network, returning the response recorder.
+func postRec(t *testing.T, h http.Handler, url string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	return rr
+}
+
+// TestCacheHitByteIdentity is the tentpole's core guarantee: a warm-cache
+// response must be byte-identical to the cold one — which is itself
+// byte-identical to the library — for both directions, in both bound
+// modes, and the X-Ceresz-Eps header must survive being served from
+// entry metadata instead of live codec stats.
+func TestCacheHitByteIdentity(t *testing.T) {
+	const chunkElems = 512
+	reg := telemetry.NewRegistry()
+	s, _ := newTestServer(t, Config{Workers: 2, ChunkElems: chunkElems, CacheBytes: 8 << 20, Registry: reg})
+	h := s.Handler()
+
+	data := testData(1800, 7) // partial trailing chunk
+	raw := rawBytes(data)
+
+	for _, mode := range []string{"abs", "rel"} {
+		url := "/v1/compress?eps=1e-3&mode=" + mode
+		libBound := ceresz.ABS(1e-3)
+		if mode == "rel" {
+			libBound = ceresz.REL(1e-3)
+		}
+		want := localFrames(t, data, libBound, chunkElems)
+
+		cold := postRec(t, h, url, raw)
+		if cold.Code != http.StatusOK {
+			t.Fatalf("[%s] cold status %d: %s", mode, cold.Code, cold.Body.String())
+		}
+		if !bytes.Equal(cold.Body.Bytes(), want) {
+			t.Fatalf("[%s] cold response differs from library stream", mode)
+		}
+		warm := postRec(t, h, url, raw)
+		if warm.Code != http.StatusOK {
+			t.Fatalf("[%s] warm status %d: %s", mode, warm.Code, warm.Body.String())
+		}
+		if !bytes.Equal(warm.Body.Bytes(), cold.Body.Bytes()) {
+			t.Fatalf("[%s] warm-cache response differs from cold", mode)
+		}
+		coldEps := cold.Header().Get("X-Ceresz-Eps")
+		warmEps := warm.Header().Get("X-Ceresz-Eps")
+		if coldEps == "" || coldEps != warmEps {
+			t.Fatalf("[%s] X-Ceresz-Eps drifted on hit: cold %q, warm %q", mode, coldEps, warmEps)
+		}
+
+		// Decompress both ways: warm must byte-match cold.
+		dcold := postRec(t, h, "/v1/decompress", cold.Body.Bytes())
+		dwarm := postRec(t, h, "/v1/decompress", cold.Body.Bytes())
+		if dcold.Code != http.StatusOK || dwarm.Code != http.StatusOK {
+			t.Fatalf("[%s] decompress status %d/%d", mode, dcold.Code, dwarm.Code)
+		}
+		if !bytes.Equal(dcold.Body.Bytes(), dwarm.Body.Bytes()) {
+			t.Fatalf("[%s] warm decompress differs from cold", mode)
+		}
+	}
+
+	if hits := reg.Counter("cache.hits").Value(); hits == 0 {
+		t.Errorf("cache.hits = 0 after warm requests")
+	}
+	if saved := reg.Counter("cache.bytes_saved").Value(); saved <= 0 {
+		t.Errorf("cache.bytes_saved = %d, want > 0", saved)
+	}
+}
+
+// TestCacheWorkerCountIdentity: cached frames were produced under some
+// worker split; hits served to requests running at a different worker
+// budget must still be byte-identical (the cache key excludes Workers on
+// the strength of the host codec's differential guarantee).
+func TestCacheWorkerCountIdentity(t *testing.T) {
+	const chunkElems = 256
+	data := testData(2000, 11)
+	raw := rawBytes(data)
+	want := localFrames(t, data, ceresz.ABS(1e-3), chunkElems)
+
+	for _, hostWorkers := range []int{1, 4} {
+		s, _ := newTestServer(t, Config{
+			Workers: 2, HostWorkers: hostWorkers, ChunkElems: chunkElems, CacheBytes: 8 << 20,
+		})
+		h := s.Handler()
+		for round := 0; round < 3; round++ {
+			rr := postRec(t, h, "/v1/compress?eps=1e-3", raw)
+			if rr.Code != http.StatusOK {
+				t.Fatalf("hostworkers=%d round %d: status %d", hostWorkers, round, rr.Code)
+			}
+			if !bytes.Equal(rr.Body.Bytes(), want) {
+				t.Fatalf("hostworkers=%d round %d: response differs from Workers:1 library stream", hostWorkers, round)
+			}
+		}
+	}
+}
+
+// TestCacheCoalescingStorm: concurrent identical requests must trigger
+// exactly one compression per unique chunk — cache.misses counts codec
+// runs, so with no eviction pressure it must equal the unique chunk count
+// while every response stays byte-identical.
+func TestCacheCoalescingStorm(t *testing.T) {
+	const chunkElems = 256
+	const clients = 8
+	reg := telemetry.NewRegistry()
+	_, ts := newTestServer(t, Config{
+		Workers: 4, QueueDepth: 2 * clients, ChunkElems: chunkElems,
+		CacheBytes: 32 << 20, Registry: reg,
+	})
+
+	data := testData(4*chunkElems, 23) // 4 unique chunks per request
+	raw := rawBytes(data)
+	want := localFrames(t, data, ceresz.ABS(1e-3), chunkElems)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for k := 0; k < clients; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/compress?eps=1e-3", "application/octet-stream", bytes.NewReader(raw))
+			if err != nil {
+				errs <- err
+				return
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d: %s", resp.StatusCode, body)
+				return
+			}
+			if !bytes.Equal(body, want) {
+				errs <- fmt.Errorf("storm response differs from library stream")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	const uniqueChunks = 4
+	misses := reg.Counter("cache.misses").Value()
+	if misses != uniqueChunks {
+		t.Errorf("cache.misses = %d, want %d (one compression per unique chunk)", misses, uniqueChunks)
+	}
+	served := reg.Counter("cache.hits").Value() + reg.Counter("cache.coalesced").Value()
+	if got, want := served, int64(clients*uniqueChunks-uniqueChunks); got != want {
+		t.Errorf("hits+coalesced = %d, want %d", got, want)
+	}
+}
+
+// TestCacheEvictionUnderServing: a cache far smaller than the working set
+// must keep serving correct bytes while evicting, and its gauge must
+// respect the budget.
+func TestCacheEvictionUnderServing(t *testing.T) {
+	const chunkElems = 512
+	// Small enough that only a couple of compressed frames fit per shard:
+	// 24 distinct chunks must force LRU churn.
+	const budget = 4 << 10
+	reg := telemetry.NewRegistry()
+	s, _ := newTestServer(t, Config{Workers: 1, ChunkElems: chunkElems, CacheBytes: budget, Registry: reg})
+	h := s.Handler()
+
+	for i := 0; i < 24; i++ {
+		data := testData(chunkElems, int64(100+i))
+		want := localFrames(t, data, ceresz.ABS(1e-3), chunkElems)
+		rr := postRec(t, h, "/v1/compress?eps=1e-3", rawBytes(data))
+		if rr.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, rr.Code)
+		}
+		if !bytes.Equal(rr.Body.Bytes(), want) {
+			t.Fatalf("request %d: response differs from library stream during eviction churn", i)
+		}
+	}
+	if ev := reg.Counter("cache.evictions").Value(); ev == 0 {
+		t.Errorf("cache.evictions = 0; budget %d should have forced churn", budget)
+	}
+	// The bytes gauge may lag one insert-then-evict cycle; allow one
+	// entry of slack per shard.
+	if got := reg.Gauge("cache.bytes").Value(); got > budget*2 {
+		t.Errorf("cache.bytes = %d, way over budget %d", got, budget)
+	}
+}
+
+// TestCacheErrorParity: malformed decompress bodies must fail with the
+// same status and error class whether or not the cache is enabled, on
+// first sight and again after the failed computation was aborted.
+func TestCacheErrorParity(t *testing.T) {
+	mk := func(cacheBytes int64) http.Handler {
+		s, _ := newTestServer(t, Config{Workers: 1, CacheBytes: cacheBytes})
+		return s.Handler()
+	}
+	plain, cached := mk(0), mk(8<<20)
+
+	// A single-frame stream so malformed input fails before any output is
+	// written (a later-frame error in a multi-frame body lands after the
+	// 200 status is already committed — on both paths alike).
+	good := localFrames(t, testData(600, 3), ceresz.ABS(1e-3), 1024)
+	truncated := good[:len(good)-5]
+	badMagic := append([]byte("XSZF"), good[4:]...)
+	corruptPayload := bytes.Clone(good)
+	corruptPayload[len(corruptPayload)-2] ^= 0xFF // inside the payload
+
+	cases := []struct {
+		name     string
+		body     []byte
+		mustFail bool // framing layer must reject it; payload corruption may decode
+	}{
+		{"truncated", truncated, true},
+		{"bad-magic", badMagic, true},
+		{"corrupt-payload", corruptPayload, false},
+	}
+	for _, tc := range cases {
+		p1 := postRec(t, plain, "/v1/decompress", tc.body)
+		c1 := postRec(t, cached, "/v1/decompress", tc.body)
+		c2 := postRec(t, cached, "/v1/decompress", tc.body) // after Abort: must not serve a cached failure
+		if p1.Code != c1.Code || c1.Code != c2.Code {
+			t.Errorf("%s: status diverged: plain %d, cached %d, cached-repeat %d", tc.name, p1.Code, c1.Code, c2.Code)
+		}
+		if tc.mustFail && p1.Code == http.StatusOK {
+			t.Errorf("%s: expected failure, got 200", tc.name)
+		}
+		if p1.Code == http.StatusOK {
+			// Whatever the codec makes of the bytes, plain, cached and
+			// cached-repeat must agree exactly.
+			if !bytes.Equal(p1.Body.Bytes(), c1.Body.Bytes()) || !bytes.Equal(c1.Body.Bytes(), c2.Body.Bytes()) {
+				t.Errorf("%s: bodies diverged between plain, cached and cached-repeat", tc.name)
+			}
+		}
+	}
+
+	// The cache must still work after aborted computations.
+	ok := postRec(t, cached, "/v1/decompress", good)
+	if ok.Code != http.StatusOK {
+		t.Errorf("good stream after aborts: status %d: %s", ok.Code, ok.Body.String())
+	}
+}
+
+// TestHealthzSplit covers the liveness/readiness probes: liveness stays
+// 200 through not-ready and draining; readiness (and its /healthz alias)
+// gates on both.
+func TestHealthzSplit(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(b)
+	}
+
+	for _, path := range []string{"/healthz", "/healthz/ready", "/healthz/live"} {
+		if code, body := get(path); code != http.StatusOK {
+			t.Errorf("%s while serving: %d %s", path, code, body)
+		}
+	}
+
+	s.SetReady(false)
+	if code, body := get("/healthz/ready"); code != http.StatusServiceUnavailable || !strings.Contains(body, "starting") {
+		t.Errorf("ready while starting: %d %s, want 503 starting", code, body)
+	}
+	if code, _ := get("/healthz"); code != http.StatusServiceUnavailable {
+		t.Errorf("/healthz alias while starting: %d, want 503", code)
+	}
+	if code, _ := get("/healthz/live"); code != http.StatusOK {
+		t.Errorf("live while starting: %d, want 200", code)
+	}
+
+	s.SetReady(true)
+	s.SetDraining(true)
+	if code, body := get("/healthz/ready"); code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Errorf("ready while draining: %d %s, want 503 draining", code, body)
+	}
+	if code, _ := get("/healthz/live"); code != http.StatusOK {
+		t.Errorf("live while draining: %d, want 200", code)
+	}
+	s.SetDraining(false)
+	if code, _ := get("/healthz/ready"); code != http.StatusOK {
+		t.Errorf("ready after drain cleared: %d, want 200", code)
+	}
+}
+
+// TestCacheCompressMissZeroAlloc extends the zero-alloc contract to the
+// cache-enabled miss path: hashing, lookup, compression, publication and
+// eviction churn together must not allocate once warm. The cache holds
+// fewer entries than the cycling working set, so every iteration is a
+// genuine miss plus an eviction — the steady state of a cache under
+// pressure.
+func TestCacheCompressMissZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; zero-alloc contract checked without -race")
+	}
+	const chunkElems = 1024
+	s := New(Config{Workers: 1, ChunkElems: chunkElems, CacheBytes: 48 << 10, Registry: telemetry.NewRegistry()})
+	c := newCodec(0)
+	p := cparams{
+		bound:      ceresz.ABS(1e-3),
+		abs:        true,
+		elem:       ceresz.Float32,
+		chunkElems: chunkElems,
+		opts:       ceresz.Options{Workers: 1},
+	}
+
+	// A cycle of distinct chunks larger than the cache can hold.
+	const cycle = 12
+	raws := make([][]byte, cycle)
+	for i := range raws {
+		raws[i] = rawBytes(testData(chunkElems, int64(i)))
+	}
+	var n int
+	r := bytes.NewReader(nil)
+	runOnce := func() {
+		r.Reset(raws[n%cycle])
+		n++
+		got, err := c.readChunk(r, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frame, _, h, err := s.cachedCompress(c, p, got, c.compressF32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.Discard.Write(frame); err != nil {
+			t.Fatal(err)
+		}
+		h.Release()
+	}
+	for i := 0; i < 4*cycle; i++ {
+		runOnce()
+	}
+	if allocs := testing.AllocsPerRun(3*cycle, runOnce); allocs != 0 {
+		t.Fatalf("cache-enabled miss path allocates %.1f times per chunk, want 0", allocs)
+	}
+}
+
+// TestCacheCompressHitZeroAlloc: the hit path (hash, lookup, pin, serve,
+// release) must also be allocation-free.
+func TestCacheCompressHitZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; zero-alloc contract checked without -race")
+	}
+	const chunkElems = 1024
+	s := New(Config{Workers: 1, ChunkElems: chunkElems, CacheBytes: 8 << 20, Registry: telemetry.NewRegistry()})
+	c := newCodec(0)
+	p := cparams{
+		bound:      ceresz.ABS(1e-3),
+		abs:        true,
+		elem:       ceresz.Float32,
+		chunkElems: chunkElems,
+		opts:       ceresz.Options{Workers: 1},
+	}
+	raw := rawBytes(testData(chunkElems, 99))
+	r := bytes.NewReader(nil)
+	runOnce := func() {
+		r.Reset(raw)
+		got, err := c.readChunk(r, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frame, _, h, err := s.cachedCompress(c, p, got, c.compressF32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.Discard.Write(frame); err != nil {
+			t.Fatal(err)
+		}
+		h.Release()
+	}
+	runOnce() // cold miss populates the entry
+	if allocs := testing.AllocsPerRun(50, runOnce); allocs != 0 {
+		t.Fatalf("cache hit path allocates %.1f times per chunk, want 0", allocs)
+	}
+}
+
+// FuzzCachedServe fuzzes the differential guarantee end to end: whatever
+// float body arrives, the cache-enabled server's cold response, its warm
+// response, and the cache-disabled server's response must be bitwise
+// equal — and likewise for decompressing the produced stream. Runs under
+// -race in CI via the seed corpus.
+func FuzzCachedServe(f *testing.F) {
+	f.Add([]byte{0, 0, 128, 63, 0, 0, 0, 64, 0, 0, 64, 64, 205, 204, 76, 62}, uint8(0))
+	f.Add(rawBytes(testData(700, 5)), uint8(1))
+	f.Add([]byte{}, uint8(0))
+	f.Add(bytes.Repeat([]byte{0x41}, 64), uint8(2))
+
+	newH := func(cacheBytes int64) http.Handler {
+		s := New(Config{Workers: 2, ChunkElems: 64, CacheBytes: cacheBytes, Registry: telemetry.NewRegistry()})
+		return s.Handler()
+	}
+
+	f.Fuzz(func(t *testing.T, raw []byte, modeSel uint8) {
+		raw = raw[:len(raw)-len(raw)%4] // whole float32 elements only
+		mode := "abs"
+		if modeSel%2 == 1 {
+			mode = "rel"
+		}
+		url := "/v1/compress?eps=1e-2&mode=" + mode
+
+		plain, cached := newH(0), newH(8<<20)
+		post := func(h http.Handler, url string, body []byte) (int, []byte) {
+			req := httptest.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+			rr := httptest.NewRecorder()
+			h.ServeHTTP(rr, req)
+			return rr.Code, rr.Body.Bytes()
+		}
+
+		refCode, refBody := post(plain, url, raw)
+		coldCode, coldBody := post(cached, url, raw)
+		warmCode, warmBody := post(cached, url, raw)
+		if refCode != coldCode || coldCode != warmCode {
+			t.Fatalf("status diverged: plain %d, cold %d, warm %d", refCode, coldCode, warmCode)
+		}
+		if !bytes.Equal(refBody, coldBody) || !bytes.Equal(coldBody, warmBody) {
+			t.Fatalf("compress bytes diverged: plain %d, cold %d, warm %d bytes", len(refBody), len(coldBody), len(warmBody))
+		}
+		if refCode != http.StatusOK || len(refBody) == 0 {
+			return
+		}
+
+		dRefCode, dRefBody := post(plain, "/v1/decompress", refBody)
+		dColdCode, dColdBody := post(cached, "/v1/decompress", refBody)
+		dWarmCode, dWarmBody := post(cached, "/v1/decompress", refBody)
+		if dRefCode != dColdCode || dColdCode != dWarmCode {
+			t.Fatalf("decompress status diverged: plain %d, cold %d, warm %d", dRefCode, dColdCode, dWarmCode)
+		}
+		if !bytes.Equal(dRefBody, dColdBody) || !bytes.Equal(dColdBody, dWarmBody) {
+			t.Fatalf("decompress bytes diverged")
+		}
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"slices"
 
 	"ceresz"
+	"ceresz/internal/chunkcache"
 )
 
 // codec is one worker's pooled compression state. Every buffer is reused
@@ -30,10 +31,13 @@ type codec struct {
 	// parallelism budget (Config.HostWorkers), set by admit on checkout.
 	// 1 keeps the sequential zero-alloc path.
 	workers int
+	// hasher derives chunk-cache keys; per-codec so key derivation needs
+	// no locking and reuses one SHA-256 state (zero allocations per key).
+	hasher *chunkcache.Hasher
 }
 
 func newCodec(id int) *codec {
-	return &codec{id: id, sr: ceresz.NewStreamReader(nil)}
+	return &codec{id: id, sr: ceresz.NewStreamReader(nil), hasher: chunkcache.NewHasher()}
 }
 
 // frameMagic mirrors the package-level CSZF framing (stream.go); the codec
@@ -72,33 +76,42 @@ func (c *codec) readRaw(r io.Reader, want int) (int, error) {
 	return n, err
 }
 
-// nextFrameF32 reads one raw float32 chunk from r, compresses it and
-// assembles the CSZF frame in c.frame. It returns the frame, the raw byte
-// count consumed, and io.EOF (with a nil frame) once the body is drained.
-// Steady-state zero-alloc: all buffers are warm after the first chunk.
-func (c *codec) nextFrameF32(r io.Reader, p cparams) ([]byte, int, error) {
+// readChunk reads one raw chunk (up to chunkElems elements) into c.rawIn.
+// It returns the byte count and io.EOF once the body is drained; a byte
+// count that does not divide the element size is rejected here so the
+// compress step always sees whole elements.
+func (c *codec) readChunk(r io.Reader, p cparams) (int, error) {
+	es := p.elemSize()
 	t0 := c.tr.now()
-	n, err := c.readRaw(r, 4*p.chunkElems)
+	n, err := c.readRaw(r, es*p.chunkElems)
 	c.tr.accum(stageRead, t0)
 	if n == 0 {
 		if err == io.EOF || err == nil {
-			return nil, 0, io.EOF
+			return 0, io.EOF
 		}
-		return nil, 0, err
+		return 0, err
 	}
 	if err != nil && err != io.EOF {
-		return nil, n, err
+		return n, err
 	}
-	if n%4 != 0 {
-		return nil, n, errOddBody(n, 4)
+	if n%es != 0 {
+		return n, errOddBody(n, es)
 	}
-	elems := n / 4
+	return n, nil
+}
+
+// compressF32 compresses the raw float32 chunk sitting in c.rawIn and
+// assembles the CSZF frame in c.frame. Steady-state zero-alloc: all
+// buffers are warm after the first chunk.
+func (c *codec) compressF32(p cparams) ([]byte, error) {
+	elems := len(c.rawIn) / 4
 	c.f32 = slices.Grow(c.f32[:0], elems)[:elems]
 	for i := range c.f32 {
 		c.f32[i] = math.Float32frombits(binary.LittleEndian.Uint32(c.rawIn[4*i:]))
 	}
 	c.frame = append(c.frame[:0], frameMagic[0], frameMagic[1], frameMagic[2], frameMagic[3], 0, 0, 0, 0)
 	tc := c.tr.now()
+	var err error
 	if p.abs {
 		c.frame, err = ceresz.CompressWithEpsInto(c.frame, c.f32, p.bound.Value, p.opts, &c.stats)
 	} else {
@@ -106,43 +119,95 @@ func (c *codec) nextFrameF32(r io.Reader, p cparams) ([]byte, int, error) {
 	}
 	c.tr.observe(stageCodec, tc)
 	if err != nil {
-		return nil, n, err
+		return nil, err
 	}
 	binary.LittleEndian.PutUint32(c.frame[4:], uint32(len(c.frame)-frameHeaderSize))
-	return c.frame, n, nil
+	return c.frame, nil
 }
 
-// nextFrameF64 is nextFrameF32 for double-precision bodies.
-func (c *codec) nextFrameF64(r io.Reader, p cparams) ([]byte, int, error) {
-	t0 := c.tr.now()
-	n, err := c.readRaw(r, 8*p.chunkElems)
-	c.tr.accum(stageRead, t0)
-	if n == 0 {
-		if err == io.EOF || err == nil {
-			return nil, 0, io.EOF
-		}
-		return nil, 0, err
-	}
-	if err != nil && err != io.EOF {
-		return nil, n, err
-	}
-	if n%8 != 0 {
-		return nil, n, errOddBody(n, 8)
-	}
-	elems := n / 8
+// compressF64 is compressF32 for double-precision chunks.
+func (c *codec) compressF64(p cparams) ([]byte, error) {
+	elems := len(c.rawIn) / 8
 	c.f64 = slices.Grow(c.f64[:0], elems)[:elems]
 	for i := range c.f64 {
 		c.f64[i] = math.Float64frombits(binary.LittleEndian.Uint64(c.rawIn[8*i:]))
 	}
 	c.frame = append(c.frame[:0], frameMagic[0], frameMagic[1], frameMagic[2], frameMagic[3], 0, 0, 0, 0)
 	tc := c.tr.now()
+	var err error
 	c.frame, err = ceresz.Compress64Into(c.frame, c.f64, p.bound, p.opts, &c.stats)
 	c.tr.observe(stageCodec, tc)
 	if err != nil {
-		return nil, n, err
+		return nil, err
 	}
 	binary.LittleEndian.PutUint32(c.frame[4:], uint32(len(c.frame)-frameHeaderSize))
-	return c.frame, n, nil
+	return c.frame, nil
+}
+
+// nextFrameF32 reads one raw float32 chunk from r, compresses it and
+// assembles the CSZF frame in c.frame. It returns the frame, the raw byte
+// count consumed, and io.EOF (with a nil frame) once the body is drained.
+// This is the uncached compress path (and the zero-alloc contract's test
+// surface); handleCompress interposes the chunk cache between the read
+// and compress halves when one is configured.
+func (c *codec) nextFrameF32(r io.Reader, p cparams) ([]byte, int, error) {
+	n, err := c.readChunk(r, p)
+	if err != nil {
+		return nil, n, err
+	}
+	frame, err := c.compressF32(p)
+	return frame, n, err
+}
+
+// nextFrameF64 is nextFrameF32 for double-precision bodies.
+func (c *codec) nextFrameF64(r io.Reader, p cparams) ([]byte, int, error) {
+	n, err := c.readChunk(r, p)
+	if err != nil {
+		return nil, n, err
+	}
+	frame, err := c.compressF64(p)
+	return frame, n, err
+}
+
+// Chunk-cache key layout: a fixed preamble of every parameter that shapes
+// the codec's output, then the chunk bytes themselves. The version byte
+// guards against silently reusing entries across key-schema changes.
+const (
+	cacheKeyVersion = 1
+	nsCompress      = 1 // raw chunk bytes → CSZF frame
+	nsDecompress    = 2 // CSZF frame payload → raw little-endian bytes
+)
+
+// cacheKeyCompress addresses the raw chunk in c.rawIn under p: direction,
+// element type, bound mode, eps bits and block length all shape the frame
+// bytes. Workers is deliberately excluded — the host codec is
+// byte-identical at every worker count (the block-parallel differential
+// guarantee), so one entry serves all parallelism levels. A REL bound is
+// keyed by λ, not the resolved ε: the resolution is a deterministic
+// function of the chunk's value range, which the hashed bytes pin down.
+func (c *codec) cacheKeyCompress(p cparams) chunkcache.Key {
+	pre := c.hasher.Preamble()
+	mode := byte(0)
+	if p.abs {
+		mode = 1
+	}
+	pre = append(pre, cacheKeyVersion, nsCompress, byte(p.elem), mode)
+	pre = binary.LittleEndian.AppendUint64(pre, math.Float64bits(p.bound.Value))
+	pre = binary.LittleEndian.AppendUint32(pre, uint32(p.opts.BlockLen))
+	return c.hasher.Key(pre, c.rawIn)
+}
+
+// cacheKeyDecompress addresses a CSZF frame payload: the payload encodes
+// every codec parameter itself, so only the requested output element type
+// joins it in the preamble.
+func (c *codec) cacheKeyDecompress(payload []byte, wantF64 bool) chunkcache.Key {
+	pre := c.hasher.Preamble()
+	elem := byte(0)
+	if wantF64 {
+		elem = 1
+	}
+	pre = append(pre, cacheKeyVersion, nsDecompress, elem)
+	return c.hasher.Key(pre, payload)
 }
 
 // encodeF32 serializes floats into c.out as raw little-endian bytes.

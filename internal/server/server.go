@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"ceresz"
+	"ceresz/internal/chunkcache"
 	"ceresz/internal/core"
 	"ceresz/internal/hostpool"
 	"ceresz/internal/telemetry"
@@ -73,6 +74,10 @@ type Config struct {
 	ChunkElems int
 	// RetryAfter is the hint returned with 429/503 responses (0 = 1s).
 	RetryAfter time.Duration
+	// CacheBytes is the content-addressed chunk cache's memory budget
+	// (values plus per-entry overhead). 0 disables caching entirely —
+	// every chunk runs the codec, exactly the pre-cache behavior.
+	CacheBytes int64
 	// BlockLen overrides the CereSZ block length (0 = 32, the paper's).
 	BlockLen int
 	// Registry receives the server's instruments (nil = telemetry.Default).
@@ -199,8 +204,16 @@ type Server struct {
 	codecs chan *codec   // worker pool: free codec state
 	sem    chan struct{} // admission: executing + queued requests
 	tr     *tracer       // request spans, rings, access log
+	// cache memoizes per-chunk codec results (nil when Config.CacheBytes
+	// is 0 — the handlers then run the exact pre-cache code path).
+	cache *chunkcache.Cache
 
 	draining atomic.Bool
+	// ready gates the readiness probes: false before the daemon's listener
+	// is accepting (cereszd flips it after net.Listen) and irrelevant once
+	// draining (draining wins). New starts ready so embedded/test servers
+	// need no extra call.
+	ready atomic.Bool
 	// executing counts requests currently holding a codec; the intra-
 	// request worker budget (Config.HostWorkers) is divided by it.
 	executing atomic.Int64
@@ -237,6 +250,10 @@ func New(cfg Config) *Server {
 		mDecompress:   newEpMetrics(cfg.Registry, epDecompress),
 		mBundle:       newEpMetrics(cfg.Registry, epBundle),
 	}
+	s.ready.Store(true)
+	if cfg.CacheBytes > 0 {
+		s.cache = chunkcache.New(cfg.CacheBytes, cfg.Registry)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.codecs <- newCodec(i)
 	}
@@ -252,7 +269,9 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/v1/compress", s.admit(s.mCompress, s.handleCompress))
 	mux.Handle("/v1/decompress", s.admit(s.mDecompress, s.handleDecompress))
 	mux.Handle("/v1/bundle", s.admit(s.mBundle, s.handleBundle))
-	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/healthz", s.handleReady) // back-compat alias for readiness
+	mux.HandleFunc("/healthz/live", s.handleLive)
+	mux.HandleFunc("/healthz/ready", s.handleReady)
 	mux.Handle("/debug/requests", s.RequestsHandler())
 	mux.Handle("/debug/trace", s.TraceHandler())
 	return mux
@@ -273,14 +292,40 @@ func (s *Server) SetDraining(on bool) {
 // Draining reports drain mode.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+// SetReady flips the readiness probes. A daemon that wants load balancers
+// to wait for its listener calls SetReady(false) before serving and
+// SetReady(true) once the socket accepts; embedded servers never need to
+// (New starts ready).
+func (s *Server) SetReady(on bool) { s.ready.Store(on) }
+
+// Ready reports whether the server is accepting work: ready and not
+// draining.
+func (s *Server) Ready() bool { return s.ready.Load() && !s.draining.Load() }
+
+// handleLive is the liveness probe: 200 whenever the process responds at
+// all — restarting a draining-but-alive daemon would lose its in-flight
+// requests, so drain state must not look dead.
+func (s *Server) handleLive(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	if s.Draining() {
+	fmt.Fprintln(w, `{"status":"alive"}`)
+}
+
+// handleReady is the readiness probe (also served at /healthz for
+// back-compat): 503 before the daemon's listener is up and while
+// draining, so load balancers route traffic only to servers that will
+// accept it.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	switch {
+	case s.Draining():
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, `{"status":"draining"}`)
-		return
+	case !s.ready.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"starting"}`)
+	default:
+		fmt.Fprintln(w, `{"status":"ok"}`)
 	}
-	fmt.Fprintln(w, `{"status":"ok"}`)
 }
 
 // retryAfterSeconds renders the Retry-After hint (ceiling, ≥ 1).
@@ -565,46 +610,95 @@ func (s *Server) handleCompress(c *codec, w http.ResponseWriter, r *http.Request
 	}
 	p.opts.Workers = c.workers
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	next := c.nextFrameF32
+	compress := c.compressF32
 	if p.elem == ceresz.Float64 {
-		next = c.nextFrameF64
+		compress = c.compressF64
 	}
 
 	var chunks int
 	var rawBytes, compBytes int64
 	started := false
 	for {
-		frame, n, err := next(body, p)
+		n, err := c.readChunk(body, p)
 		if err == io.EOF {
 			break
 		}
-		if err != nil {
-			if started {
-				return fmt.Errorf("%w: chunk %d: %v", errResponseStarted, chunks, err)
+		if err == nil {
+			var frame []byte
+			var eps float64
+			var h chunkcache.Handle
+			frame, eps, h, err = s.cachedCompress(c, p, n, compress)
+			if err == nil {
+				if !started {
+					w.Header().Set("Content-Type", "application/x-ceresz-frames")
+					w.Header().Set("X-Ceresz-Eps", strconv.FormatFloat(eps, 'g', -1, 64))
+					started = true
+				}
+				tw := c.tr.now()
+				_, werr := w.Write(frame)
+				frameLen := len(frame)
+				// The frame may point into pinned cache memory; release
+				// only after the write copied it to the wire.
+				h.Release()
+				if werr != nil {
+					return fmt.Errorf("%w: writing chunk %d: %v", errResponseStarted, chunks, werr)
+				}
+				c.tr.observe(stageWrite, tw)
+				c.tr.addChunk()
+				c.tr.addBytes(int64(n), int64(frameLen))
+				chunks++
+				rawBytes += int64(n)
+				compBytes += int64(frameLen)
+				continue
 			}
-			return err
 		}
-		if !started {
-			w.Header().Set("Content-Type", "application/x-ceresz-frames")
-			w.Header().Set("X-Ceresz-Eps", strconv.FormatFloat(c.stats.Eps, 'g', -1, 64))
-			started = true
+		if started {
+			return fmt.Errorf("%w: chunk %d: %v", errResponseStarted, chunks, err)
 		}
-		tw := c.tr.now()
-		if _, err := w.Write(frame); err != nil {
-			return fmt.Errorf("%w: writing chunk %d: %v", errResponseStarted, chunks, err)
-		}
-		c.tr.observe(stageWrite, tw)
-		c.tr.addChunk()
-		c.tr.addBytes(int64(n), int64(len(frame)))
-		chunks++
-		rawBytes += int64(n)
-		compBytes += int64(len(frame))
+		return err
 	}
 	if !started {
 		w.Header().Set("Content-Type", "application/x-ceresz-frames")
 	}
 	s.recordVolume(s.mCompress, chunks, rawBytes, compBytes)
 	return nil
+}
+
+// cachedCompress produces the CSZF frame for the raw chunk sitting in
+// c.rawIn: straight through the codec when the cache is disabled, else a
+// cache lookup first. The returned handle pins cached bytes — the caller
+// must Release it after writing the frame (it is inert on the codec
+// path). eps is the chunk's resolved error bound, from live stats on a
+// computed frame and from the entry's metadata on a hit, so the
+// X-Ceresz-Eps header is right even when the first chunk never runs the
+// codec.
+func (s *Server) cachedCompress(c *codec, p cparams, n int, compress func(cparams) ([]byte, error)) ([]byte, float64, chunkcache.Handle, error) {
+	if s.cache == nil {
+		frame, err := compress(p)
+		return frame, c.stats.Eps, chunkcache.Handle{}, err
+	}
+	tc := c.tr.now()
+	h, err := s.cache.Get(c.cacheKeyCompress(p))
+	c.tr.observe(stageCache, tc)
+	if err != nil {
+		// The computation this chunk coalesced onto was aborted; its
+		// failure was input-dependent, so compute locally uncached and let
+		// this request's own error (if any) surface.
+		frame, cerr := compress(p)
+		return frame, c.stats.Eps, chunkcache.Handle{}, cerr
+	}
+	if h.Outcome() != chunkcache.Miss {
+		c.tr.addCacheHit()
+		return h.Bytes(), h.Meta().Eps, h, nil
+	}
+	c.tr.addCacheMiss()
+	frame, cerr := compress(p)
+	if cerr != nil {
+		h.Abort()
+		return nil, 0, chunkcache.Handle{}, cerr
+	}
+	h.Complete(frame, chunkcache.Meta{Eps: c.stats.Eps, SavedBytes: int64(n)})
+	return frame, c.stats.Eps, h, nil
 }
 
 // handleDecompress inverts handleCompress: a CSZF framed body becomes raw
@@ -631,20 +725,25 @@ func (s *Server) handleDecompress(c *codec, w http.ResponseWriter, r *http.Reque
 	for {
 		var out []byte
 		var err error
-		// The StreamReader pulls body bytes from inside Next*Into; the
-		// countingReader attributes those reads, so codec time is the
-		// remainder of the call.
-		readBefore := c.tr.stageTotal(stageRead)
-		tc := c.tr.now()
-		if wantF64 {
-			c.f64, err = c.sr.Next64Into(c.f64[:0])
-			out = c.encodeF64(c.f64)
+		var h chunkcache.Handle
+		if s.cache == nil {
+			// The StreamReader pulls body bytes from inside Next*Into; the
+			// countingReader attributes those reads, so codec time is the
+			// remainder of the call.
+			readBefore := c.tr.stageTotal(stageRead)
+			tc := c.tr.now()
+			if wantF64 {
+				c.f64, err = c.sr.Next64Into(c.f64[:0])
+				out = c.encodeF64(c.f64)
+			} else {
+				c.f32, err = c.sr.NextInto(c.f32[:0])
+				out = c.encodeF32(c.f32)
+			}
+			if err == nil {
+				c.tr.observeSub(stageCodec, tc, c.tr.stageTotal(stageRead)-readBefore)
+			}
 		} else {
-			c.f32, err = c.sr.NextInto(c.f32[:0])
-			out = c.encodeF32(c.f32)
-		}
-		if err == nil {
-			c.tr.observeSub(stageCodec, tc, c.tr.stageTotal(stageRead)-readBefore)
+			out, h, err = s.cachedDecompress(c, wantF64)
 		}
 		if err == io.EOF {
 			break
@@ -660,14 +759,17 @@ func (s *Server) handleDecompress(c *codec, w http.ResponseWriter, r *http.Reque
 			started = true
 		}
 		tw := c.tr.now()
-		if _, err := w.Write(out); err != nil {
-			return fmt.Errorf("%w: writing chunk %d: %v", errResponseStarted, chunks, err)
+		_, werr := w.Write(out)
+		outLen := len(out)
+		h.Release() // out may point into pinned cache memory
+		if werr != nil {
+			return fmt.Errorf("%w: writing chunk %d: %v", errResponseStarted, chunks, werr)
 		}
 		c.tr.observe(stageWrite, tw)
 		c.tr.addChunk()
-		c.tr.addBytes(0, int64(len(out)))
+		c.tr.addBytes(0, int64(outLen))
 		chunks++
-		rawBytes += int64(len(out))
+		rawBytes += int64(outLen)
 	}
 	c.tr.addBytes(body.n, 0)
 	if !started {
@@ -675,6 +777,50 @@ func (s *Server) handleDecompress(c *codec, w http.ResponseWriter, r *http.Reque
 	}
 	s.recordVolume(s.mDecompress, chunks, body.n, rawBytes)
 	return nil
+}
+
+// cachedDecompress serves one decompress chunk through the chunk cache:
+// the frame payload is read (and validated) without decoding via NextRaw,
+// hashed, and only on a miss decoded and published. The returned handle
+// pins cached bytes — the caller must Release it after the write. Frame
+// transport, validation and decode all reuse the exact entry points of
+// the uncached path, so error semantics and output bytes are identical.
+func (s *Server) cachedDecompress(c *codec, wantF64 bool) ([]byte, chunkcache.Handle, error) {
+	payload, err := c.sr.NextRaw()
+	if err != nil {
+		return nil, chunkcache.Handle{}, err // io.EOF included
+	}
+	tc := c.tr.now()
+	h, herr := s.cache.Get(c.cacheKeyDecompress(payload, wantF64))
+	c.tr.observe(stageCache, tc)
+	if herr == nil && h.Outcome() != chunkcache.Miss {
+		c.tr.addCacheHit()
+		return h.Bytes(), h, nil
+	}
+	// Miss (or coalesced onto an aborted computation — then herr != nil
+	// and this chunk decodes locally uncached).
+	var out []byte
+	td := c.tr.now()
+	opts := ceresz.Options{Workers: c.workers}
+	if wantF64 {
+		c.f64, err = ceresz.Decompress64With(c.f64[:0], payload, opts)
+		out = c.encodeF64(c.f64)
+	} else {
+		c.f32, err = ceresz.DecompressWith(c.f32[:0], payload, opts)
+		out = c.encodeF32(c.f32)
+	}
+	if err != nil {
+		if herr == nil {
+			h.Abort()
+		}
+		return nil, chunkcache.Handle{}, err
+	}
+	c.tr.observe(stageCodec, td)
+	if herr == nil {
+		c.tr.addCacheMiss()
+		h.Complete(out, chunkcache.Meta{SavedBytes: int64(len(payload))})
+	}
+	return out, chunkcache.Handle{}, nil
 }
 
 // countingReader counts the bytes a decode path actually consumed and

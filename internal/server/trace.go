@@ -49,6 +49,10 @@ const (
 	// stageRead is body-read time, accumulated per chunk (includes the
 	// client's upload pacing — the stream is read incrementally).
 	stageRead
+	// stageCache is chunk-cache time, accumulated per chunk: key hashing
+	// plus the lookup, including any wait coalesced onto another request's
+	// in-flight computation. Zero when the cache is disabled.
+	stageCache
 	// stageCodec is compress/decompress kernel time, accumulated per chunk.
 	stageCodec
 	// stageWrite is response-write time, accumulated per chunk.
@@ -56,7 +60,7 @@ const (
 	numStages
 )
 
-var stageNames = [numStages]string{"admit", "worker", "read", "codec", "write"}
+var stageNames = [numStages]string{"admit", "worker", "read", "cache", "codec", "write"}
 
 // Endpoint indexes for span records.
 const (
@@ -177,7 +181,12 @@ type reqSpan struct {
 	bytesIn  atomic.Int64
 	bytesOut atomic.Int64
 	chunks   atomic.Int64
-	stageNs  [numStages]atomic.Int64
+	// cacheHits / cacheMisses count the request's chunk-cache outcomes
+	// (coalesced waits count as hits — the codec never ran here). Both
+	// stay zero when the cache is disabled.
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	stageNs     [numStages]atomic.Int64
 
 	// Finalize-only fields (owner goroutine, then copied under ring lock).
 	totalNs int64
@@ -276,6 +285,22 @@ func (sp *reqSpan) addChunk() {
 	sp.chunks.Add(1)
 }
 
+// addCacheHit tags one chunk served from the cache (resident or coalesced).
+func (sp *reqSpan) addCacheHit() {
+	if sp == nil {
+		return
+	}
+	sp.cacheHits.Add(1)
+}
+
+// addCacheMiss tags one chunk the codec had to compute.
+func (sp *reqSpan) addCacheMiss() {
+	if sp == nil {
+		return
+	}
+	sp.cacheMisses.Add(1)
+}
+
 // serverTiming renders the span as a Server-Timing header value
 // (durations in milliseconds, the header's unit).
 func (sp *reqSpan) serverTiming(totalNs int64) string {
@@ -303,13 +328,15 @@ type reqRecord struct {
 	start    time.Time
 	totalNs  int64
 	stageNs  [numStages]int64
-	bytesIn  int64
-	bytesOut int64
-	chunks   int64
-	errMsg   string
-	nEvents  int
-	dropped  int
-	events   [maxChunkEvents]chunkEvent
+	bytesIn     int64
+	bytesOut    int64
+	chunks      int64
+	cacheHits   int64
+	cacheMisses int64
+	errMsg      string
+	nEvents     int
+	dropped     int
+	events      [maxChunkEvents]chunkEvent
 }
 
 func (rec *reqRecord) waitNs() int64 { return rec.stageNs[stageAdmit] + rec.stageNs[stageWorker] }
@@ -392,6 +419,8 @@ func (t *tracer) acquire(tid traceID, parent, self spanID, endpoint uint8, start
 	sp.bytesIn.Store(0)
 	sp.bytesOut.Store(0)
 	sp.chunks.Store(0)
+	sp.cacheHits.Store(0)
+	sp.cacheMisses.Store(0)
 	for i := range sp.stageNs {
 		sp.stageNs[i].Store(0)
 	}
@@ -425,6 +454,8 @@ func (t *tracer) finish(sp *reqSpan) {
 	rec.bytesIn = sp.bytesIn.Load()
 	rec.bytesOut = sp.bytesOut.Load()
 	rec.chunks = sp.chunks.Load()
+	rec.cacheHits = sp.cacheHits.Load()
+	rec.cacheMisses = sp.cacheMisses.Load()
 	rec.errMsg = sp.errMsg
 	rec.nEvents = sp.nEvents
 	rec.dropped = sp.dropped
@@ -474,40 +505,46 @@ func (t *tracer) finish(sp *reqSpan) {
 
 // accessEntry is one structured access-log line.
 type accessEntry struct {
-	Time     string `json:"ts"`
-	ID       string `json:"id"`
-	Endpoint string `json:"endpoint"`
-	Status   int    `json:"status"`
-	Worker   int32  `json:"worker"`
-	BytesIn  int64  `json:"bytes_in"`
-	BytesOut int64  `json:"bytes_out"`
-	Chunks   int64  `json:"chunks"`
-	AdmitUS  int64  `json:"admit_us"`
-	WorkerUS int64  `json:"worker_us"`
-	ReadUS   int64  `json:"read_us"`
-	CodecUS  int64  `json:"codec_us"`
-	WriteUS  int64  `json:"write_us"`
-	TotalUS  int64  `json:"total_us"`
-	Err      string `json:"err,omitempty"`
+	Time        string `json:"ts"`
+	ID          string `json:"id"`
+	Endpoint    string `json:"endpoint"`
+	Status      int    `json:"status"`
+	Worker      int32  `json:"worker"`
+	BytesIn     int64  `json:"bytes_in"`
+	BytesOut    int64  `json:"bytes_out"`
+	Chunks      int64  `json:"chunks"`
+	CacheHits   int64  `json:"cache_hits,omitempty"`
+	CacheMisses int64  `json:"cache_misses,omitempty"`
+	AdmitUS     int64  `json:"admit_us"`
+	WorkerUS    int64  `json:"worker_us"`
+	ReadUS      int64  `json:"read_us"`
+	CacheUS     int64  `json:"cache_us,omitempty"`
+	CodecUS     int64  `json:"codec_us"`
+	WriteUS     int64  `json:"write_us"`
+	TotalUS     int64  `json:"total_us"`
+	Err         string `json:"err,omitempty"`
 }
 
 func (t *tracer) logAccess(rec *reqRecord) {
 	e := accessEntry{
-		Time:     rec.start.UTC().Format(time.RFC3339Nano),
-		ID:       rec.id.String(),
-		Endpoint: epNames[rec.endpoint],
-		Status:   rec.status,
-		Worker:   rec.worker,
-		BytesIn:  rec.bytesIn,
-		BytesOut: rec.bytesOut,
-		Chunks:   rec.chunks,
-		AdmitUS:  rec.stageNs[stageAdmit] / 1e3,
-		WorkerUS: rec.stageNs[stageWorker] / 1e3,
-		ReadUS:   rec.stageNs[stageRead] / 1e3,
-		CodecUS:  rec.stageNs[stageCodec] / 1e3,
-		WriteUS:  rec.stageNs[stageWrite] / 1e3,
-		TotalUS:  rec.totalNs / 1e3,
-		Err:      rec.errMsg,
+		Time:        rec.start.UTC().Format(time.RFC3339Nano),
+		ID:          rec.id.String(),
+		Endpoint:    epNames[rec.endpoint],
+		Status:      rec.status,
+		Worker:      rec.worker,
+		BytesIn:     rec.bytesIn,
+		BytesOut:    rec.bytesOut,
+		Chunks:      rec.chunks,
+		CacheHits:   rec.cacheHits,
+		CacheMisses: rec.cacheMisses,
+		AdmitUS:     rec.stageNs[stageAdmit] / 1e3,
+		WorkerUS:    rec.stageNs[stageWorker] / 1e3,
+		ReadUS:      rec.stageNs[stageRead] / 1e3,
+		CacheUS:     rec.stageNs[stageCache] / 1e3,
+		CodecUS:     rec.stageNs[stageCodec] / 1e3,
+		WriteUS:     rec.stageNs[stageWrite] / 1e3,
+		TotalUS:     rec.totalNs / 1e3,
+		Err:         rec.errMsg,
 	}
 	b, err := json.Marshal(e)
 	if err != nil {
@@ -545,40 +582,46 @@ func (t *tracer) snapshotRecords() []reqRecord {
 
 // recordJSON is one finished request in the /debug/requests view.
 type recordJSON struct {
-	ID       string `json:"id"`
-	Endpoint string `json:"endpoint"`
-	Status   int    `json:"status"`
-	Worker   int32  `json:"worker"`
-	Start    string `json:"start"`
-	TotalUS  int64  `json:"total_us"`
-	AdmitUS  int64  `json:"admit_us"`
-	WorkerUS int64  `json:"worker_us"`
-	ReadUS   int64  `json:"read_us"`
-	CodecUS  int64  `json:"codec_us"`
-	WriteUS  int64  `json:"write_us"`
-	BytesIn  int64  `json:"bytes_in"`
-	BytesOut int64  `json:"bytes_out"`
-	Chunks   int64  `json:"chunks"`
-	Err      string `json:"err,omitempty"`
+	ID          string `json:"id"`
+	Endpoint    string `json:"endpoint"`
+	Status      int    `json:"status"`
+	Worker      int32  `json:"worker"`
+	Start       string `json:"start"`
+	TotalUS     int64  `json:"total_us"`
+	AdmitUS     int64  `json:"admit_us"`
+	WorkerUS    int64  `json:"worker_us"`
+	ReadUS      int64  `json:"read_us"`
+	CacheUS     int64  `json:"cache_us,omitempty"`
+	CodecUS     int64  `json:"codec_us"`
+	WriteUS     int64  `json:"write_us"`
+	BytesIn     int64  `json:"bytes_in"`
+	BytesOut    int64  `json:"bytes_out"`
+	Chunks      int64  `json:"chunks"`
+	CacheHits   int64  `json:"cache_hits,omitempty"`
+	CacheMisses int64  `json:"cache_misses,omitempty"`
+	Err         string `json:"err,omitempty"`
 }
 
 func recordToJSON(rec *reqRecord) recordJSON {
 	return recordJSON{
-		ID:       rec.id.String(),
-		Endpoint: epNames[rec.endpoint],
-		Status:   rec.status,
-		Worker:   rec.worker,
-		Start:    rec.start.UTC().Format(time.RFC3339Nano),
-		TotalUS:  rec.totalNs / 1e3,
-		AdmitUS:  rec.stageNs[stageAdmit] / 1e3,
-		WorkerUS: rec.stageNs[stageWorker] / 1e3,
-		ReadUS:   rec.stageNs[stageRead] / 1e3,
-		CodecUS:  rec.stageNs[stageCodec] / 1e3,
-		WriteUS:  rec.stageNs[stageWrite] / 1e3,
-		BytesIn:  rec.bytesIn,
-		BytesOut: rec.bytesOut,
-		Chunks:   rec.chunks,
-		Err:      rec.errMsg,
+		ID:          rec.id.String(),
+		Endpoint:    epNames[rec.endpoint],
+		Status:      rec.status,
+		Worker:      rec.worker,
+		Start:       rec.start.UTC().Format(time.RFC3339Nano),
+		TotalUS:     rec.totalNs / 1e3,
+		AdmitUS:     rec.stageNs[stageAdmit] / 1e3,
+		WorkerUS:    rec.stageNs[stageWorker] / 1e3,
+		ReadUS:      rec.stageNs[stageRead] / 1e3,
+		CacheUS:     rec.stageNs[stageCache] / 1e3,
+		CodecUS:     rec.stageNs[stageCodec] / 1e3,
+		WriteUS:     rec.stageNs[stageWrite] / 1e3,
+		BytesIn:     rec.bytesIn,
+		BytesOut:    rec.bytesOut,
+		Chunks:      rec.chunks,
+		CacheHits:   rec.cacheHits,
+		CacheMisses: rec.cacheMisses,
+		Err:         rec.errMsg,
 	}
 }
 
@@ -729,6 +772,11 @@ func (t *tracer) writeChromeTrace(w io.Writer, workers int) error {
 			"read_us":  rec.stageNs[stageRead] / 1e3,
 			"codec_us": rec.stageNs[stageCodec] / 1e3,
 			"write_us": rec.stageNs[stageWrite] / 1e3,
+		}
+		if rec.cacheHits > 0 || rec.cacheMisses > 0 {
+			handleArgs["cache_us"] = rec.stageNs[stageCache] / 1e3
+			handleArgs["cache_hits"] = rec.cacheHits
+			handleArgs["cache_misses"] = rec.cacheMisses
 		}
 		if rec.dropped > 0 {
 			handleArgs["dropped_chunk_events"] = rec.dropped

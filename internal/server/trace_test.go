@@ -119,7 +119,7 @@ func TestServerTimingTrailer(t *testing.T) {
 		durs[name] = ms
 	}
 	var sum float64
-	for _, name := range []string{"admit", "worker", "read", "codec", "write", "total"} {
+	for _, name := range []string{"admit", "worker", "read", "cache", "codec", "write", "total"} {
 		ms, ok := durs[name]
 		if !ok {
 			t.Fatalf("Server-Timing %q missing stage %q", st, name)

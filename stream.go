@@ -356,6 +356,19 @@ func (sr *StreamReader) Next64Into(dst []float64) ([]float64, error) {
 	return out, err
 }
 
+// NextRaw reads the next frame's compressed payload without decoding it,
+// applying the same validation as the decoding iterators (frame magic,
+// length caps, element-count caps — the typed ErrTruncated /
+// ErrFrameTooLarge / ErrBadStream failures are identical). The returned
+// bytes live in the reader's internal buffer and are valid only until the
+// next call; decode them with DecompressWith / Decompress64With, or hash
+// them first — cereszd's chunk cache addresses frames this way before
+// paying for the decode.
+func (sr *StreamReader) NextRaw() ([]byte, error) {
+	defer telStreamRead.Start().End()
+	return sr.next()
+}
+
 // Skip advances past the next frame without decoding it, returning its
 // metadata — random access within a recorded stream.
 func (sr *StreamReader) Skip() (Meta, error) {
