@@ -399,3 +399,45 @@ func (c *Client) Health(ctx context.Context) error {
 	}
 	return nil
 }
+
+// SLOState is one burning objective in a degraded readiness body. Field
+// names mirror the server's /healthz/ready JSON.
+type SLOState struct {
+	Spec            string  `json:"spec"`
+	BurnRate5m      float64 `json:"burn_rate_5m"`
+	BudgetRemaining float64 `json:"budget_remaining"`
+}
+
+// Readiness is the decoded /healthz/ready body: "ok", "degraded" (still
+// serving, but an SLO is burning fast — SLO lists the offenders), or the
+// 503 states "starting"/"draining".
+type Readiness struct {
+	Status string     `json:"status"`
+	SLO    []SLOState `json:"slo,omitempty"`
+}
+
+// Degraded reports whether the server answered ready-but-degraded.
+func (r Readiness) Degraded() bool { return r.Status == "degraded" }
+
+// Ready probes /healthz/ready and decodes the body detail. A non-200
+// answer returns the Readiness (Status "starting"/"draining" when the
+// body parsed) alongside a *StatusError, so callers can distinguish a
+// drain from a dead server.
+func (c *Client) Ready(ctx context.Context) (Readiness, error) {
+	var rd Readiness
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.BaseURL+"/healthz/ready", nil)
+	if err != nil {
+		return rd, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return rd, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	_ = json.Unmarshal(body, &rd)
+	if resp.StatusCode != http.StatusOK {
+		return rd, &StatusError{Code: resp.StatusCode, Body: string(body)}
+	}
+	return rd, nil
+}

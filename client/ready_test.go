@@ -1,0 +1,69 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestReadyDegraded pins the degraded-but-200 decode: the server keeps
+// answering 200 while an SLO burns, and Ready surfaces the offending
+// objectives without an error.
+func TestReadyDegraded(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz/ready" {
+			t.Errorf("probe hit %s", r.URL.Path)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"degraded","slo":[{"spec":"compress:p99<25ms:99.9","burn_rate_5m":14.2,"budget_remaining":-0.3}]}`))
+	}))
+	defer ts.Close()
+
+	c := New(Config{BaseURL: ts.URL})
+	rd, err := c.Ready(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rd.Degraded() {
+		t.Fatalf("readiness %+v not degraded", rd)
+	}
+	if len(rd.SLO) != 1 || rd.SLO[0].Spec != "compress:p99<25ms:99.9" ||
+		rd.SLO[0].BurnRate5m != 14.2 || rd.SLO[0].BudgetRemaining != -0.3 {
+		t.Fatalf("slo detail %+v", rd.SLO)
+	}
+}
+
+// TestReadyOK pins the healthy decode.
+func TestReadyOK(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer ts.Close()
+
+	rd, err := New(Config{BaseURL: ts.URL}).Ready(context.Background())
+	if err != nil || rd.Status != "ok" || rd.Degraded() {
+		t.Fatalf("readiness %+v, err %v", rd, err)
+	}
+}
+
+// TestReadyDraining pins the 503 path: the body still decodes so callers
+// can tell a drain from a dead server, and the StatusError carries the
+// code.
+func TestReadyDraining(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"status":"draining"}`))
+	}))
+	defer ts.Close()
+
+	rd, err := New(Config{BaseURL: ts.URL}).Ready(context.Background())
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("err %v, want 503 StatusError", err)
+	}
+	if rd.Status != "draining" {
+		t.Fatalf("readiness %+v, want draining parsed alongside the error", rd)
+	}
+}

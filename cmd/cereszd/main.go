@@ -14,6 +14,12 @@
 //	                     while draining, 200 otherwise
 //	GET  /debug/metrics  Prometheus text metrics (also /debug/pprof/*,
 //	                     /debug/vars, /debug/telemetry)
+//	GET  /debug/timeseries  windowed rollups: per-interval rates, deltas
+//	                        and quantiles over the recent ring
+//	GET  /debug/slo      SLO evaluation: compliance, error budget, 5m/1h
+//	                     burn rates per objective (-slo)
+//	GET  /debug/flight   flight-recorder status; POST /debug/flight/dump
+//	                     forces an incident dump (-flight-dir)
 //
 // On SIGINT/SIGTERM the daemon flips /healthz to 503, refuses new /v1/*
 // work with Retry-After, and waits up to -drain-timeout for in-flight
@@ -47,6 +53,19 @@
 //	-access-log PATH       structured JSON access log ("-" = stderr,
 //	                       "" = off)
 //	-access-log-sample N   log 1-in-N finished requests
+//	-rollup-interval DUR   windowed time-series interval (default 5s,
+//	                       negative = rollups off)
+//	-rollup-windows N      rollup ring capacity (0 = 720)
+//	-slo SPECS             comma-separated objectives, each
+//	                       <endpoint>:p<q><<dur>:<target%> (latency) or
+//	                       <endpoint>:err:<target%> (error rate), e.g.
+//	                       "compress:p99<25ms:99.9,decompress:err:99.99"
+//	-slo-degraded-burn F   5m burn rate at which readiness reports
+//	                       degraded (0 = 2; the probe stays 200)
+//	-flight-dir PATH       enable the anomaly-triggered flight recorder;
+//	                       incident dumps (rollup windows, SLO state,
+//	                       runtime health, Chrome trace) land here
+//	-flight-min-interval DUR  dump rate limit (0 = 30s)
 //
 // Request observability rides on every response: X-Ceresz-Request-Id and
 // Traceparent headers echo the request's identity, and a Server-Timing
@@ -90,7 +109,19 @@ func main() {
 	slowRing := flag.Int("slow-ring", 0, "slowest-request ring capacity (0 = 32)")
 	accessLog := flag.String("access-log", "", "structured JSON access log path (\"-\" = stderr, \"\" = off)")
 	accessLogSample := flag.Int("access-log-sample", 1, "log 1-in-N finished requests")
+	rollupInterval := flag.Duration("rollup-interval", 5*time.Second, "windowed time-series interval (negative = rollups off)")
+	rollupWindows := flag.Int("rollup-windows", 0, "rollup ring capacity (0 = 720, one hour at 5s)")
+	sloSpecs := flag.String("slo", "", "comma-separated SLOs, e.g. \"compress:p99<25ms:99.9,decompress:err:99.99\"")
+	sloDegradedBurn := flag.Float64("slo-degraded-burn", 0, "5m burn rate at which /healthz/ready reports degraded (0 = 2)")
+	flightDir := flag.String("flight-dir", "", "directory for anomaly-triggered incident dumps (\"\" = flight recorder off)")
+	flightMinInterval := flag.Duration("flight-min-interval", 0, "min interval between trigger-initiated incident dumps (0 = 30s)")
 	flag.Parse()
+
+	objectives, err := server.ParseObjectives(*sloSpecs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cereszd:", err)
+		os.Exit(1)
+	}
 
 	var logW io.Writer
 	switch *accessLog {
@@ -125,15 +156,28 @@ func main() {
 		SlowRing:       *slowRing,
 		AccessLog:      logW,
 		AccessLogEvery: *accessLogSample,
+
+		RollupInterval:    *rollupInterval,
+		RollupWindows:     *rollupWindows,
+		Objectives:        objectives,
+		SLODegradedBurn:   *sloDegradedBurn,
+		FlightDir:         *flightDir,
+		FlightMinInterval: *flightMinInterval,
 	})
+	defer srv.Close()
 
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
 	mux.Handle("/debug/", telemetry.DebugMux(reg, "cereszd"))
 	// Exact paths outrank the /debug/ prefix above, so the request-span
-	// views stay reachable alongside the shared telemetry pages.
+	// and fleet-health views stay reachable alongside the shared
+	// telemetry pages.
 	mux.Handle("/debug/requests", srv.RequestsHandler())
 	mux.Handle("/debug/trace", srv.TraceHandler())
+	mux.Handle("/debug/timeseries", srv.TimeseriesHandler())
+	mux.Handle("/debug/slo", srv.SLOHandler())
+	mux.Handle("/debug/flight", srv.FlightHandler())
+	mux.Handle("/debug/flight/dump", srv.FlightDumpHandler())
 
 	hs := &http.Server{Addr: *addr, Handler: mux}
 

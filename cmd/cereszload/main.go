@@ -62,6 +62,7 @@ import (
 
 	"ceresz"
 	"ceresz/client"
+	"ceresz/internal/telemetry"
 )
 
 // synthData is the bench field: a smooth multi-scale wave, the shape the
@@ -108,6 +109,50 @@ type sweepPoint struct {
 	// timings (from Server-Timing trailers) and what is left — network
 	// plus client overhead.
 	Stages *stageAttr `json:"server_stages_us,omitempty"`
+	// SLO holds the -slo objectives checked against this point's own
+	// measurements (client-observed latencies and attempt/error counts).
+	SLO []sloResult `json:"slo,omitempty"`
+}
+
+// sloResult is one -slo objective evaluated against a sweep point. The
+// spec syntax matches cereszd's -slo flag; the subject token is carried
+// for labeling only — cereszload drives /v1/compress, so every objective
+// is checked against the point's own request stream.
+type sloResult struct {
+	Spec       string  `json:"spec"`
+	Good       int     `json:"good"`
+	Total      int     `json:"total"`
+	Attainment float64 `json:"attainment"`
+	Target     float64 `json:"target"`
+	Pass       bool    `json:"pass"`
+}
+
+// evalPointSLOs checks each parsed objective against one sweep point:
+// latency SLIs count client-observed request latencies at or under the
+// threshold, err SLIs count non-failed attempts.
+func evalPointSLOs(specs []telemetry.SLOSpec, lats []time.Duration, attempts, errors int) []sloResult {
+	out := make([]sloResult, 0, len(specs))
+	for _, spec := range specs {
+		var good, total int
+		if spec.SLI == "err" {
+			total = attempts
+			good = attempts - errors
+		} else {
+			total = len(lats)
+			for _, l := range lats {
+				if l <= spec.Threshold {
+					good++
+				}
+			}
+		}
+		r := sloResult{Spec: spec.Raw, Good: good, Total: total, Target: spec.Target, Attainment: 1}
+		if total > 0 {
+			r.Attainment = float64(good) / float64(total)
+		}
+		r.Pass = r.Attainment >= spec.Target
+		out = append(out, r)
+	}
+	return out
 }
 
 // stageAttr is the client-vs-server latency attribution of one sweep
@@ -176,10 +221,16 @@ func main() {
 	appendOut := flag.Bool("append", false, "merge points into an existing -out file instead of overwriting")
 	repeatRatio := flag.Float64("repeat-ratio", 0, "fraction of requests resending an already-seen payload (cache-warm traffic, 0..1)")
 	wait := flag.Duration("wait", 0, "poll the server's readiness up to this long before starting (0 = single probe)")
+	slo := flag.String("slo", "", "comma-separated SLOs checked per sweep point against client-observed latencies/errors (cereszd -slo syntax)")
 	flag.Parse()
 
 	if *repeatRatio < 0 || *repeatRatio > 1 {
 		fmt.Fprintln(os.Stderr, "cereszload: -repeat-ratio must be in [0,1]")
+		os.Exit(1)
+	}
+	sloSpecs, err := telemetry.ParseSLOSpecs(*slo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cereszload:", err)
 		os.Exit(1)
 	}
 	ctx := context.Background()
@@ -191,7 +242,7 @@ func main() {
 		fmt.Println("cereszload: smoke OK")
 		return
 	}
-	if err := runSweep(ctx, *addr, *elems, *requests, *chunk, *eps, *out, *traceOut, *hostWorkers, *appendOut, *repeatRatio, *wait); err != nil {
+	if err := runSweep(ctx, *addr, *elems, *requests, *chunk, *eps, *out, *traceOut, *hostWorkers, *appendOut, *repeatRatio, *wait, sloSpecs); err != nil {
 		fmt.Fprintln(os.Stderr, "cereszload:", err)
 		os.Exit(1)
 	}
@@ -340,7 +391,7 @@ func sweepCounts() []int {
 	return append(counts, ncpu)
 }
 
-func runSweep(ctx context.Context, addr string, elems, requests, chunk int, eps float64, out, traceOut string, hostWorkers int, appendOut bool, repeatRatio float64, wait time.Duration) error {
+func runSweep(ctx context.Context, addr string, elems, requests, chunk int, eps float64, out, traceOut string, hostWorkers int, appendOut bool, repeatRatio float64, wait time.Duration, sloSpecs []telemetry.SLOSpec) error {
 	// Size the connection pool to the widest sweep point so every client
 	// goroutine keeps a warm connection.
 	maxClients := sweepCounts()[len(sweepCounts())-1]
@@ -353,7 +404,7 @@ func runSweep(ctx context.Context, addr string, elems, requests, chunk int, eps 
 	fmt.Printf("%8s %9s %12s %10s %10s %10s %9s %7s %5s\n",
 		"clients", "requests", "GB/s", "p50", "p95", "p99", "attempts", "errors", "429s")
 	for _, k := range sweepCounts() {
-		pt, err := runPoint(ctx, c, k, elems, requests, chunk, eps, repeatRatio)
+		pt, err := runPoint(ctx, c, k, elems, requests, chunk, eps, repeatRatio, sloSpecs)
 		if err != nil {
 			return fmt.Errorf("%d clients: %w", k, err)
 		}
@@ -379,6 +430,20 @@ func runSweep(ctx context.Context, addr string, elems, requests, chunk int, eps 
 		fmt.Printf("%8d %8dus %8dus %7dus %7dus %7dus %7dus %7dus %7dus %9dus\n",
 			pt.Clients, a.ClientUS, a.ServerUS, a.AdmitUS, a.WorkerUS,
 			a.ReadUS, a.CacheUS, a.CodecUS, a.WriteUS, a.OverheadUS)
+	}
+
+	if len(sloSpecs) > 0 {
+		fmt.Printf("\nslo check (client-observed, per sweep point):\n")
+		for _, pt := range report.Points {
+			for _, r := range pt.SLO {
+				verdict := "PASS"
+				if !r.Pass {
+					verdict = "FAIL"
+				}
+				fmt.Printf("%8d clients  %-32s %7.3f%% >= %.3f%%  %d/%d  %s\n",
+					pt.Clients, r.Spec, r.Attainment*100, r.Target*100, r.Good, r.Total, verdict)
+			}
+		}
 	}
 
 	if traceOut != "" {
@@ -441,7 +506,7 @@ func stampUnique(data []float32, chunk int) {
 // payload shared by all workers (evenly interleaved with unique-chunk
 // requests), so a chunk-caching server sees that fraction as warm
 // traffic; 0 keeps every request's chunks unseen.
-func runPoint(ctx context.Context, c *client.Client, k, elems, requests, chunk int, eps, repeatRatio float64) (sweepPoint, error) {
+func runPoint(ctx context.Context, c *client.Client, k, elems, requests, chunk int, eps, repeatRatio float64, sloSpecs []telemetry.SLOSpec) (sweepPoint, error) {
 	type result struct {
 		lat      []time.Duration
 		comp     int64
@@ -562,5 +627,6 @@ func runPoint(ctx context.Context, c *client.Client, k, elems, requests, chunk i
 		}
 		pt.Stages = a
 	}
+	pt.SLO = evalPointSLOs(sloSpecs, lats, attempts, errors)
 	return pt, nil
 }

@@ -25,6 +25,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -96,6 +97,29 @@ type Config struct {
 	// AccessLogEvery samples 1-in-N requests into AccessLog (0 or 1 =
 	// every request).
 	AccessLogEvery int
+	// RollupInterval is the windowed time-series interval: the server
+	// aggregates its instruments into per-interval rate/quantile windows
+	// (/debug/timeseries, the _rate and _window Prometheus series) off the
+	// hot path. 0 leaves rollups off unless Objectives or FlightDir need
+	// them (then 5s); negative forces them off.
+	RollupInterval time.Duration
+	// RollupWindows is the rollup ring capacity (0 = 720 — one hour of 5s
+	// windows).
+	RollupWindows int
+	// Objectives are the server's SLOs, evaluated over the rollup ring
+	// into /debug/slo, ceresz_slo_* gauges and the readiness probe's
+	// degraded detail. Build them with ParseObjectives.
+	Objectives []telemetry.Objective
+	// SLODegradedBurn is the 5m burn rate at which an objective reports
+	// degraded (0 = telemetry.DefaultDegradedBurn).
+	SLODegradedBurn float64
+	// FlightDir enables the anomaly-triggered flight recorder: incident
+	// dumps (rollup windows + SLO state + runtime health + Chrome trace)
+	// land here ("" = off).
+	FlightDir string
+	// FlightMinInterval rate-limits trigger-initiated incident dumps
+	// (0 = 30s).
+	FlightMinInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -144,6 +168,11 @@ func (c Config) withDefaults() Config {
 	if c.AccessLogEvery <= 0 {
 		c.AccessLogEvery = 1
 	}
+	// SLOs and the flight recorder evaluate over rollup windows, so either
+	// one pulls the rollup layer in at its default cadence.
+	if c.RollupInterval == 0 && (len(c.Objectives) > 0 || c.FlightDir != "") {
+		c.RollupInterval = 5 * time.Second
+	}
 	return c
 }
 
@@ -165,6 +194,21 @@ type epMetrics struct {
 	stageUS   [numStages]*telemetry.Histogram
 }
 
+// epMetricHelp documents each endpoint instrument's suffix; the text rides
+// registration into the Prometheus exposition as # HELP lines.
+var epMetricHelp = [...]struct{ suffix, help string }{
+	{"requests", "Requests admitted past admission control."},
+	{"failures", "Requests whose handler returned an error."},
+	{"rejected", "Requests refused with 429 by admission control."},
+	{"status_2xx", "Responses with a 2xx status."},
+	{"status_4xx", "Responses with a 4xx status (429 rejections included)."},
+	{"status_5xx", "Responses with a 5xx status."},
+	{"bytes_in", "Request payload bytes consumed."},
+	{"bytes_out", "Response payload bytes written."},
+	{"chunks", "Chunks (frames / bundle fields) processed."},
+	{"latency_us", "End-to-end request latency in microseconds."},
+}
+
 func newEpMetrics(reg *telemetry.Registry, ep uint8) *epMetrics {
 	name := epNames[ep]
 	m := &epMetrics{
@@ -180,8 +224,13 @@ func newEpMetrics(reg *telemetry.Registry, ep uint8) *epMetrics {
 		chunks:    reg.Counter("server." + name + ".chunks"),
 		latencyUS: reg.Histogram("server." + name + ".latency_us"),
 	}
+	for _, h := range epMetricHelp {
+		reg.Describe("server."+name+"."+h.suffix, "/v1/"+name+": "+h.help)
+	}
 	for st := stage(0); st < numStages; st++ {
 		m.stageUS[st] = reg.Histogram("server." + name + "." + stageNames[st] + "_us")
+		reg.Describe("server."+name+"."+stageNames[st]+"_us",
+			"/v1/"+name+": time spent in the "+stageNames[st]+" stage, microseconds.")
 	}
 	return m
 }
@@ -207,6 +256,13 @@ type Server struct {
 	// cache memoizes per-chunk codec results (nil when Config.CacheBytes
 	// is 0 — the handlers then run the exact pre-cache code path).
 	cache *chunkcache.Cache
+	// rollup / slo / flight are the fleet-health layer: windowed time
+	// series over the registry, objectives evaluated over those windows,
+	// and the anomaly-triggered incident dumper. All nil when their
+	// Config knobs are off — the serving path never consults them.
+	rollup *telemetry.Rollup
+	slo    *telemetry.SLOEngine
+	flight *telemetry.FlightRecorder
 
 	draining atomic.Bool
 	// ready gates the readiness probes: false before the daemon's listener
@@ -250,6 +306,11 @@ func New(cfg Config) *Server {
 		mDecompress:   newEpMetrics(cfg.Registry, epDecompress),
 		mBundle:       newEpMetrics(cfg.Registry, epBundle),
 	}
+	cfg.Registry.Describe("server.draining", "1 while the server refuses new work to drain.")
+	cfg.Registry.Describe("server.inflight", "Requests currently holding a codec worker.")
+	cfg.Registry.Describe("server.queue_depth", "Admitted requests waiting for a codec worker.")
+	cfg.Registry.Describe("server.host_pool_peak_workers", "Peak shared host-pool occupancy observed.")
+	cfg.Registry.Describe("server.host_shard_imbalance_pct", "Last host-codec shard imbalance, percent.")
 	s.ready.Store(true)
 	if cfg.CacheBytes > 0 {
 		s.cache = chunkcache.New(cfg.CacheBytes, cfg.Registry)
@@ -257,8 +318,44 @@ func New(cfg Config) *Server {
 	for i := 0; i < cfg.Workers; i++ {
 		s.codecs <- newCodec(i)
 	}
+	if cfg.RollupInterval > 0 {
+		s.rollup = telemetry.NewRollup(cfg.Registry, telemetry.RollupConfig{
+			Interval: cfg.RollupInterval,
+			Windows:  cfg.RollupWindows,
+		})
+		if len(cfg.Objectives) > 0 {
+			s.slo = telemetry.NewSLOEngine(s.rollup, cfg.Objectives, cfg.SLODegradedBurn)
+		}
+		if cfg.FlightDir != "" {
+			s.flight = telemetry.NewFlightRecorder(telemetry.FlightConfig{
+				Dir:         cfg.FlightDir,
+				MinInterval: cfg.FlightMinInterval,
+			}, s.rollup, s.slo, func(buf *bytes.Buffer) error {
+				return s.tr.writeChromeTrace(buf, cfg.Workers)
+			})
+		}
+		s.rollup.Start()
+	}
 	return s
 }
+
+// Close stops the server's background work (the rollup ticker). The HTTP
+// handlers stay functional — Close is about goroutine hygiene, not drain
+// (SetDraining owns that).
+func (s *Server) Close() {
+	if s.rollup != nil {
+		s.rollup.Stop()
+	}
+}
+
+// Rollup returns the windowed time-series layer, nil when rollups are off.
+func (s *Server) Rollup() *telemetry.Rollup { return s.rollup }
+
+// SLO returns the objective engine, nil when no objectives are configured.
+func (s *Server) SLO() *telemetry.SLOEngine { return s.slo }
+
+// Flight returns the flight recorder, nil when no FlightDir is configured.
+func (s *Server) Flight() *telemetry.FlightRecorder { return s.flight }
 
 // Handler returns the server's mux: POST /v1/compress, /v1/decompress,
 // /v1/bundle, GET /healthz, plus the request-observability views
@@ -272,9 +369,58 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleReady) // back-compat alias for readiness
 	mux.HandleFunc("/healthz/live", s.handleLive)
 	mux.HandleFunc("/healthz/ready", s.handleReady)
+	mux.Handle("/debug/metrics", s.cfg.Registry.MetricsHandler())
 	mux.Handle("/debug/requests", s.RequestsHandler())
 	mux.Handle("/debug/trace", s.TraceHandler())
+	mux.Handle("/debug/timeseries", s.TimeseriesHandler())
+	mux.Handle("/debug/slo", s.SLOHandler())
+	mux.Handle("/debug/flight", s.FlightHandler())
+	mux.Handle("/debug/flight/dump", s.FlightDumpHandler())
 	return mux
+}
+
+// notConfigured is the debug response for a fleet-health view whose layer
+// is switched off, so a probe distinguishes "off" from "wrong path".
+func notConfigured(what string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, what+" not configured", http.StatusNotFound)
+	})
+}
+
+// TimeseriesHandler serves the rollup ring (/debug/timeseries); 404 when
+// rollups are off.
+func (s *Server) TimeseriesHandler() http.Handler {
+	if s.rollup == nil {
+		return notConfigured("rollup time series")
+	}
+	return s.rollup.Handler()
+}
+
+// SLOHandler serves the objective evaluation (/debug/slo); 404 when no
+// objectives are configured.
+func (s *Server) SLOHandler() http.Handler {
+	if s.slo == nil {
+		return notConfigured("slo objectives")
+	}
+	return s.slo.Handler()
+}
+
+// FlightHandler serves the flight recorder's status (/debug/flight); 404
+// when no flight dir is configured.
+func (s *Server) FlightHandler() http.Handler {
+	if s.flight == nil {
+		return notConfigured("flight recorder")
+	}
+	return s.flight.StatusHandler()
+}
+
+// FlightDumpHandler forces an incident dump (POST /debug/flight/dump);
+// 404 when no flight dir is configured.
+func (s *Server) FlightDumpHandler() http.Handler {
+	if s.flight == nil {
+		return notConfigured("flight recorder")
+	}
+	return s.flight.DumpHandler()
 }
 
 // SetDraining flips drain mode: /healthz answers 503 so load balancers
@@ -310,10 +456,19 @@ func (s *Server) handleLive(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, `{"status":"alive"}`)
 }
 
+// readySLODetail is one burning objective in a degraded readiness body.
+type readySLODetail struct {
+	Spec            string  `json:"spec"`
+	BurnRate5m      float64 `json:"burn_rate_5m"`
+	BudgetRemaining float64 `json:"budget_remaining"`
+}
+
 // handleReady is the readiness probe (also served at /healthz for
 // back-compat): 503 before the daemon's listener is up and while
 // draining, so load balancers route traffic only to servers that will
-// accept it.
+// accept it. An SLO burning fast degrades the body detail but stays 200 —
+// a degraded server still serves, and yanking it from rotation would turn
+// a latency incident into an availability one.
 func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	switch {
@@ -324,6 +479,25 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, `{"status":"starting"}`)
 	default:
+		if s.slo != nil {
+			if statuses, degraded := s.slo.Degraded(); degraded {
+				details := make([]readySLODetail, 0, len(statuses))
+				for _, st := range statuses {
+					if st.Degraded {
+						details = append(details, readySLODetail{
+							Spec:            st.Spec.Raw,
+							BurnRate5m:      st.BurnRate5m,
+							BudgetRemaining: st.BudgetRemaining,
+						})
+					}
+				}
+				_ = json.NewEncoder(w).Encode(struct {
+					Status string           `json:"status"`
+					SLO    []readySLODetail `json:"slo"`
+				}{Status: "degraded", SLO: details})
+				return
+			}
+		}
 		fmt.Fprintln(w, `{"status":"ok"}`)
 	}
 }

@@ -44,6 +44,14 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	timers   map[string]*Timer
 	hists    map[string]*Histogram
+	help     map[string]string
+
+	// rollup / slo point at the windowed time-series layer attached to
+	// this registry (nil until NewRollup / NewSLOEngine). MetricsHandler
+	// appends their exposition after the base snapshot, so one scrape
+	// carries cumulative series, windowed rates and SLO state together.
+	rollup atomic.Pointer[Rollup]
+	slo    atomic.Pointer[SLOEngine]
 }
 
 // NewRegistry returns an empty, enabled registry.
@@ -53,6 +61,7 @@ func NewRegistry() *Registry {
 		gauges:   map[string]*Gauge{},
 		timers:   map[string]*Timer{},
 		hists:    map[string]*Histogram{},
+		help:     map[string]string{},
 	}
 	r.on.Store(true)
 	return r
@@ -130,6 +139,16 @@ func (r *Registry) Histogram(name string) *Histogram {
 		r.hists[name] = h
 	}
 	return h
+}
+
+// Describe attaches HELP text to the named instrument. The text rides
+// registry snapshots into the Prometheus exposition as a `# HELP` line;
+// instruments never described get a generated fallback there. Describing
+// the same name again overwrites.
+func (r *Registry) Describe(name, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.help[name] = help
 }
 
 // C is shorthand for Default.Counter — the form instrumented packages use
@@ -384,6 +403,9 @@ type Snapshot struct {
 	Gauges   map[string]int64      `json:"gauges,omitempty"`
 	Timers   map[string]TimerStats `json:"timers,omitempty"`
 	Hists    map[string]HistStats  `json:"histograms,omitempty"`
+	// Help carries the Describe'd instrument documentation, keyed by the
+	// original instrument name (not the sanitized metric name).
+	Help map[string]string `json:"-"`
 }
 
 // Snapshot captures the registry's current state. Counters that never
@@ -396,6 +418,10 @@ func (r *Registry) Snapshot() Snapshot {
 		Gauges:   make(map[string]int64, len(r.gauges)),
 		Timers:   make(map[string]TimerStats, len(r.timers)),
 		Hists:    make(map[string]HistStats, len(r.hists)),
+		Help:     make(map[string]string, len(r.help)),
+	}
+	for name, h := range r.help {
+		s.Help[name] = h
 	}
 	for name, c := range r.counters {
 		s.Counters[name] = c.Value()
@@ -436,6 +462,57 @@ func (r *Registry) Snapshot() Snapshot {
 			hs.P99 = histQuantile(&counts, hs.Count, 0.99)
 		}
 		s.Hists[name] = hs
+	}
+	return s
+}
+
+// histRaw is one histogram's raw state — the bucket-resolution form the
+// rollup layer diffs between ticks (Snapshot's bucket map collapses empty
+// buckets, which is right for JSON but awkward for deltas).
+type histRaw struct {
+	count   int64
+	sum     int64
+	buckets [histBuckets]int64
+}
+
+// rawState is a point-in-time copy of every instrument at full resolution.
+// The rollup ticker keeps the previous state and diffs against the next.
+type rawState struct {
+	at       time.Time
+	counters map[string]int64
+	gauges   map[string]int64
+	timers   map[string]TimerStats
+	hists    map[string]histRaw
+}
+
+// rawSnapshot captures the registry at bucket resolution for windowing.
+func (r *Registry) rawSnapshot(now time.Time) rawState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := rawState{
+		at:       now,
+		counters: make(map[string]int64, len(r.counters)),
+		gauges:   make(map[string]int64, len(r.gauges)),
+		timers:   make(map[string]TimerStats, len(r.timers)),
+		hists:    make(map[string]histRaw, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.gauges[name] = g.Value()
+	}
+	for name, t := range r.timers {
+		s.timers[name] = TimerStats{Count: t.count.Load(), SumNs: t.sumNs.Load()}
+	}
+	for name, h := range r.hists {
+		var hr histRaw
+		hr.count = h.count.Load()
+		hr.sum = h.sum.Load()
+		for i := range h.buckets {
+			hr.buckets[i] = h.buckets[i].Load()
+		}
+		s.hists[name] = hr
 	}
 	return s
 }
