@@ -64,6 +64,12 @@ type Config struct {
 	// in-flight request reuses a warm connection instead of re-dialing.
 	// Ignored when HTTPClient is set.
 	MaxIdleConnsPerHost int
+	// Tenant tags every request with an X-Ceresz-Tenant header — the
+	// identity cereszproxy's per-tenant QoS buckets key on ("" = untagged;
+	// the proxy pools untagged traffic into one shared bucket). A proxy
+	// throttle arrives as a 429 with Retry-After and is retried with the
+	// same backoff discipline as a direct server 429.
+	Tenant string
 }
 
 // Client talks to one cereszd instance.
@@ -191,6 +197,7 @@ func (c *Client) do(ctx context.Context, path string, body []byte, tr *Trace) ([
 		}
 		req.Header.Set("Content-Type", "application/octet-stream")
 		req.Header.Set("Traceparent", traceparent(traceID, c.newSpanID()))
+		c.setTenant(req)
 		if tr != nil {
 			tr.Attempts++
 		}
@@ -382,12 +389,22 @@ func (c *Client) bundle(ctx context.Context, fields []BundleField, tr *Trace) ([
 	return out, err
 }
 
+// setTenant stamps the configured tenant identity onto req. Every
+// request carries it — data paths and probes alike — so multi-tenant
+// proxies attribute all of a client's traffic to one identity.
+func (c *Client) setTenant(req *http.Request) {
+	if c.cfg.Tenant != "" {
+		req.Header.Set("X-Ceresz-Tenant", c.cfg.Tenant)
+	}
+}
+
 // Health probes /healthz; nil means the server is up and not draining.
 func (c *Client) Health(ctx context.Context) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.BaseURL+"/healthz", nil)
 	if err != nil {
 		return err
 	}
+	c.setTenant(req)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return err
@@ -429,6 +446,7 @@ func (c *Client) Ready(ctx context.Context) (Readiness, error) {
 	if err != nil {
 		return rd, err
 	}
+	c.setTenant(req)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return rd, err

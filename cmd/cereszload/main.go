@@ -42,6 +42,12 @@
 //	-wait DUR      poll the server's readiness up to DUR before starting
 //	               instead of failing on the first probe
 //	-smoke         run the correctness round-trip instead of the sweep
+//	-tenant ID     tag every request with X-Ceresz-Tenant (the identity
+//	               cereszproxy's per-tenant QoS buckets key on)
+//	-targets URLS  cluster mode: comma-separated backend base URLs to
+//	               scrape around each sweep point; -addr then points at a
+//	               cereszproxy and each point records the per-backend
+//	               request/cache-hit distribution the router produced
 package main
 
 import (
@@ -56,6 +62,8 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -112,6 +120,26 @@ type sweepPoint struct {
 	// SLO holds the -slo objectives checked against this point's own
 	// measurements (client-observed latencies and attempt/error counts).
 	SLO []sloResult `json:"slo,omitempty"`
+	// Backends records each -targets backend's share of this point's
+	// traffic (scraped /debug/metrics deltas): how the proxy's
+	// digest-affinity routing actually distributed the requests, and the
+	// chunk-cache economics it produced per node.
+	Backends []backendPoint `json:"backends,omitempty"`
+}
+
+// backendPoint is one backend's scraped delta over a sweep point.
+type backendPoint struct {
+	URL      string `json:"url"`
+	Requests int64  `json:"requests"`
+	// Share is this backend's fraction of the point's compress requests —
+	// digest routing concentrates repeat traffic (high skew), random
+	// routing spreads it (~1/N each).
+	Share       float64 `json:"share"`
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+	// HitRate is CacheHits over cache lookups on this backend (0 with no
+	// lookups, e.g. caching off).
+	HitRate float64 `json:"hit_rate"`
 }
 
 // sloResult is one -slo objective evaluated against a sweep point. The
@@ -222,6 +250,8 @@ func main() {
 	repeatRatio := flag.Float64("repeat-ratio", 0, "fraction of requests resending an already-seen payload (cache-warm traffic, 0..1)")
 	wait := flag.Duration("wait", 0, "poll the server's readiness up to this long before starting (0 = single probe)")
 	slo := flag.String("slo", "", "comma-separated SLOs checked per sweep point against client-observed latencies/errors (cereszd -slo syntax)")
+	tenant := flag.String("tenant", "", "X-Ceresz-Tenant identity on every request (\"\" = untagged)")
+	targets := flag.String("targets", "", "cluster mode: comma-separated backend base URLs to scrape for per-backend distribution")
 	flag.Parse()
 
 	if *repeatRatio < 0 || *repeatRatio > 1 {
@@ -233,19 +263,105 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cereszload:", err)
 		os.Exit(1)
 	}
+	var targetURLs []string
+	for _, t := range strings.Split(*targets, ",") {
+		if t = strings.TrimSpace(strings.TrimRight(t, "/")); t != "" {
+			targetURLs = append(targetURLs, t)
+		}
+	}
 	ctx := context.Background()
 	if *smoke {
-		if err := runSmoke(ctx, *addr, *chunk, *eps, *wait); err != nil {
+		if err := runSmoke(ctx, *addr, *chunk, *eps, *wait, *tenant); err != nil {
 			fmt.Fprintln(os.Stderr, "cereszload: smoke FAILED:", err)
 			os.Exit(1)
 		}
 		fmt.Println("cereszload: smoke OK")
 		return
 	}
-	if err := runSweep(ctx, *addr, *elems, *requests, *chunk, *eps, *out, *traceOut, *hostWorkers, *appendOut, *repeatRatio, *wait, sloSpecs); err != nil {
+	if err := runSweep(ctx, *addr, *elems, *requests, *chunk, *eps, *out, *traceOut, *hostWorkers, *appendOut, *repeatRatio, *wait, sloSpecs, *tenant, targetURLs); err != nil {
 		fmt.Fprintln(os.Stderr, "cereszload:", err)
 		os.Exit(1)
 	}
+}
+
+// scrapeCounters fetches a backend's /debug/metrics Prometheus text and
+// returns the plain (label-free) counter/gauge samples by metric name.
+func scrapeCounters(ctx context.Context, base string) (map[string]float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/debug/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s/debug/metrics returned %d", base, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 || strings.Contains(fields[0], "{") {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		out[fields[0]] = v
+	}
+	return out, nil
+}
+
+// backendDeltas scrapes every target and diffs against base, producing
+// the per-backend distribution of one sweep point. Metric names follow
+// the registry's exposition: server.compress.requests becomes
+// ceresz_server_compress_requests, cache.hits ceresz_cache_hits.
+func backendDeltas(ctx context.Context, targets []string, base []map[string]float64) ([]backendPoint, []map[string]float64, error) {
+	cur := make([]map[string]float64, len(targets))
+	for i, t := range targets {
+		m, err := scrapeCounters(ctx, t)
+		if err != nil {
+			return nil, nil, fmt.Errorf("scrape %s: %w", t, err)
+		}
+		cur[i] = m
+	}
+	var pts []backendPoint
+	var total int64
+	for i, t := range targets {
+		d := func(name string) int64 {
+			v := cur[i][name]
+			if base != nil {
+				v -= base[i][name]
+			}
+			return int64(v + 0.5)
+		}
+		bp := backendPoint{
+			URL:         t,
+			Requests:    d("ceresz_server_compress_requests"),
+			CacheHits:   d("ceresz_cache_hits") + d("ceresz_cache_coalesced"),
+			CacheMisses: d("ceresz_cache_misses"),
+		}
+		if lookups := bp.CacheHits + bp.CacheMisses; lookups > 0 {
+			bp.HitRate = float64(bp.CacheHits) / float64(lookups)
+		}
+		total += bp.Requests
+		pts = append(pts, bp)
+	}
+	for i := range pts {
+		if total > 0 {
+			pts[i].Share = float64(pts[i].Requests) / float64(total)
+		}
+	}
+	return pts, cur, nil
 }
 
 // waitReady polls the server's readiness endpoint (/healthz, the
@@ -301,8 +417,8 @@ func fetchTrace(ctx context.Context, addr, path string) error {
 
 // runSmoke is the CI gate: one compress + one decompress against a live
 // server, checked for exactness against the library.
-func runSmoke(ctx context.Context, addr string, chunk int, eps float64, wait time.Duration) error {
-	c := client.New(client.Config{BaseURL: addr, ChunkElems: chunk})
+func runSmoke(ctx context.Context, addr string, chunk int, eps float64, wait time.Duration, tenant string) error {
+	c := client.New(client.Config{BaseURL: addr, ChunkElems: chunk, Tenant: tenant})
 	if err := waitReady(ctx, c, wait); err != nil {
 		return fmt.Errorf("health: %w", err)
 	}
@@ -391,15 +507,25 @@ func sweepCounts() []int {
 	return append(counts, ncpu)
 }
 
-func runSweep(ctx context.Context, addr string, elems, requests, chunk int, eps float64, out, traceOut string, hostWorkers int, appendOut bool, repeatRatio float64, wait time.Duration, sloSpecs []telemetry.SLOSpec) error {
+func runSweep(ctx context.Context, addr string, elems, requests, chunk int, eps float64, out, traceOut string, hostWorkers int, appendOut bool, repeatRatio float64, wait time.Duration, sloSpecs []telemetry.SLOSpec, tenant string, targets []string) error {
 	// Size the connection pool to the widest sweep point so every client
 	// goroutine keeps a warm connection.
 	maxClients := sweepCounts()[len(sweepCounts())-1]
-	c := client.New(client.Config{BaseURL: addr, ChunkElems: chunk, MaxIdleConnsPerHost: maxClients})
+	c := client.New(client.Config{BaseURL: addr, ChunkElems: chunk, MaxIdleConnsPerHost: maxClients, Tenant: tenant})
 	if err := waitReady(ctx, c, wait); err != nil {
 		return fmt.Errorf("health: %w", err)
 	}
 	report := benchReport{Addr: addr, Elems: elems, ChunkElems: chunk, Eps: eps, NumCPU: runtime.NumCPU()}
+
+	// Cluster mode: baseline each target's counters so every sweep point
+	// reports only its own per-backend deltas.
+	var targetBase []map[string]float64
+	if len(targets) > 0 {
+		var err error
+		if _, targetBase, err = backendDeltas(ctx, targets, nil); err != nil {
+			return err
+		}
+	}
 
 	fmt.Printf("%8s %9s %12s %10s %10s %10s %9s %7s %5s\n",
 		"clients", "requests", "GB/s", "p50", "p95", "p99", "attempts", "errors", "429s")
@@ -409,10 +535,27 @@ func runSweep(ctx context.Context, addr string, elems, requests, chunk int, eps 
 			return fmt.Errorf("%d clients: %w", k, err)
 		}
 		pt.HostWorkers = hostWorkers
+		if len(targets) > 0 {
+			pt.Backends, targetBase, err = backendDeltas(ctx, targets, targetBase)
+			if err != nil {
+				return err
+			}
+		}
 		report.Points = append(report.Points, pt)
 		fmt.Printf("%8d %9d %12.3f %9dus %9dus %9dus %9d %7d %5d\n",
 			pt.Clients, pt.Requests, pt.ThroughputGBps, pt.P50us, pt.P95us, pt.P99us,
 			pt.Attempts, pt.Errors, pt.Rejected429)
+	}
+
+	if len(targets) > 0 {
+		fmt.Printf("\nper-backend distribution (compress requests, cache hit rate):\n")
+		for _, pt := range report.Points {
+			fmt.Printf("%8d clients:", pt.Clients)
+			for _, bp := range pt.Backends {
+				fmt.Printf("  %s %d (%.0f%%, hit %.0f%%)", bp.URL, bp.Requests, bp.Share*100, bp.HitRate*100)
+			}
+			fmt.Println()
+		}
 	}
 
 	// Client-vs-server attribution: where did the measured latency go?

@@ -1,0 +1,209 @@
+// Command cereszproxy fronts N cereszd backends as one logical
+// compression service: a consistent-hash shard router with health-checked
+// failover and per-tenant QoS (internal/cluster).
+//
+// Routing is keyed on the same SHA-256 digest family the backends'
+// content-addressed chunk cache uses, so identical chunks always land on
+// the node whose cache already holds them — cluster-wide repeat traffic
+// stays warm instead of spreading cold copies across every backend.
+//
+// Endpoints (the /v1/* surface is the backends', relayed):
+//
+//	POST /v1/compress       routed by the first chunk's cache digest
+//	POST /v1/decompress     routed by the first CSZF frame's cache digest
+//	POST /v1/bundle         routed by a prefix digest (no cache affinity)
+//	GET  /healthz           readiness (alias of /healthz/ready)
+//	GET  /healthz/live      liveness: 200 while the process is up
+//	GET  /healthz/ready     503 starting/draining/no routable backends;
+//	                        200 with degraded detail otherwise
+//	GET  /debug/ring        routing table: per-backend state, weight,
+//	                        hash-space share, probe history
+//	GET  /debug/metrics     Prometheus text metrics (also /debug/pprof/*,
+//	                        /debug/vars, /debug/telemetry)
+//	GET  /debug/timeseries  windowed rollups over the proxy registry
+//	GET  /debug/slo         proxy-tier SLO burn rates (-slo)
+//
+// QoS: requests tagged X-Ceresz-Tenant draw from per-tenant token
+// buckets (-tenant-rate/-tenant-burst; exhausted buckets get 429 with an
+// exact Retry-After). X-Ceresz-Priority: low caps batch traffic at
+// -low-share of the worker pool. Backend 429s relay untouched.
+//
+// Failover: upstream connect errors and 5xx retry once on the next ring
+// owner when no response bytes have been sent and the request body is
+// replayable (buffered within -replay-bytes); a partially forwarded
+// streaming body refuses the retry with an explicit 502 instead of
+// silently resending. Backends failing -fail-after consecutive probes or
+// forwards leave the ring; degraded backends (the PR-10 readiness
+// detail) shed share at reduced weight.
+//
+// On SIGINT/SIGTERM the proxy flips readiness, refuses new work with
+// Retry-After and waits up to -drain-timeout for in-flight relays.
+//
+// Flags:
+//
+//	-addr host:port       listen address (default :8770)
+//	-backends URLS        comma-separated backend base URLs (required)
+//	-vnodes N             virtual nodes per healthy backend (0 = 64)
+//	-degraded-vnodes N    weight of a degraded backend (0 = vnodes/4)
+//	-workers N            concurrent relay cap (0 = 8x GOMAXPROCS)
+//	-low-share F          worker-pool fraction the low priority class may
+//	                      hold (0 = 0.5)
+//	-tenant-rate F        per-tenant requests/second (0 = unlimited)
+//	-tenant-burst N       per-tenant burst capacity (0 = max(1, rate))
+//	-max-tenants N        tenant bucket table bound (0 = 16Ki)
+//	-health-interval DUR  readiness poll interval (0 = 1s)
+//	-health-timeout DUR   per-probe timeout (0 = interval/2)
+//	-fail-after N         consecutive failures before ejection (0 = 3)
+//	-replay-bytes BYTES   request-body failover buffer (0 = 4MiB)
+//	-chunk N              backends' -chunk, for routing-digest agreement
+//	-block N              backends' -block, for routing-digest agreement
+//	-retry-after DUR      hint for proxy-origin 429/503 (0 = 1s)
+//	-random-route         route uniformly at random instead of by digest
+//	                      (affinity-off baseline for benchmarks)
+//	-drain-timeout DUR    shutdown grace for in-flight relays
+//	-rollup-interval DUR  windowed time-series interval (default 5s,
+//	                      negative = rollups off)
+//	-rollup-windows N     rollup ring capacity (0 = 720)
+//	-slo SPECS            proxy-tier objectives, same grammar as cereszd
+//	-slo-degraded-burn F  5m burn rate at which readiness reports degraded
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ceresz/internal/cluster"
+	"ceresz/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", ":8770", "listen address")
+	backends := flag.String("backends", "", "comma-separated backend base URLs (required)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per healthy backend (0 = 64)")
+	degradedVnodes := flag.Int("degraded-vnodes", 0, "ring weight of a degraded backend (0 = vnodes/4)")
+	workers := flag.Int("workers", 0, "concurrent relay cap (0 = 8x GOMAXPROCS)")
+	lowShare := flag.Float64("low-share", 0, "worker-pool fraction the low priority class may hold (0 = 0.5)")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant requests/second (0 = unlimited)")
+	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant burst capacity (0 = max(1, rate))")
+	maxTenants := flag.Int("max-tenants", 0, "tenant bucket table bound (0 = 16Ki)")
+	healthInterval := flag.Duration("health-interval", 0, "readiness poll interval (0 = 1s)")
+	healthTimeout := flag.Duration("health-timeout", 0, "per-probe timeout (0 = interval/2)")
+	failAfter := flag.Int("fail-after", 0, "consecutive failures before a backend is ejected (0 = 3)")
+	replayBytes := flag.Int("replay-bytes", 0, "request-body failover buffer in bytes (0 = 4MiB)")
+	chunk := flag.Int("chunk", 0, "backends' -chunk, for routing-digest agreement (0 = 64Ki)")
+	block := flag.Int("block", 0, "backends' -block, for routing-digest agreement")
+	retryAfter := flag.Duration("retry-after", 0, "Retry-After hint for proxy-origin 429/503 (0 = 1s)")
+	randomRoute := flag.Bool("random-route", false, "route uniformly at random instead of by digest (baseline)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown grace for in-flight relays")
+	rollupInterval := flag.Duration("rollup-interval", 5*time.Second, "windowed time-series interval (negative = rollups off)")
+	rollupWindows := flag.Int("rollup-windows", 0, "rollup ring capacity (0 = 720)")
+	sloSpecs := flag.String("slo", "", "comma-separated proxy-tier SLOs, e.g. \"compress:p99<50ms:99.9\"")
+	sloDegradedBurn := flag.Float64("slo-degraded-burn", 0, "5m burn rate at which readiness reports degraded (0 = 2)")
+	flag.Parse()
+
+	var urls []string
+	for _, u := range strings.Split(*backends, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		fmt.Fprintln(os.Stderr, "cereszproxy: -backends is required")
+		os.Exit(1)
+	}
+	objectives, err := cluster.ParseObjectives(*sloSpecs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cereszproxy:", err)
+		os.Exit(1)
+	}
+	ri := *rollupInterval
+	if ri < 0 {
+		ri = 0
+	}
+
+	reg := telemetry.NewRegistry()
+	p, err := cluster.New(cluster.Config{
+		Backends:       urls,
+		Vnodes:         *vnodes,
+		DegradedVnodes: *degradedVnodes,
+		Workers:        *workers,
+		LowShare:       *lowShare,
+		TenantRate:     *tenantRate,
+		TenantBurst:    *tenantBurst,
+		MaxTenants:     *maxTenants,
+		Health: cluster.HealthConfig{
+			Interval:  *healthInterval,
+			Timeout:   *healthTimeout,
+			FailAfter: *failAfter,
+		},
+		ReplayBytes: *replayBytes,
+		ChunkElems:  *chunk,
+		BlockLen:    *block,
+		RetryAfter:  *retryAfter,
+		RandomRoute: *randomRoute,
+		Registry:    reg,
+
+		RollupInterval:  ri,
+		RollupWindows:   *rollupWindows,
+		Objectives:      objectives,
+		SLODegradedBurn: *sloDegradedBurn,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cereszproxy:", err)
+		os.Exit(1)
+	}
+	defer p.Close()
+
+	ph := p.Handler()
+	mux := http.NewServeMux()
+	mux.Handle("/", ph)
+	mux.Handle("/debug/", telemetry.DebugMux(reg, "cereszproxy"))
+	// Exact paths outrank the /debug/ prefix above, so the ring and
+	// fleet-health views stay reachable alongside the shared pages.
+	mux.Handle("/debug/ring", ph)
+	mux.Handle("/debug/timeseries", ph)
+	mux.Handle("/debug/slo", ph)
+
+	hs := &http.Server{Addr: *addr, Handler: mux}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// Listen before flipping readiness, mirroring cereszd: a poller that
+	// sees 200 can route immediately.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cereszproxy:", err)
+		os.Exit(1)
+	}
+	p.Start()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	p.SetReady(true)
+	fmt.Fprintf(os.Stderr, "cereszproxy listening on %s, backends: %s\n", ln.Addr(), strings.Join(urls, " "))
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "cereszproxy:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "cereszproxy: draining")
+	p.SetDraining(true)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "cereszproxy: shutdown:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "cereszproxy: drained")
+}

@@ -1,0 +1,519 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"ceresz/internal/server"
+	"ceresz/internal/telemetry"
+)
+
+// countingBackend wraps a handler and counts /v1/* POSTs it received.
+type countingBackend struct {
+	h    http.Handler
+	hits atomic.Int64
+}
+
+func (b *countingBackend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost && strings.HasPrefix(r.URL.Path, "/v1/") {
+		b.hits.Add(1)
+	}
+	b.h.ServeHTTP(w, r)
+}
+
+// newRealBackend boots a full internal/server instance with the chunk
+// cache on, wrapped in a request counter.
+func newRealBackend(t *testing.T) (*httptest.Server, *countingBackend) {
+	t.Helper()
+	srv := server.New(server.Config{
+		Workers:    2,
+		CacheBytes: 32 << 20,
+		Registry:   telemetry.NewRegistry(),
+	})
+	t.Cleanup(srv.Close)
+	cb := &countingBackend{h: srv.Handler()}
+	ts := httptest.NewServer(cb)
+	t.Cleanup(ts.Close)
+	return ts, cb
+}
+
+// newTestProxy builds a proxy over the given config without starting the
+// health pollers: tests drive health via the traffic path or directly,
+// keeping them deterministic.
+func newTestProxy(t *testing.T, cfg Config) (*Proxy, *httptest.Server, *telemetry.Registry) {
+	t.Helper()
+	if cfg.Registry == nil {
+		cfg.Registry = telemetry.NewRegistry()
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	p.SetReady(true)
+	ts := httptest.NewServer(p.Handler())
+	t.Cleanup(ts.Close)
+	return p, ts, cfg.Registry
+}
+
+func rawF32Body(n int, seed float32) []byte {
+	out := make([]byte, 4*n)
+	for i := 0; i < n; i++ {
+		v := seed + float32(math.Sin(0.01*float64(i)))
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(v))
+	}
+	return out
+}
+
+const compressQuery = "/v1/compress?mode=abs&eps=0.001&elem=f32&chunk=16384"
+
+func postCompress(t *testing.T, base string, body []byte, hdr map[string]string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, base+compressQuery, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// Digest affinity: the same chunk must route to the same backend every
+// time — that is what turns cluster-wide repeats into single-node warm
+// cache hits.
+func TestProxyDigestAffinity(t *testing.T) {
+	tsA, cbA := newRealBackend(t)
+	tsB, cbB := newRealBackend(t)
+	_, pts, _ := newTestProxy(t, Config{Backends: []string{tsA.URL, tsB.URL}})
+
+	body := rawF32Body(32<<10, 1)
+	const rounds = 8
+	for i := 0; i < rounds; i++ {
+		resp := postCompress(t, pts.URL, body, nil)
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("round %d: status %d: %s", i, resp.StatusCode, out)
+		}
+	}
+	a, b := cbA.hits.Load(), cbB.hits.Load()
+	if a+b != rounds {
+		t.Fatalf("backends saw %d+%d requests, want %d", a, b, rounds)
+	}
+	if a != 0 && b != 0 {
+		t.Fatalf("identical payload split across backends (%d/%d) — digest affinity broken", a, b)
+	}
+}
+
+// The proxy must relay bytes unchanged: a compress answer through the
+// proxy is byte-identical to the same request sent directly to a
+// backend, and decompressing the stream back through the proxy recovers
+// the data within the error bound.
+func TestProxyByteIdentity(t *testing.T) {
+	tsA, _ := newRealBackend(t)
+	tsB, _ := newRealBackend(t)
+	direct, _ := newRealBackend(t)
+	_, pts, _ := newTestProxy(t, Config{Backends: []string{tsA.URL, tsB.URL}})
+
+	const elems = 40_000
+	body := make([]byte, 4*elems)
+	want := make([]float32, elems)
+	for i := range want {
+		want[i] = float32(2 * math.Sin(0.003*float64(i)))
+		binary.LittleEndian.PutUint32(body[4*i:], math.Float32bits(want[i]))
+	}
+
+	resp := postCompress(t, pts.URL, body, nil)
+	viaProxy, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("proxy compress: %d: %s", resp.StatusCode, viaProxy)
+	}
+	resp = postCompress(t, direct.URL, body, nil)
+	viaDirect, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("direct compress: %d: %s", resp.StatusCode, viaDirect)
+	}
+	if !bytes.Equal(viaProxy, viaDirect) {
+		t.Fatalf("proxied stream (%d bytes) differs from direct backend stream (%d bytes)",
+			len(viaProxy), len(viaDirect))
+	}
+
+	// Round-trip the compressed stream back through the proxy (exercises
+	// CSZF-frame routing on the decompress side).
+	req, _ := http.NewRequest(http.MethodPost, pts.URL+"/v1/decompress?elem=f32", bytes.NewReader(viaProxy))
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("proxy decompress: %d: %s", resp2.StatusCode, raw)
+	}
+	if len(raw) != 4*elems {
+		t.Fatalf("decompressed %d bytes, want %d", len(raw), 4*elems)
+	}
+	for i := 0; i < elems; i++ {
+		v := math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+		if math.Abs(float64(v)-float64(want[i])) > 0.001*(1+1e-6) {
+			t.Fatalf("element %d: |%g - %g| exceeds eps", i, v, want[i])
+		}
+	}
+}
+
+// A dead backend must be invisible to clients whose requests are
+// replayable: the proxy fails over to the next ring owner and the
+// request succeeds with zero client-visible 5xx.
+func TestProxyFailoverOnDeadBackend(t *testing.T) {
+	tsA, cbA := newRealBackend(t)
+	tsB, cbB := newRealBackend(t)
+	_, pts, reg := newTestProxy(t, Config{Backends: []string{tsA.URL, tsB.URL}})
+
+	body := rawF32Body(32<<10, 2)
+	resp := postCompress(t, pts.URL, body, nil)
+	want, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm request failed: %d", resp.StatusCode)
+	}
+
+	// Kill whichever backend owns this digest.
+	if cbA.hits.Load() > 0 {
+		tsA.Close()
+	} else {
+		tsB.Close()
+	}
+	beforeTotal := cbA.hits.Load() + cbB.hits.Load()
+
+	resp = postCompress(t, pts.URL, body, nil)
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request after owner death: status %d, want 200 (transparent failover): %s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("failover answer differs from the original compressed stream")
+	}
+	if cbA.hits.Load()+cbB.hits.Load() != beforeTotal+1 {
+		t.Fatal("surviving backend did not receive exactly one forwarded request")
+	}
+	if got := reg.Counter("proxy.failover").Value(); got != 1 {
+		t.Fatalf("proxy.failover = %d, want 1", got)
+	}
+	if got := reg.Counter("proxy.compress.status_5xx").Value(); got != 0 {
+		t.Fatalf("client-visible 5xx count = %d, want 0", got)
+	}
+}
+
+// A request whose body streamed past the replay buffer must NOT be
+// silently resent: the proxy answers 502 naming the partial-forward
+// refusal and counts it, leaving the end-to-end retry to the client.
+func TestProxyPartialForwardRefusesRetry(t *testing.T) {
+	// The owner reads part of the streamed body, then cuts the
+	// connection — a backend crash mid-upload.
+	killer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.CopyN(io.Discard, r.Body, 256<<10)
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			t.Error("test server does not support hijacking")
+			return
+		}
+		conn, _, err := hj.Hijack()
+		if err == nil {
+			conn.Close()
+		}
+	}))
+	defer killer.Close()
+	healthy, cbH := newRealBackend(t)
+
+	// Tiny replay buffer so a 4 MiB body must stream past it.
+	p, pts, reg := newTestProxy(t, Config{
+		Backends:    []string{killer.URL, healthy.URL},
+		ReplayBytes: 64 << 10,
+	})
+
+	// Find a payload the killer owns. Routing is deterministic, so
+	// ownership is computed through the proxy's own ring rather than by
+	// probing with live requests.
+	q, err := url.ParseQuery(strings.SplitN(compressQuery, "?", 2)[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body []byte
+	for seed := float32(0); ; seed++ {
+		body = rawF32Body(1<<20, seed) // 4 MiB
+		key := p.routeKey(epCompress, q, body[:64<<10])
+		if p.Ring().Owner(key) == 0 {
+			break
+		}
+		if seed > 64 {
+			t.Fatal("no seed routed to backend 0 — ring or routing broken")
+		}
+	}
+
+	resp := postCompress(t, pts.URL, body, nil)
+	msg, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status %d (%s), want 502", resp.StatusCode, msg)
+	}
+	if !strings.Contains(string(msg), "partially forwarded") {
+		t.Fatalf("502 body %q does not name the partial-forward refusal", msg)
+	}
+	if got := reg.Counter("proxy.failover_denied").Value(); got != 1 {
+		t.Fatalf("proxy.failover_denied = %d, want 1", got)
+	}
+	if got := reg.Counter("proxy.failover").Value(); got != 0 {
+		t.Fatalf("proxy.failover = %d, want 0 (no silent retry)", got)
+	}
+	if cbH.hits.Load() != 0 {
+		t.Fatal("healthy backend received the partially-forwarded request — silent retry happened")
+	}
+}
+
+// Backend backpressure passes through untouched: a 429 is not a failure
+// to fail over from, and the backend's own Retry-After reaches the
+// client.
+func TestProxy429Passthrough(t *testing.T) {
+	busy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
+		w.Header().Set("Retry-After", "7")
+		http.Error(w, "saturated", http.StatusTooManyRequests)
+	}))
+	defer busy.Close()
+
+	_, pts, reg := newTestProxy(t, Config{Backends: []string{busy.URL}})
+	resp := postCompress(t, pts.URL, rawF32Body(1024, 3), nil)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Fatalf("Retry-After %q, want the backend's own \"7\"", got)
+	}
+	if got := reg.Counter("proxy.failover").Value(); got != 0 {
+		t.Fatalf("proxy.failover = %d on a 429, want 0", got)
+	}
+}
+
+// Per-tenant token buckets: an exhausted tenant gets 429 + Retry-After
+// without consuming backend capacity; other tenants are unaffected.
+func TestProxyTenantThrottle(t *testing.T) {
+	ts, cb := newRealBackend(t)
+	_, pts, reg := newTestProxy(t, Config{
+		Backends:    []string{ts.URL},
+		TenantRate:  0.5, // one token per 2s: no refill within the test
+		TenantBurst: 2,
+	})
+
+	body := rawF32Body(1024, 4)
+	for i := 0; i < 2; i++ {
+		resp := postCompress(t, pts.URL, body, map[string]string{"X-Ceresz-Tenant": "acme"})
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("in-budget request %d: status %d", i, resp.StatusCode)
+		}
+	}
+	backendBefore := cb.hits.Load()
+	resp := postCompress(t, pts.URL, body, map[string]string{"X-Ceresz-Tenant": "acme"})
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget request: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("tenant throttle carried no Retry-After")
+	}
+	if cb.hits.Load() != backendBefore {
+		t.Fatal("throttled request reached the backend")
+	}
+	if got := reg.Counter("proxy.compress.throttled").Value(); got != 1 {
+		t.Fatalf("proxy.compress.throttled = %d, want 1", got)
+	}
+
+	// A different tenant has its own budget.
+	resp = postCompress(t, pts.URL, body, map[string]string{"X-Ceresz-Tenant": "other"})
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("other tenant throttled by acme's spending: status %d", resp.StatusCode)
+	}
+}
+
+// Health-driven ring rebuilds: marking a backend dead removes it from
+// the ring; readiness flips 503 when nothing is routable.
+func TestProxyReadinessAndRebuild(t *testing.T) {
+	tsA, _ := newRealBackend(t)
+	p, pts, reg := newTestProxy(t, Config{Backends: []string{tsA.URL}})
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(pts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	if code, body := get("/healthz/ready"); code != http.StatusOK || !strings.Contains(body, `"ok"`) {
+		t.Fatalf("ready = %d %q, want 200 ok", code, body)
+	}
+
+	rebuildsBefore := reg.Counter("proxy.ring_rebuilds").Value()
+	p.checker.setState(0, StateDead)
+	p.rebuild()
+	if got := reg.Counter("proxy.ring_rebuilds").Value(); got != rebuildsBefore+1 {
+		t.Fatalf("ring_rebuilds = %d, want %d", got, rebuildsBefore+1)
+	}
+	if code, body := get("/healthz/ready"); code != http.StatusServiceUnavailable || !strings.Contains(body, "no-backends") {
+		t.Fatalf("ready with dead backend = %d %q, want 503 no-backends", code, body)
+	}
+	if got := reg.Gauge("proxy.backends_routable").Value(); got != 0 {
+		t.Fatalf("backends_routable = %d, want 0", got)
+	}
+
+	// A /v1 request now gets an honest 503 with a retry hint.
+	resp := postCompress(t, pts.URL, rawF32Body(1024, 5), nil)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("routing with empty ring: %d (Retry-After %q), want 503 with hint",
+			resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+
+	// Revival restores routing.
+	p.checker.setState(0, StateHealthy)
+	p.rebuild()
+	if code, _ := get("/healthz/ready"); code != http.StatusOK {
+		t.Fatalf("ready after revival = %d, want 200", code)
+	}
+}
+
+func TestProxyDebugRing(t *testing.T) {
+	tsA, _ := newRealBackend(t)
+	tsB, _ := newRealBackend(t)
+	_, pts, _ := newTestProxy(t, Config{Backends: []string{tsA.URL, tsB.URL}})
+
+	resp, err := http.Get(pts.URL + "/debug/ring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var view struct {
+		Generation int64 `json:"generation"`
+		Vnodes     int   `json:"vnodes"`
+		Routable   int   `json:"routable"`
+		Backends   []struct {
+			URL   string  `json:"url"`
+			State string  `json:"state"`
+			Share float64 `json:"share"`
+		} `json:"backends"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Routable != 2 || len(view.Backends) != 2 {
+		t.Fatalf("ring view: routable=%d backends=%d, want 2/2", view.Routable, len(view.Backends))
+	}
+	if view.Vnodes != 128 {
+		t.Fatalf("vnodes = %d, want 128 (2 healthy x default 64)", view.Vnodes)
+	}
+	var shareSum float64
+	for _, b := range view.Backends {
+		if b.State != "healthy" {
+			t.Fatalf("backend %s state %q, want healthy", b.URL, b.State)
+		}
+		shareSum += b.Share
+	}
+	if math.Abs(shareSum-1) > 1e-9 {
+		t.Fatalf("shares sum to %v, want 1", shareSum)
+	}
+}
+
+// The proxy's own error surface matches the backend's: unknown /v1 paths
+// 404, non-POST methods 405.
+func TestProxyMethodAndPathErrors(t *testing.T) {
+	ts, _ := newRealBackend(t)
+	_, pts, _ := newTestProxy(t, Config{Backends: []string{ts.URL}})
+
+	resp, err := http.Get(pts.URL + compressQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/compress = %d, want 405", resp.StatusCode)
+	}
+
+	resp, err = http.Post(pts.URL+"/v1/nonsense", "application/octet-stream", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("POST /v1/nonsense = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestParseObjectivesBindsProxyInstruments(t *testing.T) {
+	objs, err := ParseObjectives("compress:p99<25ms:99.9,decompress:err:99.99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 2 {
+		t.Fatalf("parsed %d objectives, want 2", len(objs))
+	}
+	if objs[0].HistName != "proxy.compress.latency_us" {
+		t.Fatalf("latency SLI bound to %q", objs[0].HistName)
+	}
+	if objs[1].TotalCounter != "proxy.decompress.requests" || objs[1].BadCounter != "proxy.decompress.status_5xx" {
+		t.Fatalf("err SLI bound to %q/%q", objs[1].TotalCounter, objs[1].BadCounter)
+	}
+	if _, err := ParseObjectives("frobnicate:err:99"); err == nil {
+		t.Fatal("unknown endpoint accepted")
+	}
+}
+
+func TestFirstFramePayload(t *testing.T) {
+	payload := []byte("hello frame")
+	frame := append([]byte("CSZF"), 0, 0, 0, 0)
+	binary.LittleEndian.PutUint32(frame[4:], uint32(len(payload)))
+	frame = append(frame, payload...)
+	frame = append(frame, "trailing junk"...)
+
+	got, ok := firstFramePayload(frame)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("payload = %q ok=%v", got, ok)
+	}
+	if _, ok := firstFramePayload([]byte("CSZ")); ok {
+		t.Fatal("short prefix accepted")
+	}
+	if _, ok := firstFramePayload([]byte("XXXX\x04\x00\x00\x00data")); ok {
+		t.Fatal("wrong magic accepted")
+	}
+	if _, ok := firstFramePayload(frame[:8+len(payload)-1]); ok {
+		t.Fatal("truncated payload accepted")
+	}
+}

@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Per-tenant QoS, evaluated before routing so a noisy tenant burns proxy
+// admission slots, not backend codec workers:
+//
+//   - TenantLimiter: one token bucket per tenant id (X-Ceresz-Tenant),
+//     refilled at -tenant-rate with -tenant-burst capacity. An exhausted
+//     bucket answers 429 with a Retry-After computed from the refill
+//     rate, so well-behaved clients (client/) back off exactly long
+//     enough instead of guessing.
+//   - admitter: a bounded worker pool with two admission classes. High
+//     (the default) may use every slot; low (X-Ceresz-Priority: low) is
+//     capped at a configurable share, so batch/backfill traffic can
+//     saturate an idle cluster yet never crowd interactive traffic out
+//     of more than its share. Admission is non-blocking — overflow is
+//     refused with 429 immediately, the same contract as the backend's
+//     own admission semaphore.
+
+// tokenBucket is one tenant's refillable budget. Guarded by the
+// limiter's mutex.
+type tokenBucket struct {
+	tokens  float64
+	last    time.Time // last refill
+	lastUse time.Time // eviction recency
+}
+
+// TenantLimiter rate-limits request admission per tenant id.
+type TenantLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+	// maxTenants bounds the bucket map; past it, buckets idle longest are
+	// evicted (an evicted tenant restarts with a full burst — strictly
+	// more permissive, never less).
+	maxTenants int
+
+	mu sync.Mutex
+	m  map[string]*tokenBucket
+}
+
+// NewTenantLimiter builds a limiter granting rate requests/second with
+// burst capacity per tenant. rate <= 0 disables limiting (Allow always
+// succeeds); burst <= 0 defaults to max(1, rate).
+func NewTenantLimiter(rate float64, burst int, maxTenants int) *TenantLimiter {
+	b := float64(burst)
+	if b <= 0 {
+		b = rate
+		if b < 1 {
+			b = 1
+		}
+	}
+	if maxTenants <= 0 {
+		maxTenants = 16 << 10
+	}
+	return &TenantLimiter{rate: rate, burst: b, maxTenants: maxTenants,
+		m: make(map[string]*tokenBucket)}
+}
+
+// Enabled reports whether the limiter actually limits.
+func (l *TenantLimiter) Enabled() bool { return l != nil && l.rate > 0 }
+
+// Allow spends one token from tenant's bucket. When the bucket is empty
+// it returns false and the duration until a token accrues — the 429's
+// Retry-After. The empty tenant id shares one bucket ("": untagged
+// traffic is a tenant too, so it cannot bypass QoS by omitting the
+// header).
+func (l *TenantLimiter) Allow(tenant string, now time.Time) (bool, time.Duration) {
+	if !l.Enabled() {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.m[tenant]
+	if !ok {
+		if len(l.m) >= l.maxTenants {
+			l.evictIdle(now)
+		}
+		b = &tokenBucket{tokens: l.burst, last: now}
+		l.m[tenant] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	b.lastUse = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / l.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// evictIdle drops the least-recently-used half of the buckets. Called
+// under l.mu when the map is full; a linear scan at a bounded size beats
+// carrying an intrusive LRU list for a map that normally never fills.
+func (l *TenantLimiter) evictIdle(now time.Time) {
+	type cand struct {
+		id   string
+		idle time.Duration
+	}
+	cands := make([]cand, 0, len(l.m))
+	for id, b := range l.m {
+		cands = append(cands, cand{id, now.Sub(b.lastUse)})
+	}
+	// Select the median idle time by sorting; len is bounded by
+	// maxTenants so this is rare and cheap relative to the map churn that
+	// caused it.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].idle > cands[j-1].idle; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	for _, c := range cands[:len(cands)/2] {
+		delete(l.m, c.id)
+	}
+}
+
+// Tenants reports the live bucket count (tests, /debug/ring).
+func (l *TenantLimiter) Tenants() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.m)
+}
+
+// admitter is the bounded proxy worker pool with two priority classes.
+type admitter struct {
+	sem chan struct{}
+	// lowMax caps slots the low class may hold concurrently.
+	lowMax int
+
+	mu  sync.Mutex
+	low int
+}
+
+// newAdmitter builds a pool of workers slots where the low-priority class
+// may hold at most lowMax of them (lowMax is clamped to [1, workers]).
+func newAdmitter(workers, lowMax int) *admitter {
+	if workers < 1 {
+		workers = 1
+	}
+	if lowMax < 1 {
+		lowMax = 1
+	}
+	if lowMax > workers {
+		lowMax = workers
+	}
+	return &admitter{sem: make(chan struct{}, workers), lowMax: lowMax}
+}
+
+// tryAdmit claims a slot without blocking. Low-priority requests are
+// additionally capped at lowMax concurrent slots. The returned release
+// function is nil when admission was refused.
+func (a *admitter) tryAdmit(low bool) (release func()) {
+	if low {
+		a.mu.Lock()
+		if a.low >= a.lowMax {
+			a.mu.Unlock()
+			return nil
+		}
+		a.low++
+		a.mu.Unlock()
+		select {
+		case a.sem <- struct{}{}:
+			return func() {
+				<-a.sem
+				a.mu.Lock()
+				a.low--
+				a.mu.Unlock()
+			}
+		default:
+			a.mu.Lock()
+			a.low--
+			a.mu.Unlock()
+			return nil
+		}
+	}
+	select {
+	case a.sem <- struct{}{}:
+		return func() { <-a.sem }
+	default:
+		return nil
+	}
+}

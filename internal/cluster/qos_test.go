@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestTenantLimiterBurstAndRefill(t *testing.T) {
+	l := NewTenantLimiter(10, 2, 0) // 10 rps, burst 2
+	now := time.Unix(1000, 0)
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("acme", now); !ok {
+			t.Fatalf("request %d within burst refused", i)
+		}
+	}
+	ok, wait := l.Allow("acme", now)
+	if ok {
+		t.Fatal("request past burst admitted")
+	}
+	// Empty bucket at 10 rps: one token accrues in 100ms.
+	if wait <= 0 || wait > 100*time.Millisecond {
+		t.Fatalf("Retry-After %v, want (0, 100ms]", wait)
+	}
+	// After the wait the bucket holds exactly one token again.
+	if ok, _ := l.Allow("acme", now.Add(wait)); !ok {
+		t.Fatal("request refused after the advertised wait")
+	}
+}
+
+func TestTenantLimiterIsolation(t *testing.T) {
+	l := NewTenantLimiter(1, 1, 0)
+	now := time.Unix(1000, 0)
+	if ok, _ := l.Allow("a", now); !ok {
+		t.Fatal("tenant a refused its burst")
+	}
+	if ok, _ := l.Allow("a", now); ok {
+		t.Fatal("tenant a admitted past its budget")
+	}
+	// Tenant b has its own bucket, untouched by a's spending.
+	if ok, _ := l.Allow("b", now); !ok {
+		t.Fatal("tenant b throttled by tenant a's traffic")
+	}
+	// The untagged tenant "" is a tenant too.
+	if ok, _ := l.Allow("", now); !ok {
+		t.Fatal("untagged traffic refused its own burst")
+	}
+	if ok, _ := l.Allow("", now); ok {
+		t.Fatal("untagged traffic admitted past its shared bucket")
+	}
+}
+
+func TestTenantLimiterDisabled(t *testing.T) {
+	l := NewTenantLimiter(0, 0, 0)
+	if l.Enabled() {
+		t.Fatal("rate 0 limiter reports enabled")
+	}
+	now := time.Unix(1000, 0)
+	for i := 0; i < 100; i++ {
+		if ok, _ := l.Allow("anyone", now); !ok {
+			t.Fatal("disabled limiter refused a request")
+		}
+	}
+	if l.Tenants() != 0 {
+		t.Fatal("disabled limiter allocated buckets")
+	}
+}
+
+func TestTenantLimiterEviction(t *testing.T) {
+	l := NewTenantLimiter(1, 1, 4)
+	now := time.Unix(1000, 0)
+	for i := 0; i < 4; i++ {
+		l.Allow(fmt.Sprintf("t%d", i), now.Add(time.Duration(i)*time.Second))
+	}
+	if l.Tenants() != 4 {
+		t.Fatalf("tenants = %d, want 4", l.Tenants())
+	}
+	// A fifth tenant evicts the idle half.
+	l.Allow("t4", now.Add(10*time.Second))
+	if got := l.Tenants(); got > 4 {
+		t.Fatalf("tenants = %d after eviction, want <= 4", got)
+	}
+}
+
+func TestAdmitterCapacity(t *testing.T) {
+	a := newAdmitter(2, 1)
+	r1 := a.tryAdmit(false)
+	r2 := a.tryAdmit(false)
+	if r1 == nil || r2 == nil {
+		t.Fatal("admission refused within capacity")
+	}
+	if a.tryAdmit(false) != nil {
+		t.Fatal("admission granted past capacity")
+	}
+	r1()
+	if r := a.tryAdmit(false); r == nil {
+		t.Fatal("admission refused after release")
+	} else {
+		r()
+	}
+	r2()
+}
+
+func TestAdmitterLowPriorityCap(t *testing.T) {
+	a := newAdmitter(4, 1)
+	low1 := a.tryAdmit(true)
+	if low1 == nil {
+		t.Fatal("first low-priority request refused on an idle pool")
+	}
+	// The low class is capped at 1 slot even though 3 remain free.
+	if a.tryAdmit(true) != nil {
+		t.Fatal("low-priority admitted past its cap")
+	}
+	// High priority still sees the whole pool.
+	var highs []func()
+	for i := 0; i < 3; i++ {
+		h := a.tryAdmit(false)
+		if h == nil {
+			t.Fatalf("high-priority request %d refused with slots free", i)
+		}
+		highs = append(highs, h)
+	}
+	if a.tryAdmit(false) != nil {
+		t.Fatal("high-priority admitted past pool capacity")
+	}
+	// Releasing the low slot lets low in again.
+	low1()
+	low2 := a.tryAdmit(true)
+	if low2 == nil {
+		t.Fatal("low-priority refused after its slot freed")
+	}
+	low2()
+	for _, h := range highs {
+		h()
+	}
+}
+
+func TestAdmitterLowSharesPoolWithHigh(t *testing.T) {
+	// lowMax 2 but pool exhausted by high traffic: low is refused by the
+	// semaphore, and the double-gate unwinds its class count so a later
+	// low attempt (after drain) still works.
+	a := newAdmitter(2, 2)
+	h1, h2 := a.tryAdmit(false), a.tryAdmit(false)
+	if a.tryAdmit(true) != nil {
+		t.Fatal("low admitted into a full pool")
+	}
+	h1()
+	h2()
+	if r := a.tryAdmit(true); r == nil {
+		t.Fatal("low refused after pool drained (class counter leaked)")
+	} else {
+		r()
+	}
+}

@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ceresz/internal/chunkcache"
+)
+
+func mkNodes(n, weight int) []Node {
+	out := make([]Node, n)
+	for i := range out {
+		out[i] = Node{Index: i, Name: fmt.Sprintf("http://backend-%d:8775", i), Weight: weight}
+	}
+	return out
+}
+
+func randomKey(rng *rand.Rand) chunkcache.Key {
+	var k chunkcache.Key
+	rng.Read(k[:])
+	return k
+}
+
+// The determinism property: the ring is a pure function of the
+// (Name, Weight) multiset — any insertion order builds the identical
+// ring, so every proxy (and a restarted one) routes the same way.
+func TestBuildRingDeterministicAnyOrder(t *testing.T) {
+	nodes := mkNodes(5, 32)
+	want := BuildRing(nodes)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		shuffled := append([]Node(nil), nodes...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		got := BuildRing(shuffled)
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: shuffled insertion order built a different ring", trial)
+		}
+		for i := 0; i < 100; i++ {
+			k := randomKey(rng)
+			if got.Owner(k) != want.Owner(k) {
+				t.Fatalf("trial %d: owner mismatch for key %x", trial, k[:8])
+			}
+		}
+	}
+}
+
+func TestRingOwnerStableAcrossRebuild(t *testing.T) {
+	nodes := mkNodes(4, 64)
+	a, b := BuildRing(nodes), BuildRing(nodes)
+	if !a.Equal(b) {
+		t.Fatal("two builds of the same node set differ")
+	}
+}
+
+// Consistency: removing one backend must remap only the keys it owned —
+// every other key keeps its owner. This is the property that makes
+// health-driven ejection cheap for the chunk caches on surviving nodes.
+func TestRingRemovalRemapsOnlyLostKeys(t *testing.T) {
+	nodes := mkNodes(4, 64)
+	full := BuildRing(nodes)
+	without := BuildRing(nodes[:3]) // drop backend 3
+
+	rng := rand.New(rand.NewSource(2))
+	moved, kept := 0, 0
+	for i := 0; i < 5000; i++ {
+		k := randomKey(rng)
+		was, now := full.Owner(k), without.Owner(k)
+		if was == 3 {
+			if now == 3 {
+				t.Fatal("key still routed to removed backend")
+			}
+			moved++
+			continue
+		}
+		if was != now {
+			t.Fatalf("key owned by surviving backend %d remapped to %d", was, now)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate sample: moved=%d kept=%d", moved, kept)
+	}
+}
+
+func TestRingWeightZeroExcluded(t *testing.T) {
+	nodes := mkNodes(3, 64)
+	nodes[1].Weight = 0
+	r := BuildRing(nodes)
+	if got := r.Members(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("members = %v, want [0 2]", got)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		if r.Owner(randomKey(rng)) == 1 {
+			t.Fatal("weight-0 backend received a key")
+		}
+	}
+}
+
+func TestRingOwnersDistinctWalk(t *testing.T) {
+	r := BuildRing(mkNodes(3, 64))
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		k := randomKey(rng)
+		owners := r.Owners(k, 3)
+		if len(owners) != 3 {
+			t.Fatalf("Owners returned %d backends, want 3", len(owners))
+		}
+		if owners[0] != r.Owner(k) {
+			t.Fatal("Owners[0] disagrees with Owner")
+		}
+		seen := map[int]bool{}
+		for _, b := range owners {
+			if seen[b] {
+				t.Fatalf("Owners returned duplicate backend %d", b)
+			}
+			seen[b] = true
+		}
+	}
+	// n beyond the member count clamps.
+	if got := r.Owners(randomKey(rng), 10); len(got) != 3 {
+		t.Fatalf("Owners(10) = %d backends, want 3", len(got))
+	}
+	empty := BuildRing(nil)
+	if got := empty.Owners(randomKey(rng), 2); got != nil {
+		t.Fatalf("empty ring Owners = %v, want nil", got)
+	}
+	if empty.Owner(randomKey(rng)) != -1 {
+		t.Fatal("empty ring Owner != -1")
+	}
+}
+
+func TestRingSharesSumToOne(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		nodes []Node
+	}{
+		{"uniform", mkNodes(4, 64)},
+		{"single", mkNodes(1, 64)},
+		{"weighted", []Node{{0, "http://a", 64}, {1, "http://b", 16}}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			shares := BuildRing(tc.nodes).Shares()
+			var sum float64
+			for _, s := range shares {
+				sum += s
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("shares sum to %v, want 1", sum)
+			}
+		})
+	}
+}
+
+// A degraded backend at reduced weight owns a smaller arc than its
+// healthy peers — the weight-down mechanism sheds share, not presence.
+func TestRingDegradedWeightShedsShare(t *testing.T) {
+	nodes := []Node{
+		{0, "http://a:1", 64},
+		{1, "http://b:1", 64},
+		{2, "http://c:1", 16}, // degraded: quarter weight
+	}
+	shares := BuildRing(nodes).Shares()
+	if shares[2] >= shares[0] || shares[2] >= shares[1] {
+		t.Fatalf("degraded backend owns %v, healthy own %v / %v — expected less",
+			shares[2], shares[0], shares[1])
+	}
+	if shares[2] == 0 {
+		t.Fatal("degraded backend left the ring entirely")
+	}
+}
+
+// Routing balance sanity: with equal weights and uniform keys, no
+// backend should own a wildly disproportionate share of actual lookups.
+func TestRingBalance(t *testing.T) {
+	const n = 4
+	r := BuildRing(mkNodes(n, 64))
+	counts := make([]int, n)
+	rng := rand.New(rand.NewSource(5))
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		counts[r.Owner(randomKey(rng))]++
+	}
+	for b, c := range counts {
+		frac := float64(c) / trials
+		if frac < 0.10 || frac > 0.45 {
+			t.Fatalf("backend %d owns %.1f%% of lookups (counts %v) — ring badly unbalanced", b, frac*100, counts)
+		}
+	}
+}

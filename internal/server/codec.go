@@ -169,14 +169,11 @@ func (c *codec) nextFrameF64(r io.Reader, p cparams) ([]byte, int, error) {
 	return frame, n, err
 }
 
-// Chunk-cache key layout: a fixed preamble of every parameter that shapes
-// the codec's output, then the chunk bytes themselves. The version byte
-// guards against silently reusing entries across key-schema changes.
-const (
-	cacheKeyVersion = 1
-	nsCompress      = 1 // raw chunk bytes → CSZF frame
-	nsDecompress    = 2 // CSZF frame payload → raw little-endian bytes
-)
+// Chunk-cache keys use the canonical layout exported by chunkcache
+// (AppendCompressPreamble / AppendDecompressPreamble): a fixed preamble of
+// every parameter that shapes the codec's output, then the chunk bytes.
+// internal/cluster routes by the same digests, so a consistent-hash proxy
+// lands identical chunks on the node whose cache already holds them.
 
 // cacheKeyCompress addresses the raw chunk in c.rawIn under p: direction,
 // element type, bound mode, eps bits and block length all shape the frame
@@ -186,14 +183,8 @@ const (
 // keyed by λ, not the resolved ε: the resolution is a deterministic
 // function of the chunk's value range, which the hashed bytes pin down.
 func (c *codec) cacheKeyCompress(p cparams) chunkcache.Key {
-	pre := c.hasher.Preamble()
-	mode := byte(0)
-	if p.abs {
-		mode = 1
-	}
-	pre = append(pre, cacheKeyVersion, nsCompress, byte(p.elem), mode)
-	pre = binary.LittleEndian.AppendUint64(pre, math.Float64bits(p.bound.Value))
-	pre = binary.LittleEndian.AppendUint32(pre, uint32(p.opts.BlockLen))
+	pre := chunkcache.AppendCompressPreamble(c.hasher.Preamble(),
+		byte(p.elem), p.abs, p.bound.Value, p.opts.BlockLen)
 	return c.hasher.Key(pre, c.rawIn)
 }
 
@@ -201,12 +192,7 @@ func (c *codec) cacheKeyCompress(p cparams) chunkcache.Key {
 // every codec parameter itself, so only the requested output element type
 // joins it in the preamble.
 func (c *codec) cacheKeyDecompress(payload []byte, wantF64 bool) chunkcache.Key {
-	pre := c.hasher.Preamble()
-	elem := byte(0)
-	if wantF64 {
-		elem = 1
-	}
-	pre = append(pre, cacheKeyVersion, nsDecompress, elem)
+	pre := chunkcache.AppendDecompressPreamble(c.hasher.Preamble(), wantF64)
 	return c.hasher.Key(pre, payload)
 }
 

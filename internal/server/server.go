@@ -556,7 +556,7 @@ func (s *Server) admit(m *epMetrics, h func(*codec, http.ResponseWriter, *http.R
 		// never blocks) and declare the Server-Timing trailer before any
 		// body byte makes the header section immutable.
 		m.requests.Add(1)
-		sp := s.tr.acquire(tid, parent, self, m.ep, t0)
+		sp := s.tr.acquire(tid, parent, self, m.ep, t0, r.Header.Get("X-Ceresz-Tenant"))
 		sp.observe(stageAdmit, t0)
 		hdr.Set("Trailer", "Server-Timing")
 

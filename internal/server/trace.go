@@ -175,6 +175,10 @@ type reqSpan struct {
 	start    time.Time
 	worker   int32
 	sampled  bool
+	// tenant is the request's X-Ceresz-Tenant identity ("" = untagged) —
+	// recorded so multi-tenant QoS decisions upstream (cereszproxy) can be
+	// correlated with the work each tenant actually caused here.
+	tenant string
 
 	status   atomic.Int32
 	curStage atomic.Int32
@@ -325,6 +329,7 @@ type reqRecord struct {
 	endpoint uint8
 	status   int
 	worker   int32
+	tenant   string
 	start    time.Time
 	totalNs  int64
 	stageNs  [numStages]int64
@@ -400,7 +405,7 @@ func (t *tracer) ids(r *http.Request) (tid traceID, parent, self spanID) {
 // acquire claims a slot for an admitted request. The admission semaphore
 // bounds concurrent /v1 requests to len(slots), so the receive never
 // blocks.
-func (t *tracer) acquire(tid traceID, parent, self spanID, endpoint uint8, start time.Time) *reqSpan {
+func (t *tracer) acquire(tid traceID, parent, self spanID, endpoint uint8, start time.Time, tenant string) *reqSpan {
 	sp := <-t.free
 	seq := t.seq.Add(1)
 	sp.mu.Lock()
@@ -412,6 +417,7 @@ func (t *tracer) acquire(tid traceID, parent, self spanID, endpoint uint8, start
 	sp.endpoint = endpoint
 	sp.start = start
 	sp.worker = -1
+	sp.tenant = tenant
 	sp.sampled = t.every > 0 && seq%uint64(t.every) == 0
 	sp.mu.Unlock()
 	sp.status.Store(0)
@@ -446,6 +452,7 @@ func (t *tracer) finish(sp *reqSpan) {
 	rec.endpoint = sp.endpoint
 	rec.status = int(sp.status.Load())
 	rec.worker = sp.worker
+	rec.tenant = sp.tenant
 	rec.start = sp.start
 	rec.totalNs = sp.totalNs
 	for i := range rec.stageNs {
@@ -515,6 +522,7 @@ type accessEntry struct {
 	Chunks      int64  `json:"chunks"`
 	CacheHits   int64  `json:"cache_hits,omitempty"`
 	CacheMisses int64  `json:"cache_misses,omitempty"`
+	Tenant      string `json:"tenant,omitempty"`
 	AdmitUS     int64  `json:"admit_us"`
 	WorkerUS    int64  `json:"worker_us"`
 	ReadUS      int64  `json:"read_us"`
@@ -532,6 +540,7 @@ func (t *tracer) logAccess(rec *reqRecord) {
 		Endpoint:    epNames[rec.endpoint],
 		Status:      rec.status,
 		Worker:      rec.worker,
+		Tenant:      rec.tenant,
 		BytesIn:     rec.bytesIn,
 		BytesOut:    rec.bytesOut,
 		Chunks:      rec.chunks,
@@ -586,6 +595,7 @@ type recordJSON struct {
 	Endpoint    string `json:"endpoint"`
 	Status      int    `json:"status"`
 	Worker      int32  `json:"worker"`
+	Tenant      string `json:"tenant,omitempty"`
 	Start       string `json:"start"`
 	TotalUS     int64  `json:"total_us"`
 	AdmitUS     int64  `json:"admit_us"`
@@ -608,6 +618,7 @@ func recordToJSON(rec *reqRecord) recordJSON {
 		Endpoint:    epNames[rec.endpoint],
 		Status:      rec.status,
 		Worker:      rec.worker,
+		Tenant:      rec.tenant,
 		Start:       rec.start.UTC().Format(time.RFC3339Nano),
 		TotalUS:     rec.totalNs / 1e3,
 		AdmitUS:     rec.stageNs[stageAdmit] / 1e3,
@@ -630,6 +641,7 @@ type inflightJSON struct {
 	ID       string `json:"id"`
 	Endpoint string `json:"endpoint"`
 	Worker   int32  `json:"worker"`
+	Tenant   string `json:"tenant,omitempty"`
 	AgeUS    int64  `json:"age_us"`
 	Stage    string `json:"stage"`
 	BytesIn  int64  `json:"bytes_in"`
@@ -668,6 +680,7 @@ func (s *Server) RequestsHandler() http.Handler {
 					ID:       sp.id.String(),
 					Endpoint: epNames[sp.endpoint],
 					Worker:   sp.worker,
+					Tenant:   sp.tenant,
 					AgeUS:    now.Sub(sp.start).Microseconds(),
 					Stage:    stageNames[stage(sp.curStage.Load())],
 					BytesIn:  sp.bytesIn.Load(),
@@ -777,6 +790,9 @@ func (t *tracer) writeChromeTrace(w io.Writer, workers int) error {
 			handleArgs["cache_us"] = rec.stageNs[stageCache] / 1e3
 			handleArgs["cache_hits"] = rec.cacheHits
 			handleArgs["cache_misses"] = rec.cacheMisses
+		}
+		if rec.tenant != "" {
+			handleArgs["tenant"] = rec.tenant
 		}
 		if rec.dropped > 0 {
 			handleArgs["dropped_chunk_events"] = rec.dropped

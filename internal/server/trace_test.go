@@ -274,6 +274,50 @@ func TestAccessLog(t *testing.T) {
 	}
 }
 
+// TestAccessLogTenant asserts the tenant identity lands in the access
+// log when the request carries one, and stays absent when it does not.
+func TestAccessLogTenant(t *testing.T) {
+	var buf bytes.Buffer
+	_, ts := newTestServer(t, Config{Workers: 1, ChunkElems: 256, AccessLog: &buf})
+	for _, tenant := range []string{"acme", ""} {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/compress?mode=abs&eps=1e-3",
+			bytes.NewReader(rawF32(testData(512, 1))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tenant != "" {
+			req.Header.Set("X-Ceresz-Tenant", tenant)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("access log has %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var tagged, untagged accessEntry
+	if err := json.Unmarshal([]byte(lines[0]), &tagged); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &untagged); err != nil {
+		t.Fatal(err)
+	}
+	if tagged.Tenant != "acme" {
+		t.Fatalf("tagged request logged tenant %q, want \"acme\"", tagged.Tenant)
+	}
+	if untagged.Tenant != "" {
+		t.Fatalf("untagged request logged tenant %q, want empty", untagged.Tenant)
+	}
+	if strings.Contains(lines[1], "tenant") {
+		t.Fatalf("untagged access line carries a tenant field: %s", lines[1])
+	}
+}
+
 // TestConcurrentMetricsExposition is the satellite race check: scraping
 // /debug/metrics while requests are in flight must stay well-formed and
 // the per-endpoint request counters monotone.
@@ -383,7 +427,7 @@ func TestTracedUnsampledHotPathZeroAlloc(t *testing.T) {
 	// TraceEvery 3 with a single request acquired: seq 1 is not sampled,
 	// so the span records stage atomics but no chunk events.
 	tr := newTracer(1, Config{TraceEvery: 3})
-	sp := tr.acquire(newTraceID(), spanID{}, newSpanID(), epCompress, time.Now())
+	sp := tr.acquire(newTraceID(), spanID{}, newSpanID(), epCompress, time.Now(), "")
 	c := newCodec(0)
 	c.tr = sp
 	r := bytes.NewReader(raw)
